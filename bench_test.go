@@ -1,0 +1,96 @@
+package fedsz
+
+// One testing.B benchmark per paper table/figure, each driving the
+// same experiment runner that cmd/fedszbench uses (DESIGN.md §3 maps
+// experiments to modules). Additional micro-benchmarks cover the two
+// pipeline halves.
+//
+//	go test -bench=. -benchmem
+
+import (
+	"testing"
+
+	"fedsz/internal/bench"
+)
+
+func benchOpts() bench.Options {
+	return bench.Options{Scale: 16, Seed: 1, Quick: true}
+}
+
+func runBench(b *testing.B, id string) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.Run(id, benchOpts()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable1EBLC regenerates Table I (EBLC comparison).
+func BenchmarkTable1EBLC(b *testing.B) { runBench(b, "table1") }
+
+// BenchmarkTable2Lossless regenerates Table II (lossless comparison).
+func BenchmarkTable2Lossless(b *testing.B) { runBench(b, "table2") }
+
+// BenchmarkTable3Profile regenerates Table III (model profiles).
+func BenchmarkTable3Profile(b *testing.B) { runBench(b, "table3") }
+
+// BenchmarkTable5Ratios regenerates Table V (FedSZ ratios).
+func BenchmarkTable5Ratios(b *testing.B) { runBench(b, "table5") }
+
+// BenchmarkFig2Smoothness regenerates Fig. 2 (data characterization).
+func BenchmarkFig2Smoothness(b *testing.B) { runBench(b, "fig2") }
+
+// BenchmarkFig3Distributions regenerates Fig. 3 (weight distributions).
+func BenchmarkFig3Distributions(b *testing.B) { runBench(b, "fig3") }
+
+// BenchmarkFig4Convergence regenerates Fig. 4 (accuracy convergence).
+func BenchmarkFig4Convergence(b *testing.B) { runBench(b, "fig4") }
+
+// BenchmarkFig5AccuracyVsBound regenerates Fig. 5.
+func BenchmarkFig5AccuracyVsBound(b *testing.B) { runBench(b, "fig5") }
+
+// BenchmarkFig6Breakdown regenerates Fig. 6 (epoch time breakdown).
+func BenchmarkFig6Breakdown(b *testing.B) { runBench(b, "fig6") }
+
+// BenchmarkFig7CommTime regenerates Fig. 7 (10 Mbps communication).
+func BenchmarkFig7CommTime(b *testing.B) { runBench(b, "fig7") }
+
+// BenchmarkFig8Crossover regenerates Fig. 8 (bandwidth sweep).
+func BenchmarkFig8Crossover(b *testing.B) { runBench(b, "fig8") }
+
+// BenchmarkFig9Scaling regenerates Fig. 9 (weak/strong scaling).
+func BenchmarkFig9Scaling(b *testing.B) { runBench(b, "fig9") }
+
+// BenchmarkFig10Privacy regenerates Fig. 10 (error distributions).
+func BenchmarkFig10Privacy(b *testing.B) { runBench(b, "fig10") }
+
+// BenchmarkPipelineCompress measures the end-to-end FedSZ compression
+// throughput on a quarter-width MobileNetV2 update.
+func BenchmarkPipelineCompress(b *testing.B) {
+	sd := BuildStateDict(MobileNetV2(4), 1)
+	b.SetBytes(sd.SizeBytes())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := Compress(sd); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPipelineDecompress measures the matching decompression
+// throughput.
+func BenchmarkPipelineDecompress(b *testing.B) {
+	sd := BuildStateDict(MobileNetV2(4), 1)
+	buf, _, err := Compress(sd)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(sd.SizeBytes())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Decompress(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,70 @@
+// Command fedszbench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	fedszbench -exp table1            # one experiment
+//	fedszbench -exp all -scale 4      # everything, quarter-width models
+//	fedszbench -list                  # show experiment ids
+//
+// Scale 1 reproduces paper-size models (AlexNet ≈244 MB — minutes per
+// experiment); the default scale 8 finishes each experiment in seconds
+// while preserving every qualitative shape.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"fedsz/internal/bench"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "fedszbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		exp    = flag.String("exp", "all", "experiment id (see -list) or 'all'")
+		scale  = flag.Int("scale", 8, "model width divisor (1 = paper scale)")
+		seed   = flag.Int64("seed", 42, "random seed")
+		quick  = flag.Bool("quick", false, "trim sweeps for a fast smoke run")
+		list   = flag.Bool("list", false, "list experiment ids and exit")
+		format = flag.String("format", "text", "output format: text or csv")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, id := range bench.IDs() {
+			fmt.Println(id)
+		}
+		return nil
+	}
+
+	opts := bench.Options{Scale: *scale, Seed: *seed, Quick: *quick}
+	ids := bench.IDs()
+	if *exp != "all" {
+		ids = []string{*exp}
+	}
+	for _, id := range ids {
+		tab, err := bench.Run(id, opts)
+		if err != nil {
+			return fmt.Errorf("%s: %w", id, err)
+		}
+		switch *format {
+		case "csv":
+			err = tab.RenderCSV(os.Stdout)
+		case "text":
+			err = tab.Render(os.Stdout)
+		default:
+			err = fmt.Errorf("unknown format %q", *format)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,75 @@
+// Command fedszclient joins a fedszserver federation over TCP, trains
+// locally on its shard of the synthetic dataset, and uploads
+// FedSZ-compressed updates until the server signals completion.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+
+	"fedsz"
+	"fedsz/internal/dataset"
+	"fedsz/internal/model"
+	"fedsz/internal/nn"
+	"fedsz/internal/transport"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "fedszclient:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		addr   = flag.String("addr", "localhost:9000", "server address")
+		shard  = flag.Int("shard", 0, "this client's shard index")
+		shards = flag.Int("shards", 2, "total shard count")
+		bound  = flag.Float64("bound", 1e-2, "relative error bound (must match server)")
+		comp   = flag.String("compressor", "sz2", "lossy compressor (must match server)")
+		seed   = flag.Int64("seed", 42, "seed (must match server)")
+	)
+	flag.Parse()
+	if *shard < 0 || *shard >= *shards {
+		return fmt.Errorf("shard %d out of range [0,%d)", *shard, *shards)
+	}
+
+	codec, err := fedsz.NewCodec(fedsz.WithCompressor(*comp), fedsz.WithRelBound(*bound))
+	if err != nil {
+		return err
+	}
+
+	// The first 200×shards samples of the shared dataset are the
+	// training pool (the server holds out the tail for evaluation).
+	spec := dataset.FashionMNIST()
+	pool := spec.Generate(200*(*shards)+400, *seed)
+	data := (&dataset.Dataset{
+		Name: pool.Name, X: pool.X[:200*(*shards)*pool.Dim], Y: pool.Y[:200*(*shards)],
+		N: 200 * (*shards), Dim: pool.Dim, Classes: pool.Classes,
+	}).Split(*shards)[*shard]
+	net_ := nn.MobileNetV2Mini(spec.Dim, spec.Classes, *seed)
+
+	conn, err := net.Dial("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	fmt.Printf("shard %d/%d connected to %s (%d local samples)\n", *shard, *shards, *addr, data.N)
+
+	return transport.RunClient(conn, codec, func(round int, global *model.StateDict) (*model.StateDict, int, error) {
+		if err := net_.LoadStateDict(global); err != nil {
+			return nil, 0, err
+		}
+		data.Shuffle(*seed + int64(round))
+		var loss float32
+		for lo := 0; lo+20 <= data.N; lo += 20 {
+			x, y := data.Batch(lo, lo+20)
+			loss = net_.TrainBatch(x, y, 0.01, 0.9)
+		}
+		fmt.Printf("round %d: local loss %.4f\n", round, loss)
+		return net_.StateDict(), data.N, nil
+	})
+}

@@ -1,0 +1,131 @@
+// Command fedszcompress exercises the FedSZ pipeline on a synthetic
+// model update from the command line: build a pretrained-like state
+// dict, compress it with a chosen compressor and bound, verify the
+// round trip and report sizes, ratios and Eqn. 1 decisions.
+//
+// Usage:
+//
+//	fedszcompress -model alexnet -scale 8 -compressor sz2 -bound 1e-2
+//	fedszcompress -model mobilenetv2 -scale 1 -bandwidth 10
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"time"
+
+	"fedsz"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "fedszcompress:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		modelName  = flag.String("model", "mobilenetv2", "model: alexnet, resnet50, mobilenetv2")
+		scale      = flag.Int("scale", 8, "width divisor (1 = paper scale)")
+		compressor = flag.String("compressor", "sz2", "lossy compressor: sz2, sz3, szx, szx-artifact, zfp")
+		bound      = flag.Float64("bound", 1e-2, "relative error bound")
+		bandwidth  = flag.Float64("bandwidth", 10, "link bandwidth in Mbps for the Eqn. 1 report")
+		seed       = flag.Int64("seed", 42, "weight seed")
+	)
+	flag.Parse()
+
+	var arch fedsz.Arch
+	switch *modelName {
+	case "alexnet":
+		arch = fedsz.AlexNet(*scale)
+	case "resnet50":
+		arch = fedsz.ResNet50(*scale)
+	case "mobilenetv2":
+		arch = fedsz.MobileNetV2(*scale)
+	default:
+		return fmt.Errorf("unknown model %q", *modelName)
+	}
+
+	sd := fedsz.BuildStateDict(arch, *seed)
+	fmt.Printf("model %s (scale %d): %d entries, %d elements, %.1f MB\n",
+		arch.Name, *scale, sd.Len(), sd.NumElements(), float64(sd.SizeBytes())/1e6)
+
+	buf, stats, err := fedsz.Compress(sd,
+		fedsz.WithCompressor(*compressor),
+		fedsz.WithRelBound(*bound),
+	)
+	if err != nil {
+		return err
+	}
+
+	decompStart := time.Now()
+	restored, err := fedsz.Decompress(buf)
+	if err != nil {
+		return err
+	}
+	decompTime := time.Since(decompStart)
+
+	maxErr := maxRelError(sd, restored, *bound)
+	fmt.Printf("compressor=%s bound=%.0e\n", *compressor, *bound)
+	fmt.Printf("  compressed:   %.1f MB (ratio %.2fx)\n", float64(stats.CompressedBytes)/1e6, stats.Ratio())
+	fmt.Printf("  lossy path:   %d tensors, %.1f MB -> %.1f MB\n",
+		stats.NumLossyTensors, float64(stats.LossyInBytes)/1e6, float64(stats.LossyOutBytes)/1e6)
+	fmt.Printf("  lossless:     %d entries, %.1f MB -> %.1f MB\n",
+		stats.NumMetaEntries, float64(stats.MetaInBytes)/1e6, float64(stats.MetaOutBytes)/1e6)
+	fmt.Printf("  compress:     %v   decompress: %v\n", stats.CompressTime.Round(time.Millisecond), decompTime.Round(time.Millisecond))
+	fmt.Printf("  max rel err:  %.3g (requested %.0e)\n", maxErr, *bound)
+
+	d := fedsz.Decision{
+		CompressTime:    stats.CompressTime,
+		DecompressTime:  decompTime,
+		OriginalBytes:   stats.OriginalBytes,
+		CompressedBytes: stats.CompressedBytes,
+		BandwidthBps:    fedsz.Mbps(*bandwidth),
+	}
+	verdict := "send raw"
+	if d.ShouldCompress() {
+		verdict = "compress"
+	}
+	fmt.Printf("Eqn.1 @ %.0f Mbps: compressed path %v vs raw %v -> %s (crossover ≈ %.0f Mbps)\n",
+		*bandwidth,
+		d.CompressedPathTime().Round(time.Millisecond),
+		d.UncompressedPathTime().Round(time.Millisecond),
+		verdict,
+		d.CrossoverBandwidthBps()/1e6)
+	return nil
+}
+
+// maxRelError returns the largest per-tensor range-relative error of
+// lossy entries.
+func maxRelError(orig, got *fedsz.StateDict, bound float64) float64 {
+	worst := 0.0
+	gotEntries := got.Entries()
+	for i, e := range orig.Entries() {
+		if e.Tensor == nil || !e.IsWeightNamed() || e.NumElements() <= fedsz.DefaultThreshold {
+			continue
+		}
+		od, gd := e.Tensor.Data(), gotEntries[i].Tensor.Data()
+		mn, mx := od[0], od[0]
+		for _, v := range od {
+			if v < mn {
+				mn = v
+			}
+			if v > mx {
+				mx = v
+			}
+		}
+		r := float64(mx - mn)
+		if r == 0 {
+			continue
+		}
+		for j := range od {
+			if d := math.Abs(float64(od[j])-float64(gd[j])) / r; d > worst {
+				worst = d
+			}
+		}
+	}
+	return worst
+}

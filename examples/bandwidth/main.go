@@ -1,0 +1,54 @@
+// Bandwidth: sweep the paper's Eqn. 1 decision rule across network
+// speeds for an AlexNet-sized update (Fig. 8): compression wins on slow
+// WANs and loses once the pipe is fast enough to ship raw floats.
+//
+//	go run ./examples/bandwidth
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"fedsz"
+)
+
+func main() {
+	update := fedsz.BuildStateDict(fedsz.AlexNet(8), 42)
+	fmt.Printf("AlexNet/8 update: %.1f MB\n\n", float64(update.SizeBytes())/1e6)
+
+	start := time.Now()
+	buf, stats, err := fedsz.Compress(update, fedsz.WithRelBound(1e-2))
+	if err != nil {
+		log.Fatal(err)
+	}
+	_ = start
+	decompStart := time.Now()
+	if _, err := fedsz.Decompress(buf); err != nil {
+		log.Fatal(err)
+	}
+	d := fedsz.Decision{
+		CompressTime:    stats.CompressTime,
+		DecompressTime:  time.Since(decompStart),
+		OriginalBytes:   stats.OriginalBytes,
+		CompressedBytes: stats.CompressedBytes,
+	}
+	fmt.Printf("SZ2 @ 1e-2: ratio %.2fx, tC=%v, tD=%v\n\n",
+		stats.Ratio(), d.CompressTime.Round(time.Millisecond), d.DecompressTime.Round(time.Millisecond))
+
+	fmt.Println("bandwidth   compressed-path  raw-path     verdict")
+	for _, mbps := range []float64{1, 10, 100, 500, 1000, 10000} {
+		d.BandwidthBps = fedsz.Mbps(mbps)
+		verdict := "send raw"
+		if d.ShouldCompress() {
+			verdict = "compress"
+		}
+		fmt.Printf("%7.0fMbps  %15v  %11v  %s\n",
+			mbps,
+			d.CompressedPathTime().Round(time.Millisecond),
+			d.UncompressedPathTime().Round(time.Millisecond),
+			verdict)
+	}
+	fmt.Printf("\ncrossover bandwidth ≈ %.0f Mbps (paper: ≈500 Mbps for full-size AlexNet)\n",
+		d.CrossoverBandwidthBps()/1e6)
+}

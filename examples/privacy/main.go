@@ -1,0 +1,63 @@
+// Privacy: analyze the error FedSZ injects into model weights and test
+// the paper's §VII-D observation that it resembles Laplacian noise —
+// the ingredient of classic differential-privacy mechanisms (Fig. 10).
+//
+//	go run ./examples/privacy
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"fedsz"
+	"fedsz/internal/privacy"
+)
+
+func main() {
+	sd := fedsz.BuildStateDict(fedsz.AlexNet(8), 42)
+
+	for _, bound := range []float64{0.5, 0.1, 0.05} {
+		buf, _, err := fedsz.Compress(sd, fedsz.WithRelBound(bound))
+		if err != nil {
+			log.Fatal(err)
+		}
+		recon, err := fedsz.Decompress(buf)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := privacy.Residuals(sd.FlatWeights(), recon.FlatWeights())
+		if err != nil {
+			log.Fatal(err)
+		}
+		a, err := privacy.Analyze(res, 41)
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		fmt.Printf("REL bound %g: residual std %.4g, Laplace(μ=%.2g, b=%.4g)\n",
+			bound, a.Summary.Std, a.Laplace.Mu, a.Laplace.B)
+		fmt.Printf("  KS distance: Laplace %.4f vs Gaussian %.4f -> %s fits better\n",
+			a.KSLaplace, a.KSGaussian, preferred(a))
+
+		// Coarse ASCII histogram of the residual density.
+		maxD := 0.0
+		for i := range a.Histogram.Counts {
+			if d := a.Histogram.Density(i); d > maxD {
+				maxD = d
+			}
+		}
+		for i := 0; i < len(a.Histogram.Counts); i += 2 {
+			barLen := int(a.Histogram.Density(i) / maxD * 40)
+			fmt.Printf("  %+8.4f %s\n", a.Histogram.BinCenter(i), strings.Repeat("#", barLen))
+		}
+		fmt.Println()
+	}
+}
+
+func preferred(a privacy.Analysis) string {
+	if a.LaplacePreferred() {
+		return "Laplace"
+	}
+	return "Gaussian"
+}

@@ -1,0 +1,214 @@
+// Package fedsz is the public API of FedSZ-Go, a from-scratch Go
+// reproduction of "FedSZ: Leveraging Error-Bounded Lossy Compression
+// for Federated Learning Communications" (ICDCS 2024).
+//
+// FedSZ shrinks federated-learning client updates by partitioning a
+// model state dict into large weight tensors — compressed with an
+// error-bounded lossy compressor (SZ2 by default) under a relative
+// error bound — and small metadata entries, compressed losslessly
+// (blosc-lz by default), framed into one self-describing bitstream:
+//
+//	sd := fedsz.BuildStateDict(fedsz.MobileNetV2(1), 42)
+//	buf, stats, err := fedsz.Compress(sd, fedsz.WithRelBound(1e-2))
+//	...
+//	restored, err := fedsz.Decompress(buf)
+//
+// The packages under internal/ implement the full system: the four
+// error-bounded compressors (SZ2, SZ3, SZx, ZFP), the lossless suite,
+// the model and training substrates, the FedAvg runtime with simulated
+// and real (TCP) transports, and the benchmark harness that regenerates
+// every table and figure of the paper (see DESIGN.md and
+// cmd/fedszbench).
+package fedsz
+
+import (
+	"time"
+
+	"fedsz/internal/baseline"
+	"fedsz/internal/core"
+	"fedsz/internal/dataset"
+	"fedsz/internal/fl"
+	"fedsz/internal/lossless"
+	"fedsz/internal/lossy"
+	"fedsz/internal/model"
+	"fedsz/internal/netsim"
+	"fedsz/internal/tensor"
+)
+
+// Re-exported types. Aliases keep the internal packages private while
+// letting downstream code name every value the API returns.
+type (
+	// StateDict is an insertion-ordered model state dictionary.
+	StateDict = model.StateDict
+	// Entry is one state-dict item.
+	Entry = model.Entry
+	// Tensor is a dense float32 tensor.
+	Tensor = tensor.Tensor
+	// Arch is an architecture specification.
+	Arch = model.Arch
+	// Stats reports one compression call's accounting.
+	Stats = core.Stats
+	// Decision evaluates the paper's Eqn. 1 compress-or-not rule.
+	Decision = core.Decision
+	// Codec converts state dicts to and from wire bytes.
+	Codec = fl.Codec
+	// UpdateStats accounts for one encoded client update.
+	UpdateStats = fl.UpdateStats
+	// SimConfig parameterizes an in-process federated simulation.
+	SimConfig = fl.SimConfig
+	// SimResult is a federated simulation trace.
+	SimResult = fl.SimResult
+	// Link models a constrained network link.
+	Link = netsim.Link
+	// DatasetSpec describes a synthetic dataset family.
+	DatasetSpec = dataset.Spec
+)
+
+// PlainCodec is the uncompressed-update baseline codec.
+type PlainCodec = fl.PlainCodec
+
+// Baseline compression techniques (paper §III-C survey) and the §VIII
+// "last-step" composition utilities.
+type (
+	// TopK is magnitude-based gradient sparsification.
+	TopK = baseline.TopK
+	// QSGD is stochastic uniform quantization.
+	QSGD = baseline.QSGD
+	// SparseCodec serializes sparsified updates compactly.
+	SparseCodec = baseline.SparseCodec
+)
+
+// NewBaselineCodec stacks a sparsifier/quantizer over an inner codec
+// (nil = plain serialization). Stack over NewCodec(...) to reproduce
+// the paper's §VIII composition.
+func NewBaselineCodec(t baseline.Transform, inner Codec) Codec {
+	return baseline.NewCodec(t, inner)
+}
+
+// NewDeltaCodec transmits client−global deltas through the inner
+// codec. The federation runtimes keep its reference in sync.
+func NewDeltaCodec(inner Codec) Codec { return fl.NewDeltaCodec(inner) }
+
+// Default pipeline parameters (paper §VII-A recommendation).
+const (
+	// DefaultBound is the recommended relative error bound (1e-2).
+	DefaultBound = core.DefaultBound
+	// DefaultThreshold is Algorithm 1's partition threshold.
+	DefaultThreshold = core.DefaultThreshold
+)
+
+// Option customizes the FedSZ pipeline.
+type Option func(*core.Config)
+
+// WithCompressor selects the lossy compressor: "sz2" (default), "sz3",
+// "szx", "szx-artifact" or "zfp".
+func WithCompressor(name string) Option {
+	return func(c *core.Config) { c.Lossy = name }
+}
+
+// WithRelBound sets a range-relative error bound (the paper's REL
+// mode; 1e-2 is the recommended setting).
+func WithRelBound(bound float64) Option {
+	return func(c *core.Config) { c.Bound = lossy.RelBound(bound) }
+}
+
+// WithAbsBound sets an absolute error bound.
+func WithAbsBound(bound float64) Option {
+	return func(c *core.Config) { c.Bound = lossy.AbsBound(bound) }
+}
+
+// WithThreshold overrides the Algorithm 1 partition threshold
+// (elements).
+func WithThreshold(elements int) Option {
+	return func(c *core.Config) { c.Threshold = elements }
+}
+
+// WithLossless selects the metadata codec: "blosclz" (default),
+// "zlib", "gzip", "zstdlike" or "xzlike".
+func WithLossless(name string) Option {
+	return func(c *core.Config) { c.Lossless = name }
+}
+
+func buildConfig(opts []Option) core.Config {
+	var cfg core.Config
+	for _, o := range opts {
+		o(&cfg)
+	}
+	return cfg
+}
+
+// Compress encodes sd into a FedSZ bitstream.
+func Compress(sd *StateDict, opts ...Option) ([]byte, Stats, error) {
+	p, err := core.NewPipeline(buildConfig(opts))
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	return p.Compress(sd)
+}
+
+// Decompress decodes a FedSZ bitstream. No configuration is needed:
+// the bitstream is self-describing.
+func Decompress(buf []byte) (*StateDict, error) {
+	return core.Decompress(buf)
+}
+
+// NewCodec returns a federated-learning update codec backed by the
+// FedSZ pipeline, for use with RunSim or the transport server.
+func NewCodec(opts ...Option) (Codec, error) {
+	return fl.NewFedSZCodec(buildConfig(opts))
+}
+
+// Compressors lists the available lossy compressor names.
+func Compressors() []string { return core.LossyNames() }
+
+// LosslessCodecs lists the available lossless codec names.
+func LosslessCodecs() []string { return lossless.Names() }
+
+// Architecture builders (torchvision-shape-exact; div > 1 shrinks
+// widths for fast experiments).
+
+// AlexNet returns the AlexNet specification (61.1M parameters at
+// div=1).
+func AlexNet(div int) Arch { return model.AlexNet(div) }
+
+// ResNet50 returns the ResNet-50 specification (25.6M parameters at
+// div=1).
+func ResNet50(div int) Arch { return model.ResNet50(div) }
+
+// MobileNetV2 returns the MobileNetV2 specification (3.5M parameters
+// at div=1).
+func MobileNetV2(div int) Arch { return model.MobileNetV2(div) }
+
+// BuildStateDict materializes an architecture with pretrained-like
+// weights, deterministically per seed.
+func BuildStateDict(a Arch, seed int64) *StateDict {
+	return model.BuildStateDict(a, seed)
+}
+
+// MarshalStateDict serializes a state dict without compression (the
+// uncompressed-update wire format).
+func MarshalStateDict(sd *StateDict) ([]byte, error) {
+	return core.MarshalStateDict(sd)
+}
+
+// UnmarshalStateDict reverses MarshalStateDict.
+func UnmarshalStateDict(buf []byte) (*StateDict, error) {
+	return core.UnmarshalStateDict(buf)
+}
+
+// RunSim executes an in-process federated simulation (FedAvg, local
+// SGD clients, analytic network model).
+func RunSim(cfg SimConfig) (*SimResult, error) { return fl.RunSim(cfg) }
+
+// Datasets returns the synthetic dataset specs mirroring the paper's
+// CIFAR-10 / Fashion-MNIST / Caltech101 tasks.
+func Datasets() []DatasetSpec { return dataset.Specs() }
+
+// Mbps converts megabits per second to the bits-per-second unit used
+// by Link and Decision.
+func Mbps(x float64) float64 { return netsim.Mbps(x) }
+
+// TransferTime models moving bytes over a link of bandwidthBps.
+func TransferTime(bytes int64, bandwidthBps float64) time.Duration {
+	return core.TransferTime(bytes, bandwidthBps)
+}

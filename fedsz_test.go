@@ -1,0 +1,198 @@
+package fedsz
+
+import (
+	"math"
+	"testing"
+
+	"fedsz/internal/model"
+)
+
+func TestPublicCompressDecompress(t *testing.T) {
+	sd := BuildStateDict(MobileNetV2(8), 42)
+	buf, stats, err := Compress(sd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Ratio() < 2 {
+		t.Fatalf("default ratio %.2f too low", stats.Ratio())
+	}
+	got, err := Decompress(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != sd.Len() {
+		t.Fatalf("entry count %d != %d", got.Len(), sd.Len())
+	}
+	// Metadata (non-weight) entries survive bit-exact.
+	for _, e := range sd.Entries() {
+		if e.IsWeightNamed() && e.NumElements() > DefaultThreshold {
+			continue
+		}
+		ge, ok := got.Get(e.Name)
+		if !ok {
+			t.Fatalf("missing %q", e.Name)
+		}
+		if e.DType == model.Float32 {
+			for i, v := range e.Tensor.Data() {
+				if ge.Tensor.Data()[i] != v {
+					t.Fatalf("metadata entry %q not exact", e.Name)
+				}
+			}
+		}
+	}
+}
+
+func TestPublicOptions(t *testing.T) {
+	sd := BuildStateDict(MobileNetV2(16), 1)
+	loose, _, err := Compress(sd, WithRelBound(1e-1), WithCompressor("sz3"), WithLossless("zstdlike"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tight, _, err := Compress(sd, WithRelBound(1e-4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(loose) >= len(tight) {
+		t.Fatalf("1e-1 (%d) should be smaller than 1e-4 (%d)", len(loose), len(tight))
+	}
+	if _, _, err := Compress(sd, WithCompressor("nope")); err == nil {
+		t.Fatal("expected unknown-compressor error")
+	}
+	if _, _, err := Compress(sd, WithAbsBound(-1)); err == nil {
+		t.Fatal("expected bound error")
+	}
+	if _, _, err := Compress(sd, WithThreshold(-2)); err == nil {
+		t.Fatal("expected threshold error")
+	}
+}
+
+func TestPublicCodec(t *testing.T) {
+	codec, err := NewCodec(WithRelBound(1e-2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sd := BuildStateDict(MobileNetV2(16), 9)
+	buf, st, err := codec.Encode(sd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Ratio() < 2 {
+		t.Fatalf("codec ratio %.2f", st.Ratio())
+	}
+	if _, err := codec.Decode(buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPublicMarshal(t *testing.T) {
+	sd := BuildStateDict(MobileNetV2(16), 3)
+	blob, err := MarshalStateDict(sd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := UnmarshalStateDict(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumElements() != sd.NumElements() {
+		t.Fatal("marshal round trip")
+	}
+}
+
+func TestPublicListings(t *testing.T) {
+	if len(Compressors()) != 4 {
+		t.Fatalf("compressors: %v", Compressors())
+	}
+	if len(LosslessCodecs()) != 5 {
+		t.Fatalf("lossless: %v", LosslessCodecs())
+	}
+	if len(Datasets()) != 3 {
+		t.Fatalf("datasets: %v", Datasets())
+	}
+}
+
+func TestPublicArchBuilders(t *testing.T) {
+	if AlexNet(1).NumParams() != 61100840 {
+		t.Fatal("alexnet params")
+	}
+	if ResNet50(1).NumParams() != 25557032 {
+		t.Fatal("resnet50 params")
+	}
+	if MobileNetV2(1).NumParams() != 3504872 {
+		t.Fatal("mobilenetv2 params")
+	}
+}
+
+func TestPublicDecision(t *testing.T) {
+	d := Decision{
+		OriginalBytes:   14e6,
+		CompressedBytes: 2e6,
+		BandwidthBps:    Mbps(10),
+	}
+	if !d.ShouldCompress() {
+		t.Fatal("compression should win at 10 Mbps")
+	}
+	if TransferTime(10e6, Mbps(10)).Seconds() != 8 {
+		t.Fatal("transfer time")
+	}
+}
+
+func TestPublicRunSim(t *testing.T) {
+	codec, err := NewCodec()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunSim(SimConfig{
+		Clients:          2,
+		Rounds:           2,
+		SamplesPerClient: 30,
+		TestSamples:      50,
+		Codec:            codec,
+		Link:             Link{BandwidthBps: Mbps(10)},
+		Seed:             3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rounds) != 2 {
+		t.Fatal("rounds")
+	}
+	if math.IsNaN(res.FinalAccuracy()) {
+		t.Fatal("accuracy NaN")
+	}
+}
+
+func TestPublicBaselineAndDeltaCodecs(t *testing.T) {
+	inner, err := NewCodec(WithRelBound(1e-2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	stacked := NewBaselineCodec(TopK{Fraction: 0.2}, inner)
+	sd := BuildStateDict(MobileNetV2(16), 4)
+	buf, st, err := stacked.Encode(sd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Ratio() < 2 {
+		t.Fatalf("stacked ratio %.2f", st.Ratio())
+	}
+	if _, err := stacked.Decode(buf); err != nil {
+		t.Fatal(err)
+	}
+
+	delta := NewDeltaCodec(inner)
+	res, err := RunSim(SimConfig{
+		Clients:          2,
+		Rounds:           2,
+		SamplesPerClient: 30,
+		TestSamples:      50,
+		Codec:            delta,
+		Seed:             8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rounds) != 2 {
+		t.Fatal("delta sim rounds")
+	}
+}

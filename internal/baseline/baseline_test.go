@@ -1,0 +1,239 @@
+package baseline
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"fedsz/internal/core"
+	"fedsz/internal/fl"
+	"fedsz/internal/lossy"
+	"fedsz/internal/model"
+	"fedsz/internal/nn"
+	"fedsz/internal/stats"
+	"fedsz/internal/tensor"
+)
+
+func weightDict(t *testing.T, n int, seed int64) *model.StateDict {
+	t.Helper()
+	rng := stats.NewRNG(seed)
+	data := make([]float32, n)
+	for i := range data {
+		data[i] = float32(rng.NormFloat64())
+	}
+	tr, err := tensor.FromData(data, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sd := model.NewStateDict()
+	if err := sd.Add(model.Entry{Name: "layer.weight", DType: model.Float32, Tensor: tr}); err != nil {
+		t.Fatal(err)
+	}
+	return sd
+}
+
+func TestTopKKeepsLargest(t *testing.T) {
+	sd := weightDict(t, 5000, 1)
+	out, err := (TopK{Fraction: 0.1}).Apply(sd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, _ := out.Get("layer.weight")
+	orig, _ := sd.Get("layer.weight")
+	nz := 0
+	var minKept, maxZeroed float32
+	minKept = math.MaxFloat32
+	for i, v := range e.Tensor.Data() {
+		if v != 0 {
+			nz++
+			if a := abs32(v); a < minKept {
+				minKept = a
+			}
+			if v != orig.Tensor.Data()[i] {
+				t.Fatal("kept values must be unmodified")
+			}
+		} else if a := abs32(orig.Tensor.Data()[i]); a > maxZeroed {
+			maxZeroed = a
+		}
+	}
+	want := int(math.Ceil(5000 * 0.1))
+	if nz != want {
+		t.Fatalf("kept %d values, want %d", nz, want)
+	}
+	if maxZeroed > minKept {
+		t.Fatalf("zeroed a larger value (%v) than a kept one (%v)", maxZeroed, minKept)
+	}
+}
+
+func TestTopKValidation(t *testing.T) {
+	sd := weightDict(t, 100, 1)
+	if _, err := (TopK{Fraction: 0}).Apply(sd); err == nil {
+		t.Fatal("expected fraction error")
+	}
+	if _, err := (TopK{Fraction: 1.5}).Apply(sd); err == nil {
+		t.Fatal("expected fraction error")
+	}
+	// Small tensors pass through untouched.
+	small := weightDict(t, 50, 2)
+	out, err := (TopK{Fraction: 0.1, Threshold: 100}).Apply(small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, _ := out.Get("layer.weight")
+	o, _ := small.Get("layer.weight")
+	for i := range e.Tensor.Data() {
+		if e.Tensor.Data()[i] != o.Tensor.Data()[i] {
+			t.Fatal("under-threshold tensor must pass through")
+		}
+	}
+}
+
+func TestQSGDUnbiasedAndBounded(t *testing.T) {
+	sd := weightDict(t, 20000, 3)
+	q := QSGD{Bits: 4, Seed: 9}
+	out, err := q.Apply(sd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, _ := out.Get("layer.weight")
+	orig, _ := sd.Get("layer.weight")
+	var maxAbs float64
+	for _, v := range orig.Tensor.Data() {
+		if a := math.Abs(float64(v)); a > maxAbs {
+			maxAbs = a
+		}
+	}
+	step := maxAbs / 16 // 2^4 levels
+	var bias float64
+	for i, v := range e.Tensor.Data() {
+		diff := float64(v) - float64(orig.Tensor.Data()[i])
+		if math.Abs(diff) > step*(1+1e-6) {
+			t.Fatalf("quantization error %v exceeds one step %v", diff, step)
+		}
+		bias += diff
+	}
+	bias /= float64(e.Tensor.NumElements())
+	// Stochastic rounding is unbiased: the mean error is ≪ one step.
+	if math.Abs(bias) > step/20 {
+		t.Fatalf("bias %v too large for stochastic rounding (step %v)", bias, step)
+	}
+}
+
+func TestQSGDValidation(t *testing.T) {
+	sd := weightDict(t, 100, 1)
+	if _, err := (QSGD{Bits: 0}).Apply(sd); err == nil {
+		t.Fatal("expected bits error")
+	}
+	if _, err := (QSGD{Bits: 17}).Apply(sd); err == nil {
+		t.Fatal("expected bits error")
+	}
+}
+
+func TestSparseRoundTrip(t *testing.T) {
+	data := []float32{0, 0, 1.5, 0, -2.25, 0, 0, 3, 0}
+	buf := SparseEncode(data)
+	got, err := SparseDecode(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(data) {
+		t.Fatal("length")
+	}
+	for i := range data {
+		if got[i] != data[i] {
+			t.Fatalf("value %d: %v != %v", i, got[i], data[i])
+		}
+	}
+	if _, err := SparseDecode([]byte{0xff}); err == nil {
+		t.Fatal("expected corrupt error")
+	}
+}
+
+func TestSparseQuickRoundTrip(t *testing.T) {
+	f := func(seed int64, n uint8, density uint8) bool {
+		rng := stats.NewRNG(seed)
+		data := make([]float32, int(n)+1)
+		for i := range data {
+			if rng.Intn(256) < int(density) {
+				data[i] = float32(rng.NormFloat64())
+			}
+		}
+		got, err := SparseDecode(SparseEncode(data))
+		if err != nil || len(got) != len(data) {
+			return false
+		}
+		for i := range data {
+			if got[i] != data[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestStackedCodecShrinksBeyondEither verifies the paper's §VIII
+// last-step claim: Top-K sparsification followed by FedSZ compresses
+// better than FedSZ alone.
+func TestStackedCodecShrinksBeyondEither(t *testing.T) {
+	sd := nn.AlexNetMini(512, 10, 1).StateDict()
+
+	fedszCodec, err := fl.NewFedSZCodec(core.Config{Bound: lossy.RelBound(1e-2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, fedszOnly, err := fedszCodec.Encode(sd)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	stacked := NewCodec(TopK{Fraction: 0.1}, fedszCodec)
+	if stacked.Name() != "topk-0.1+fedsz-sz2" {
+		t.Fatalf("stacked name %q", stacked.Name())
+	}
+	buf, stackedStats, err := stacked.Encode(sd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stackedStats.CompressedBytes >= fedszOnly.CompressedBytes {
+		t.Fatalf("stacked (%d) should beat fedsz alone (%d)",
+			stackedStats.CompressedBytes, fedszOnly.CompressedBytes)
+	}
+	// And it still decodes into a structurally identical dict.
+	got, err := stacked.Decode(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != sd.Len() {
+		t.Fatal("structure lost")
+	}
+}
+
+// TestBaselineCodecTrainsInFederation runs the Top-K baseline end to
+// end in the simulation loop.
+func TestBaselineCodecTrainsInFederation(t *testing.T) {
+	codec := NewCodec(TopK{Fraction: 0.3}, nil)
+	res, err := fl.RunSim(fl.SimConfig{
+		Clients:          2,
+		Rounds:           3,
+		SamplesPerClient: 60,
+		TestSamples:      100,
+		Codec:            codec,
+		Seed:             5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FinalAccuracy() <= 0.15 {
+		t.Fatalf("top-k federation accuracy %.3f did not beat chance", res.FinalAccuracy())
+	}
+}
+
+func abs32(v float32) float32 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

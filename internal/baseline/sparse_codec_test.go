@@ -1,0 +1,101 @@
+package baseline
+
+import (
+	"testing"
+
+	"fedsz/internal/model"
+	"fedsz/internal/nn"
+	"fedsz/internal/tensor"
+)
+
+func TestSparseCodecRoundTrip(t *testing.T) {
+	sd := nn.AlexNetMini(64, 4, 1).StateDict()
+	// Add an int entry to exercise that path.
+	if err := sd.Add(model.Entry{Name: "bn.num_batches_tracked", DType: model.Int64, Ints: []int64{42}}); err != nil {
+		t.Fatal(err)
+	}
+	var c SparseCodec
+	if c.Name() != "sparse" {
+		t.Fatal("name")
+	}
+	buf, st, err := c.Encode(sd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.CompressedBytes != int64(len(buf)) {
+		t.Fatal("stats size")
+	}
+	got, err := c.Decode(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != sd.Len() {
+		t.Fatalf("entries %d != %d", got.Len(), sd.Len())
+	}
+	gotEntries := got.Entries()
+	for i, e := range sd.Entries() {
+		g := gotEntries[i]
+		if g.Name != e.Name || g.DType != e.DType {
+			t.Fatalf("entry %d mismatch", i)
+		}
+		if e.DType == model.Float32 {
+			for j, v := range e.Tensor.Data() {
+				if g.Tensor.Data()[j] != v {
+					t.Fatalf("%q value %d", e.Name, j)
+				}
+			}
+		} else if g.Ints[0] != e.Ints[0] {
+			t.Fatalf("%q int", e.Name)
+		}
+	}
+}
+
+func TestSparseCodecShrinksSparseUpdates(t *testing.T) {
+	// After 10% Top-K, the sparse codec should be far smaller than the
+	// dense serialization.
+	sd := model.NewStateDict()
+	data := make([]float32, 10000)
+	for i := 0; i < len(data); i += 10 {
+		data[i] = float32(i)
+	}
+	tr, err := tensor.FromData(data, len(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sd.Add(model.Entry{Name: "w.weight", DType: model.Float32, Tensor: tr}); err != nil {
+		t.Fatal(err)
+	}
+	var c SparseCodec
+	buf, _, err := c.Encode(sd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(buf) > 10000 { // dense would be 40 KB
+		t.Fatalf("sparse codec produced %d bytes for 10%%-dense tensor", len(buf))
+	}
+	got, err := c.Decode(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, _ := got.Get("w.weight")
+	for i, v := range data {
+		if e.Tensor.Data()[i] != v {
+			t.Fatalf("value %d", i)
+		}
+	}
+}
+
+func TestSparseCodecCorrupt(t *testing.T) {
+	var c SparseCodec
+	if _, err := c.Decode([]byte("nope")); err == nil {
+		t.Fatal("expected magic error")
+	}
+	sd := nn.MobileNetV2Mini(32, 4, 1).StateDict()
+	buf, _, err := c.Encode(sd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Decode(buf[:len(buf)/3]); err == nil {
+		t.Fatal("expected truncation error")
+	}
+}

@@ -1,0 +1,162 @@
+package bench
+
+import (
+	"fmt"
+
+	"fedsz/internal/baseline"
+	"fedsz/internal/core"
+	"fedsz/internal/fl"
+	"fedsz/internal/lossless"
+	"fedsz/internal/lossy"
+	"fedsz/internal/model"
+	"fedsz/internal/sz2"
+	"fedsz/internal/sz3"
+)
+
+// Ablations exercises the design choices DESIGN.md §4.5 calls out:
+// SZ2's hybrid predictor, SZ3's cubic interpolation, the lossless
+// stage inside the EBLCs, the partition threshold, per-tensor vs
+// global bounds, and the §VIII "last-step" composition with the
+// Top-K / QSGD baselines.
+func Ablations(opts Options) (*Table, error) {
+	opts = opts.withDefaults()
+	t := &Table{
+		ID:     "ablations",
+		Title:  "Design-choice ablations (bytes lower = better; REL 1e-2)",
+		Header: []string{"Ablation", "Variant", "Bytes", "vs.Default"},
+	}
+	sd := model.BuildStateDict(model.MobileNetV2(opts.Scale), opts.Seed)
+	flat := sd.FlatWeights()
+	p := lossy.RelBound(1e-2)
+
+	addPair := func(name, baseLabel string, base int, variants map[string]int) {
+		t.Rows = append(t.Rows, []string{name, baseLabel + " (default)", fmt.Sprintf("%d", base), "1.00"})
+		for label, v := range variants {
+			t.Rows = append(t.Rows, []string{name, label, fmt.Sprintf("%d", v),
+				f2(float64(v) / float64(base))})
+		}
+	}
+
+	// 1. SZ2 predictor: hybrid vs Lorenzo-only.
+	hybrid, err := sz2.New().Compress(flat, p)
+	if err != nil {
+		return nil, err
+	}
+	lorenzo, err := sz2.New(sz2.WithoutRegression()).Compress(flat, p)
+	if err != nil {
+		return nil, err
+	}
+	addPair("sz2-predictor", "hybrid", len(hybrid), map[string]int{"lorenzo-only": len(lorenzo)})
+
+	// 2. SZ3 interpolation: cubic vs linear.
+	cubic, err := sz3.New().Compress(flat, p)
+	if err != nil {
+		return nil, err
+	}
+	linear, err := sz3.New(sz3.WithLinearOnly()).Compress(flat, p)
+	if err != nil {
+		return nil, err
+	}
+	addPair("sz3-interp", "cubic", len(cubic), map[string]int{"linear-only": len(linear)})
+
+	// 3. SZ2 lossless backend: zstd-like vs none.
+	noStage, err := sz2.New(sz2.WithLosslessStage(nil)).Compress(flat, p)
+	if err != nil {
+		return nil, err
+	}
+	addPair("sz2-lossless-stage", "zstdlike", len(hybrid), map[string]int{"disabled": len(noStage)})
+
+	// 4. Partition threshold sweep.
+	base := 0
+	variants := make(map[string]int)
+	for _, thr := range []int{100, core.DefaultThreshold, 100000} {
+		pl, err := core.NewPipeline(core.Config{Threshold: thr})
+		if err != nil {
+			return nil, err
+		}
+		buf, _, err := pl.Compress(sd)
+		if err != nil {
+			return nil, err
+		}
+		if thr == core.DefaultThreshold {
+			base = len(buf)
+		} else {
+			variants[fmt.Sprintf("threshold=%d", thr)] = len(buf)
+		}
+	}
+	addPair("partition-threshold", fmt.Sprintf("threshold=%d", core.DefaultThreshold), base, variants)
+
+	// 5. Per-tensor vs global REL bound: the pipeline applies the bound
+	// per tensor (Algorithm 1); the global variant compresses the
+	// concatenated weights once.
+	global, err := sz2.New().Compress(flat, p)
+	if err != nil {
+		return nil, err
+	}
+	perTensor := 0
+	for _, e := range sd.Entries() {
+		if e.DType != model.Float32 || !e.IsWeightNamed() || e.NumElements() <= core.DefaultThreshold {
+			continue
+		}
+		buf, err := sz2.New().Compress(e.Tensor.Data(), p)
+		if err != nil {
+			return nil, err
+		}
+		perTensor += len(buf)
+	}
+	addPair("bound-scope", "per-tensor", perTensor, map[string]int{"global": len(global)})
+
+	// 6. Last-step composition (§VIII): baselines alone and stacked
+	// with FedSZ.
+	fedszCodec, err := fl.NewFedSZCodec(core.Config{Bound: p})
+	if err != nil {
+		return nil, err
+	}
+	encodeWith := func(c fl.Codec) (int, error) {
+		buf, _, err := c.Encode(sd)
+		if err != nil {
+			return 0, err
+		}
+		return len(buf), nil
+	}
+	fedszOnly, err := encodeWith(fedszCodec)
+	if err != nil {
+		return nil, err
+	}
+	stackVariants := make(map[string]int)
+	for _, c := range []fl.Codec{
+		fl.PlainCodec{},
+		baseline.NewCodec(baseline.TopK{Fraction: 0.1}, baseline.SparseCodec{}),
+		baseline.NewCodec(baseline.TopK{Fraction: 0.1}, fedszCodec),
+		baseline.NewCodec(baseline.QSGD{Bits: 8, Seed: opts.Seed}, fedszCodec),
+	} {
+		n, err := encodeWith(c)
+		if err != nil {
+			return nil, err
+		}
+		stackVariants[c.Name()] = n
+	}
+	addPair("last-step-composition", "fedsz-sz2", fedszOnly, stackVariants)
+
+	// 7. Metadata codec choice inside the pipeline.
+	blosc := 0
+	llVariants := make(map[string]int)
+	for _, name := range lossless.Names() {
+		pl, err := core.NewPipeline(core.Config{Lossless: name})
+		if err != nil {
+			return nil, err
+		}
+		buf, _, err := pl.Compress(sd)
+		if err != nil {
+			return nil, err
+		}
+		if name == lossless.NameBloscLZ {
+			blosc = len(buf)
+		} else {
+			llVariants["lossless="+name] = len(buf)
+		}
+	}
+	addPair("metadata-codec", "lossless=blosclz", blosc, llVariants)
+
+	return t, nil
+}

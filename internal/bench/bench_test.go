@@ -1,0 +1,214 @@
+package bench
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// quickOpts keeps experiment runtime test-friendly.
+func quickOpts() Options {
+	return Options{Scale: 16, Seed: 7, Quick: true}
+}
+
+func runExperiment(t *testing.T, id string) *Table {
+	t.Helper()
+	tab, err := Run(id, quickOpts())
+	if err != nil {
+		t.Fatalf("%s: %v", id, err)
+	}
+	if tab.ID != id {
+		t.Fatalf("table id %q != %q", tab.ID, id)
+	}
+	if len(tab.Rows) == 0 {
+		t.Fatalf("%s produced no rows", id)
+	}
+	for i, row := range tab.Rows {
+		if len(row) != len(tab.Header) {
+			t.Fatalf("%s row %d has %d cells, header has %d", id, i, len(row), len(tab.Header))
+		}
+	}
+	var buf bytes.Buffer
+	if err := tab.Render(&buf); err != nil {
+		t.Fatalf("%s render: %v", id, err)
+	}
+	if !strings.Contains(buf.String(), tab.Title) {
+		t.Fatalf("%s render missing title", id)
+	}
+	return tab
+}
+
+func TestAllExperimentsQuick(t *testing.T) {
+	for _, id := range IDs() {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			t.Parallel()
+			runExperiment(t, id)
+		})
+	}
+}
+
+func TestUnknownExperiment(t *testing.T) {
+	if _, err := Run("table99", quickOpts()); err == nil {
+		t.Fatal("expected unknown-experiment error")
+	}
+}
+
+func cell(t *testing.T, tab *Table, row int, col string) string {
+	t.Helper()
+	for i, h := range tab.Header {
+		if h == col {
+			return tab.Rows[row][i]
+		}
+	}
+	t.Fatalf("column %q not found in %v", col, tab.Header)
+	return ""
+}
+
+func parseF(t *testing.T, s string) float64 {
+	t.Helper()
+	s = strings.TrimSuffix(strings.TrimSuffix(s, "%"), "s")
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		t.Fatalf("parse %q: %v", s, err)
+	}
+	return v
+}
+
+// TestTable1Shape checks the load-bearing orderings of Table I:
+// SZx* ratio is bound-independent and its accuracy collapses to chance,
+// while SZ2 holds accuracy.
+func TestTable1Shape(t *testing.T) {
+	tab := runExperiment(t, "table1")
+	var szxAccs, sz2Accs []float64
+	for r := range tab.Rows {
+		switch cell(t, tab, r, "Compressor") {
+		case "szx*":
+			szxAccs = append(szxAccs, parseF(t, cell(t, tab, r, "Top-1Acc")))
+		case "sz2":
+			sz2Accs = append(sz2Accs, parseF(t, cell(t, tab, r, "Top-1Acc")))
+		}
+	}
+	if len(szxAccs) == 0 || len(sz2Accs) == 0 {
+		t.Fatal("missing compressor rows")
+	}
+	for i := range szxAccs {
+		// At quick scale one local epoch partially relearns after the
+		// artifact mangling, so the collapse is relative rather than
+		// all the way to chance (the 10-round fig4 run shows the full
+		// divergence).
+		if szxAccs[i] > sz2Accs[i]-10 {
+			t.Errorf("szx* accuracy %.1f%% should trail sz2 %.1f%% by ≥10 points",
+				szxAccs[i], sz2Accs[i])
+		}
+		if sz2Accs[i] < 25 {
+			t.Errorf("sz2 accuracy %.1f%% should beat chance", sz2Accs[i])
+		}
+	}
+}
+
+// TestTable2Shape: blosclz is the fastest codec (paper Table II).
+func TestTable2Shape(t *testing.T) {
+	tab := runExperiment(t, "table2")
+	times := make(map[string]float64)
+	for r := range tab.Rows {
+		times[cell(t, tab, r, "Compressor")] = parseF(t, cell(t, tab, r, "Runtime"))
+	}
+	for name, d := range times {
+		if name == "blosclz" {
+			continue
+		}
+		if times["blosclz"] > d {
+			t.Errorf("blosclz (%.4fs) should be fastest, %s took %.4fs", times["blosclz"], name, d)
+		}
+	}
+}
+
+// TestTable5Shape: ratios grow with the bound, AlexNet compresses best
+// at 1e-2 (paper Table V).
+func TestTable5Shape(t *testing.T) {
+	tab := runExperiment(t, "table5")
+	for r := range tab.Rows {
+		loose := parseF(t, cell(t, tab, r, "1e-1"))
+		tight := parseF(t, cell(t, tab, r, "1e-2"))
+		if loose <= tight {
+			t.Errorf("row %d: CR at 1e-1 (%.2f) should exceed 1e-2 (%.2f)", r, loose, tight)
+		}
+	}
+}
+
+// TestFig2Shape: scientific series are much smoother than parameters.
+func TestFig2Shape(t *testing.T) {
+	tab := runExperiment(t, "fig2")
+	var paramMin, sciMax float64 = 1e9, 0
+	for r := range tab.Rows {
+		rough := parseF(t, cell(t, tab, r, "Roughness"))
+		if strings.HasPrefix(cell(t, tab, r, "Series"), "params") {
+			if rough < paramMin {
+				paramMin = rough
+			}
+		} else if rough > sciMax {
+			sciMax = rough
+		}
+	}
+	if sciMax*3 > paramMin {
+		t.Errorf("scientific roughness %.4f should be ≪ parameter roughness %.4f", sciMax, paramMin)
+	}
+}
+
+// TestFig7Shape: compression must win at 10 Mbps for every model, and
+// decisively for the largest (AlexNet). At quick scale the models are
+// tiny, so fixed compression overhead caps the smaller models' speedup;
+// the paper-scale (≈13×) check lives in EXPERIMENTS.md.
+func TestFig7Shape(t *testing.T) {
+	tab := runExperiment(t, "fig7")
+	for r := range tab.Rows {
+		sp := parseF(t, cell(t, tab, r, "Speedup"))
+		if sp <= 1 {
+			t.Errorf("row %d speedup %.2f: compression should win at 10 Mbps", r, sp)
+		}
+		if cell(t, tab, r, "Model") == "alexnet" && sp < 3 {
+			t.Errorf("alexnet speedup %.2f too low for 10 Mbps", sp)
+		}
+	}
+}
+
+// TestFig9Shape: FedSZ beats uncompressed at every scale.
+func TestFig9Shape(t *testing.T) {
+	tab := runExperiment(t, "fig9")
+	for r := range tab.Rows {
+		fsz := parseF(t, cell(t, tab, r, "FedSZ"))
+		plain := parseF(t, cell(t, tab, r, "Uncompressed"))
+		if fsz >= plain {
+			t.Errorf("row %d: fedsz %.2fs should beat uncompressed %.2fs", r, fsz, plain)
+		}
+	}
+}
+
+// TestFig10Shape: Laplace wins at every bound.
+func TestFig10Shape(t *testing.T) {
+	tab := runExperiment(t, "fig10")
+	for r := range tab.Rows {
+		if cell(t, tab, r, "Preferred") != "laplace" {
+			t.Errorf("row %d: expected Laplace-preferred residuals", r)
+		}
+	}
+}
+
+func TestRenderCSV(t *testing.T) {
+	tab := &Table{
+		ID:     "x",
+		Title:  "t",
+		Header: []string{"A", "B"},
+		Rows:   [][]string{{"1", "2"}, {"3", "4"}},
+	}
+	var buf bytes.Buffer
+	if err := tab.RenderCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := "A,B\n1,2\n3,4\n"
+	if buf.String() != want {
+		t.Fatalf("csv = %q, want %q", buf.String(), want)
+	}
+}

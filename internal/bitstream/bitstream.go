@@ -1,0 +1,165 @@
+// Package bitstream provides MSB-first bit-level readers and writers.
+//
+// It is the shared bit-I/O layer for the entropy coders (Huffman), the
+// ZFP embedded bitplane coder and the SZx truncation coder. Bits are
+// packed most-significant-bit first within each byte, which keeps the
+// encoded streams byte-order independent and easy to inspect.
+package bitstream
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrOverrun is returned by Reader methods when a read extends past the
+// end of the underlying buffer.
+var ErrOverrun = errors.New("bitstream: read past end of stream")
+
+// Writer accumulates bits MSB-first into an internal byte buffer.
+// The zero value is ready to use.
+type Writer struct {
+	buf  []byte
+	cur  uint8 // partially filled byte
+	nCur uint  // number of bits used in cur (0..7)
+}
+
+// NewWriter returns a Writer with capacity preallocated for sizeHint
+// bytes of output.
+func NewWriter(sizeHint int) *Writer {
+	return &Writer{buf: make([]byte, 0, sizeHint)}
+}
+
+// WriteBit appends a single bit (the low bit of b).
+func (w *Writer) WriteBit(b uint) {
+	w.cur = w.cur<<1 | uint8(b&1)
+	w.nCur++
+	if w.nCur == 8 {
+		w.buf = append(w.buf, w.cur)
+		w.cur, w.nCur = 0, 0
+	}
+}
+
+// WriteBits appends the n low-order bits of v, most significant first.
+// n must be in [0, 64].
+func (w *Writer) WriteBits(v uint64, n uint) {
+	if n > 64 {
+		panic(fmt.Sprintf("bitstream: WriteBits n=%d out of range", n))
+	}
+	for n > 0 {
+		take := 8 - w.nCur
+		if take > n {
+			take = n
+		}
+		chunk := uint8(v >> (n - take) & (1<<take - 1))
+		w.cur = w.cur<<take | chunk
+		w.nCur += take
+		n -= take
+		if w.nCur == 8 {
+			w.buf = append(w.buf, w.cur)
+			w.cur, w.nCur = 0, 0
+		}
+	}
+}
+
+// WriteUnary appends v as a unary code: v one-bits followed by a zero.
+func (w *Writer) WriteUnary(v uint) {
+	for i := uint(0); i < v; i++ {
+		w.WriteBit(1)
+	}
+	w.WriteBit(0)
+}
+
+// Len returns the number of bits written so far.
+func (w *Writer) Len() int { return len(w.buf)*8 + int(w.nCur) }
+
+// Bytes flushes the final partial byte (zero-padded) and returns the
+// encoded stream. The Writer remains usable; subsequent writes continue
+// from the unflushed state, so call Bytes only once, when done.
+func (w *Writer) Bytes() []byte {
+	out := w.buf
+	if w.nCur > 0 {
+		out = append(out, w.cur<<(8-w.nCur))
+	}
+	return out
+}
+
+// Reset clears the writer for reuse, keeping the allocated buffer.
+func (w *Writer) Reset() {
+	w.buf = w.buf[:0]
+	w.cur, w.nCur = 0, 0
+}
+
+// Reader consumes bits MSB-first from a byte slice.
+type Reader struct {
+	buf []byte
+	pos int  // byte position
+	n   uint // bits consumed from buf[pos] (0..7)
+}
+
+// NewReader returns a Reader over buf. The Reader does not copy buf;
+// the caller must not mutate it while reading.
+func NewReader(buf []byte) *Reader {
+	return &Reader{buf: buf}
+}
+
+// ReadBit reads a single bit.
+func (r *Reader) ReadBit() (uint, error) {
+	if r.pos >= len(r.buf) {
+		return 0, ErrOverrun
+	}
+	bit := uint(r.buf[r.pos]>>(7-r.n)) & 1
+	r.n++
+	if r.n == 8 {
+		r.n = 0
+		r.pos++
+	}
+	return bit, nil
+}
+
+// ReadBits reads n bits (n in [0,64]) and returns them right-aligned.
+func (r *Reader) ReadBits(n uint) (uint64, error) {
+	if n > 64 {
+		return 0, fmt.Errorf("bitstream: ReadBits n=%d out of range", n)
+	}
+	var v uint64
+	for n > 0 {
+		if r.pos >= len(r.buf) {
+			return 0, ErrOverrun
+		}
+		avail := 8 - r.n
+		take := avail
+		if take > n {
+			take = n
+		}
+		cur := r.buf[r.pos]
+		chunk := uint64(cur>>(avail-take)) & (1<<take - 1)
+		v = v<<take | chunk
+		r.n += take
+		n -= take
+		if r.n == 8 {
+			r.n = 0
+			r.pos++
+		}
+	}
+	return v, nil
+}
+
+// ReadUnary reads a unary code written by WriteUnary.
+func (r *Reader) ReadUnary() (uint, error) {
+	var v uint
+	for {
+		bit, err := r.ReadBit()
+		if err != nil {
+			return 0, err
+		}
+		if bit == 0 {
+			return v, nil
+		}
+		v++
+	}
+}
+
+// BitsRemaining reports how many bits are left in the stream.
+func (r *Reader) BitsRemaining() int {
+	return (len(r.buf)-r.pos)*8 - int(r.n)
+}

@@ -1,0 +1,159 @@
+package bitstream
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestWriteReadSingleBits(t *testing.T) {
+	w := NewWriter(4)
+	pattern := []uint{1, 0, 1, 1, 0, 0, 1, 0, 1, 1, 1}
+	for _, b := range pattern {
+		w.WriteBit(b)
+	}
+	r := NewReader(w.Bytes())
+	for i, want := range pattern {
+		got, err := r.ReadBit()
+		if err != nil {
+			t.Fatalf("bit %d: %v", i, err)
+		}
+		if got != want {
+			t.Fatalf("bit %d: got %d want %d", i, got, want)
+		}
+	}
+}
+
+func TestWriteBitsBoundaries(t *testing.T) {
+	tests := []struct {
+		v uint64
+		n uint
+	}{
+		{0, 0},
+		{1, 1},
+		{0xff, 8},
+		{0x1ff, 9},
+		{0xdeadbeef, 32},
+		{0xffffffffffffffff, 64},
+		{0x0123456789abcdef, 64},
+		{5, 3},
+	}
+	w := NewWriter(64)
+	for _, tt := range tests {
+		w.WriteBits(tt.v, tt.n)
+	}
+	r := NewReader(w.Bytes())
+	for i, tt := range tests {
+		got, err := r.ReadBits(tt.n)
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		if got != tt.v&mask(tt.n) {
+			t.Fatalf("case %d: got %#x want %#x", i, got, tt.v&mask(tt.n))
+		}
+	}
+}
+
+func mask(n uint) uint64 {
+	if n == 64 {
+		return ^uint64(0)
+	}
+	return 1<<n - 1
+}
+
+func TestUnary(t *testing.T) {
+	w := NewWriter(8)
+	values := []uint{0, 1, 2, 7, 13, 0, 31}
+	for _, v := range values {
+		w.WriteUnary(v)
+	}
+	r := NewReader(w.Bytes())
+	for i, want := range values {
+		got, err := r.ReadUnary()
+		if err != nil {
+			t.Fatalf("value %d: %v", i, err)
+		}
+		if got != want {
+			t.Fatalf("value %d: got %d want %d", i, got, want)
+		}
+	}
+}
+
+func TestOverrun(t *testing.T) {
+	r := NewReader([]byte{0xff})
+	if _, err := r.ReadBits(8); err != nil {
+		t.Fatalf("in-range read: %v", err)
+	}
+	if _, err := r.ReadBit(); err != ErrOverrun {
+		t.Fatalf("expected ErrOverrun, got %v", err)
+	}
+	r2 := NewReader(nil)
+	if _, err := r2.ReadBits(1); err != ErrOverrun {
+		t.Fatalf("expected ErrOverrun on empty, got %v", err)
+	}
+}
+
+func TestLenAndRemaining(t *testing.T) {
+	w := NewWriter(4)
+	w.WriteBits(0x3, 2)
+	if w.Len() != 2 {
+		t.Fatalf("Len after 2 bits = %d", w.Len())
+	}
+	w.WriteBits(0xabcd, 16)
+	if w.Len() != 18 {
+		t.Fatalf("Len after 18 bits = %d", w.Len())
+	}
+	r := NewReader(w.Bytes())
+	if r.BitsRemaining() != 24 { // padded to 3 bytes
+		t.Fatalf("BitsRemaining = %d", r.BitsRemaining())
+	}
+	if _, err := r.ReadBits(10); err != nil {
+		t.Fatal(err)
+	}
+	if r.BitsRemaining() != 14 {
+		t.Fatalf("BitsRemaining after 10 = %d", r.BitsRemaining())
+	}
+}
+
+func TestReset(t *testing.T) {
+	w := NewWriter(4)
+	w.WriteBits(0xff, 8)
+	w.Reset()
+	w.WriteBits(0x5, 3)
+	b := w.Bytes()
+	if len(b) != 1 || b[0] != 0xa0 {
+		t.Fatalf("after reset got %x", b)
+	}
+}
+
+// TestQuickRoundTrip is a property-based test: any sequence of
+// (value,width) writes reads back identically.
+func TestQuickRoundTrip(t *testing.T) {
+	f := func(seed int64, count uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(count)%200 + 1
+		type rec struct {
+			v uint64
+			n uint
+		}
+		recs := make([]rec, n)
+		w := NewWriter(n)
+		for i := range recs {
+			width := uint(rng.Intn(65))
+			v := rng.Uint64() & mask(width)
+			recs[i] = rec{v, width}
+			w.WriteBits(v, width)
+		}
+		r := NewReader(w.Bytes())
+		for _, rc := range recs {
+			got, err := r.ReadBits(rc.n)
+			if err != nil || got != rc.v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

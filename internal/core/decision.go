@@ -1,0 +1,51 @@
+package core
+
+import "time"
+
+// Decision captures the paper's Eqn. 1 evaluation for one transfer:
+// compression is worthwhile when tC + tD + S′/B < S/B.
+type Decision struct {
+	CompressTime    time.Duration // tC
+	DecompressTime  time.Duration // tD
+	OriginalBytes   int64         // S
+	CompressedBytes int64         // S′
+	BandwidthBps    float64       // B, bits per second
+}
+
+// TransferTime returns the time to move `bytes` over a link of
+// bandwidthBps bits per second.
+func TransferTime(bytes int64, bandwidthBps float64) time.Duration {
+	if bandwidthBps <= 0 {
+		return 0
+	}
+	seconds := float64(bytes*8) / bandwidthBps
+	return time.Duration(seconds * float64(time.Second))
+}
+
+// CompressedPathTime returns tC + tD + S′/B.
+func (d Decision) CompressedPathTime() time.Duration {
+	return d.CompressTime + d.DecompressTime + TransferTime(d.CompressedBytes, d.BandwidthBps)
+}
+
+// UncompressedPathTime returns S/B.
+func (d Decision) UncompressedPathTime() time.Duration {
+	return TransferTime(d.OriginalBytes, d.BandwidthBps)
+}
+
+// ShouldCompress reports whether Eqn. 1 favors compression.
+func (d Decision) ShouldCompress() bool {
+	return d.CompressedPathTime() < d.UncompressedPathTime()
+}
+
+// CrossoverBandwidthBps returns the bandwidth above which compression
+// stops paying off: B* = 8(S − S′)/(tC + tD). Returns 0 when the
+// overheads are non-positive (compression always wins) or when the
+// compressed size is not smaller.
+func (d Decision) CrossoverBandwidthBps() float64 {
+	saved := d.OriginalBytes - d.CompressedBytes
+	overhead := (d.CompressTime + d.DecompressTime).Seconds()
+	if saved <= 0 || overhead <= 0 {
+		return 0
+	}
+	return float64(saved*8) / overhead
+}

@@ -1,0 +1,383 @@
+// Package core implements the FedSZ compression scheme — the paper's
+// primary contribution (Algorithm 1, Fig. 1).
+//
+// A client update (a model state dict) is partitioned into large
+// weight tensors, which are compressed with an error-bounded lossy
+// compressor under a per-tensor relative bound, and the remaining
+// metadata/non-weight entries, which are serialized and compressed
+// losslessly (blosc-lz by default). Both parts are framed into a single
+// self-describing bitstream for transmission; decompression reverses
+// the pipeline and reassembles the state dict in its original order.
+package core
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"time"
+
+	"fedsz/internal/lossless"
+	"fedsz/internal/lossy"
+	"fedsz/internal/model"
+	"fedsz/internal/tensor"
+)
+
+// ErrCorrupt reports a malformed FedSZ bitstream.
+var ErrCorrupt = errors.New("core: corrupt bitstream")
+
+const (
+	pipelineMagic = "FDSZ"
+	formatVersion = 1
+
+	// DefaultThreshold is Algorithm 1's size threshold: weight-named
+	// tensors with more elements than this go through the lossy path.
+	DefaultThreshold = 1000
+
+	// DefaultBound is the paper's recommended relative error bound
+	// (§VII-A: "we recommend a relative error bound of 1e-2").
+	DefaultBound = 1e-2
+)
+
+// Config parameterizes the pipeline.
+type Config struct {
+	// Lossy names the EBLC ("sz2" by default — the paper's winner).
+	Lossy string
+	// Bound is the error-bound specification applied per tensor.
+	// Zero value selects REL 1e-2.
+	Bound lossy.Params
+	// Threshold is the Algorithm 1 partition threshold (elements).
+	// Zero selects DefaultThreshold.
+	Threshold int
+	// Lossless names the metadata codec ("blosclz" by default).
+	Lossless string
+}
+
+func (c Config) withDefaults() Config {
+	if c.Lossy == "" {
+		c.Lossy = LossySZ2
+	}
+	if c.Bound.Mode == 0 {
+		c.Bound = lossy.RelBound(DefaultBound)
+	}
+	if c.Threshold == 0 {
+		c.Threshold = DefaultThreshold
+	}
+	if c.Lossless == "" {
+		c.Lossless = lossless.NameBloscLZ
+	}
+	return c
+}
+
+// Stats reports one compression call's accounting.
+type Stats struct {
+	OriginalBytes   int64         // serialized uncompressed update size S
+	CompressedBytes int64         // bitstream size S′
+	LossyInBytes    int64         // bytes entering the lossy path
+	LossyOutBytes   int64         // bytes leaving the lossy path
+	MetaInBytes     int64         // bytes entering the lossless path
+	MetaOutBytes    int64         // bytes leaving the lossless path
+	LossyElems      int64         // elements on the lossy path
+	TotalElems      int64         // all elements
+	NumLossyTensors int           // tensors on the lossy path
+	NumMetaEntries  int           // entries on the lossless path
+	CompressTime    time.Duration // wall-clock tC
+}
+
+// Ratio returns the overall compression ratio S/S′.
+func (s Stats) Ratio() float64 {
+	if s.CompressedBytes == 0 {
+		return 0
+	}
+	return float64(s.OriginalBytes) / float64(s.CompressedBytes)
+}
+
+// LossyFraction returns the fraction of input bytes on the lossy path
+// (Table III's "% Lossy Data").
+func (s Stats) LossyFraction() float64 {
+	total := s.LossyInBytes + s.MetaInBytes
+	if total == 0 {
+		return 0
+	}
+	return float64(s.LossyInBytes) / float64(total)
+}
+
+// Pipeline is a configured FedSZ compressor.
+type Pipeline struct {
+	cfg      Config
+	lossyC   lossy.Compressor
+	lossless lossless.Codec
+}
+
+// NewPipeline validates cfg and constructs the pipeline.
+func NewPipeline(cfg Config) (*Pipeline, error) {
+	cfg = cfg.withDefaults()
+	lc, err := LossyByName(cfg.Lossy)
+	if err != nil {
+		return nil, err
+	}
+	ll, err := lossless.New(cfg.Lossless)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Bound.Bound <= 0 {
+		return nil, fmt.Errorf("core: invalid error bound %v", cfg.Bound.Bound)
+	}
+	if cfg.Threshold < 0 {
+		return nil, fmt.Errorf("core: negative threshold %d", cfg.Threshold)
+	}
+	return &Pipeline{cfg: cfg, lossyC: lc, lossless: ll}, nil
+}
+
+// Config returns the effective (defaulted) configuration.
+func (p *Pipeline) Config() Config { return p.cfg }
+
+// shouldLossy implements Algorithm 1 line 4: "weight" in name and
+// flat size above the threshold.
+func (p *Pipeline) shouldLossy(e model.Entry) bool {
+	return e.DType == model.Float32 && e.IsWeightNamed() && e.NumElements() > p.cfg.Threshold
+}
+
+// Compress encodes sd into a FedSZ bitstream.
+func (p *Pipeline) Compress(sd *model.StateDict) ([]byte, Stats, error) {
+	start := time.Now()
+	var st Stats
+	entries := sd.Entries()
+
+	// Partition (Algorithm 1 lines 2-9).
+	tags := make([]bool, len(entries))
+	meta := model.NewStateDict()
+	var lossyEntries []model.Entry
+	for i, e := range entries {
+		st.TotalElems += int64(e.NumElements())
+		if p.shouldLossy(e) {
+			tags[i] = true
+			lossyEntries = append(lossyEntries, e)
+			st.LossyElems += int64(e.NumElements())
+			st.LossyInBytes += int64(e.SizeBytes())
+			continue
+		}
+		if err := meta.Add(e); err != nil {
+			return nil, st, fmt.Errorf("core: partition: %w", err)
+		}
+		st.MetaInBytes += int64(e.SizeBytes())
+	}
+	st.NumLossyTensors = len(lossyEntries)
+	st.NumMetaEntries = meta.Len()
+	st.OriginalBytes = st.LossyInBytes + st.MetaInBytes
+
+	// Header.
+	out := make([]byte, 0, sd.SizeBytes()/4+256)
+	out = append(out, pipelineMagic...)
+	out = append(out, formatVersion)
+	out = appendString(out, p.cfg.Lossy)
+	out = appendString(out, p.cfg.Lossless)
+	out = binary.AppendUvarint(out, uint64(p.cfg.Threshold))
+	out = binary.AppendUvarint(out, uint64(len(entries)))
+	out = append(out, packBools(tags)...)
+
+	// Lossy section: per-tensor compression under the per-tensor bound
+	// (Algorithm 1 compresses each state-dict entry independently).
+	out = binary.AppendUvarint(out, uint64(len(lossyEntries)))
+	for _, e := range lossyEntries {
+		comp, err := p.lossyC.Compress(e.Tensor.Data(), p.cfg.Bound)
+		if err != nil {
+			return nil, st, fmt.Errorf("core: lossy compress %q: %w", e.Name, err)
+		}
+		st.LossyOutBytes += int64(len(comp))
+		out = appendString(out, e.Name)
+		shape := e.Tensor.Shape()
+		out = binary.AppendUvarint(out, uint64(len(shape)))
+		for _, d := range shape {
+			out = binary.AppendUvarint(out, uint64(d))
+		}
+		out = binary.AppendUvarint(out, uint64(len(comp)))
+		out = append(out, comp...)
+	}
+
+	// Lossless section: serialize remaining entries, then compress.
+	blob, err := MarshalStateDict(meta)
+	if err != nil {
+		return nil, st, err
+	}
+	metaComp, err := p.lossless.Compress(blob)
+	if err != nil {
+		return nil, st, fmt.Errorf("core: lossless compress metadata: %w", err)
+	}
+	st.MetaOutBytes = int64(len(metaComp))
+	out = binary.AppendUvarint(out, uint64(len(metaComp)))
+	out = append(out, metaComp...)
+
+	st.CompressedBytes = int64(len(out))
+	st.CompressTime = time.Since(start)
+	return out, st, nil
+}
+
+// Decompress decodes a FedSZ bitstream back into a state dict with the
+// original entry order.
+func Decompress(buf []byte) (*model.StateDict, error) {
+	if len(buf) < 5 || string(buf[:4]) != pipelineMagic {
+		return nil, fmt.Errorf("%w: bad magic", ErrCorrupt)
+	}
+	if buf[4] != formatVersion {
+		return nil, fmt.Errorf("%w: version %d", ErrCorrupt, buf[4])
+	}
+	buf = buf[5:]
+
+	lossyName, buf, err := readString(buf)
+	if err != nil {
+		return nil, err
+	}
+	losslessName, buf, err := readString(buf)
+	if err != nil {
+		return nil, err
+	}
+	_, n := binary.Uvarint(buf) // threshold (informational)
+	if n <= 0 {
+		return nil, fmt.Errorf("%w: threshold", ErrCorrupt)
+	}
+	buf = buf[n:]
+
+	nEntries64, n := binary.Uvarint(buf)
+	if n <= 0 {
+		return nil, fmt.Errorf("%w: entry count", ErrCorrupt)
+	}
+	buf = buf[n:]
+	nEntries := int(nEntries64)
+	tagBytes := (nEntries + 7) / 8
+	if len(buf) < tagBytes {
+		return nil, fmt.Errorf("%w: tags", ErrCorrupt)
+	}
+	tags := unpackBools(buf[:tagBytes], nEntries)
+	buf = buf[tagBytes:]
+
+	lc, err := LossyByName(lossyName)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	ll, err := lossless.New(losslessName)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+
+	// Lossy section.
+	nLossy64, n := binary.Uvarint(buf)
+	if n <= 0 {
+		return nil, fmt.Errorf("%w: lossy count", ErrCorrupt)
+	}
+	buf = buf[n:]
+	type lossyTensor struct {
+		name string
+		t    *tensor.Tensor
+	}
+	lossyTensors := make([]lossyTensor, 0, nLossy64)
+	for i := uint64(0); i < nLossy64; i++ {
+		name, rest, err := readString(buf)
+		if err != nil {
+			return nil, err
+		}
+		buf = rest
+		ndims, n := binary.Uvarint(buf)
+		if n <= 0 || ndims > 16 {
+			return nil, fmt.Errorf("%w: tensor %q dims", ErrCorrupt, name)
+		}
+		buf = buf[n:]
+		shape := make([]int, ndims)
+		for d := range shape {
+			v, n := binary.Uvarint(buf)
+			if n <= 0 {
+				return nil, fmt.Errorf("%w: tensor %q dim", ErrCorrupt, name)
+			}
+			shape[d] = int(v)
+			buf = buf[n:]
+		}
+		payloadLen, n := binary.Uvarint(buf)
+		if n <= 0 || uint64(len(buf)-n) < payloadLen {
+			return nil, fmt.Errorf("%w: tensor %q payload", ErrCorrupt, name)
+		}
+		payload := buf[n : n+int(payloadLen)]
+		buf = buf[n+int(payloadLen):]
+		data, err := lc.Decompress(payload)
+		if err != nil {
+			return nil, fmt.Errorf("%w: tensor %q: %v", ErrCorrupt, name, err)
+		}
+		t, err := tensor.FromData(data, shape...)
+		if err != nil {
+			return nil, fmt.Errorf("%w: tensor %q reshape: %v", ErrCorrupt, name, err)
+		}
+		lossyTensors = append(lossyTensors, lossyTensor{name: name, t: t})
+	}
+
+	// Lossless section.
+	metaLen, n := binary.Uvarint(buf)
+	if n <= 0 || uint64(len(buf)-n) < metaLen {
+		return nil, fmt.Errorf("%w: metadata section", ErrCorrupt)
+	}
+	blob, err := ll.Decompress(buf[n : n+int(metaLen)])
+	if err != nil {
+		return nil, fmt.Errorf("%w: metadata: %v", ErrCorrupt, err)
+	}
+	meta, err := UnmarshalStateDict(blob)
+	if err != nil {
+		return nil, err
+	}
+
+	// Reassemble in original order.
+	metaEntries := meta.Entries()
+	out := model.NewStateDict()
+	li, mi := 0, 0
+	for _, isLossy := range tags {
+		if isLossy {
+			if li >= len(lossyTensors) {
+				return nil, fmt.Errorf("%w: lossy tensor underrun", ErrCorrupt)
+			}
+			lt := lossyTensors[li]
+			li++
+			if err := out.Add(model.Entry{Name: lt.name, DType: model.Float32, Tensor: lt.t}); err != nil {
+				return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+			}
+			continue
+		}
+		if mi >= len(metaEntries) {
+			return nil, fmt.Errorf("%w: metadata entry underrun", ErrCorrupt)
+		}
+		if err := out.Add(metaEntries[mi]); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+		}
+		mi++
+	}
+	if li != len(lossyTensors) || mi != len(metaEntries) {
+		return nil, fmt.Errorf("%w: section/tag mismatch", ErrCorrupt)
+	}
+	return out, nil
+}
+
+func appendString(dst []byte, s string) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(s)))
+	return append(dst, s...)
+}
+
+func readString(buf []byte) (string, []byte, error) {
+	l, n := binary.Uvarint(buf)
+	if n <= 0 || uint64(len(buf)-n) < l {
+		return "", nil, fmt.Errorf("%w: string field", ErrCorrupt)
+	}
+	return string(buf[n : n+int(l)]), buf[n+int(l):], nil
+}
+
+func packBools(bs []bool) []byte {
+	out := make([]byte, (len(bs)+7)/8)
+	for i, b := range bs {
+		if b {
+			out[i/8] |= 1 << uint(i%8)
+		}
+	}
+	return out
+}
+
+func unpackBools(packed []byte, n int) []bool {
+	out := make([]bool, n)
+	for i := range out {
+		out[i] = packed[i/8]&(1<<uint(i%8)) != 0
+	}
+	return out
+}

@@ -1,0 +1,196 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"fedsz/internal/lossy"
+	"fedsz/internal/model"
+	"fedsz/internal/nn"
+	"fedsz/internal/tensor"
+)
+
+// TestDecompressNeverPanicsOnMutations drives the full pipeline decoder
+// with systematically corrupted inputs: bit flips, truncations and
+// random suffixes. The decoder must return an error or a dict — never
+// panic. This guards the server against malicious or damaged uplinks.
+func TestDecompressNeverPanicsOnMutations(t *testing.T) {
+	sd := nn.MobileNetV2Mini(64, 4, 1).StateDict()
+	p, err := NewPipeline(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	valid, _, err := p.Compress(sd)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rng := rand.New(rand.NewSource(99))
+	defer func() {
+		if r := recover(); r != nil {
+			t.Fatalf("decoder panicked: %v", r)
+		}
+	}()
+
+	// Single-bit flips across the stream (sampled).
+	for trial := 0; trial < 400; trial++ {
+		buf := append([]byte(nil), valid...)
+		i := rng.Intn(len(buf))
+		buf[i] ^= 1 << uint(rng.Intn(8))
+		_, _ = Decompress(buf)
+	}
+	// Truncations at every length boundary class.
+	for _, cut := range []int{0, 1, 4, 5, 10, len(valid) / 2, len(valid) - 1} {
+		_, _ = Decompress(valid[:cut])
+	}
+	// Random garbage of assorted sizes.
+	for trial := 0; trial < 100; trial++ {
+		buf := make([]byte, rng.Intn(512))
+		rng.Read(buf)
+		_, _ = Decompress(buf)
+	}
+	// Valid magic with garbage body.
+	for trial := 0; trial < 100; trial++ {
+		buf := append([]byte("FDSZ\x01"), make([]byte, rng.Intn(256))...)
+		rng.Read(buf[5:])
+		_, _ = Decompress(buf)
+	}
+}
+
+// TestSerializerNeverPanicsOnMutations does the same for the plain
+// state-dict decoder.
+func TestSerializerNeverPanicsOnMutations(t *testing.T) {
+	sd := nn.AlexNetMini(32, 4, 1).StateDict()
+	valid, err := MarshalStateDict(sd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	defer func() {
+		if r := recover(); r != nil {
+			t.Fatalf("serializer panicked: %v", r)
+		}
+	}()
+	for trial := 0; trial < 400; trial++ {
+		buf := append([]byte(nil), valid...)
+		i := rng.Intn(len(buf))
+		buf[i] ^= byte(1 + rng.Intn(255))
+		_, _ = UnmarshalStateDict(buf)
+	}
+	for trial := 0; trial < 100; trial++ {
+		buf := append([]byte("FSD1"), make([]byte, rng.Intn(128))...)
+		rng.Read(buf[4:])
+		_, _ = UnmarshalStateDict(buf)
+	}
+}
+
+// TestQuickPipelineRandomDicts is an integration property test: any
+// well-formed state dict with random names, shapes and dtypes survives
+// the pipeline with structure intact and lossy entries within bound.
+func TestQuickPipelineRandomDicts(t *testing.T) {
+	p, err := NewPipeline(Config{Bound: lossy.RelBound(1e-2), Threshold: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := []string{"conv%d.weight", "bn%d.weight", "fc%d.bias", "blk%d.running_mean", "c%d.num_batches_tracked"}
+	for trial := 0; trial < 25; trial++ {
+		rng := rand.New(rand.NewSource(int64(trial)))
+		sd := model.NewStateDict()
+		nEntries := rng.Intn(12) + 1
+		for e := 0; e < nEntries; e++ {
+			name := names[rng.Intn(len(names))]
+			name = sprintfName(name, e)
+			if rng.Intn(5) == 0 {
+				if err := sd.Add(model.Entry{Name: name, DType: model.Int64, Ints: []int64{int64(rng.Intn(100))}}); err != nil {
+					t.Fatal(err)
+				}
+				continue
+			}
+			size := rng.Intn(500) + 1
+			entry, err := randomFloatEntry(name, size, rng)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := sd.Add(entry); err != nil {
+				t.Fatal(err)
+			}
+		}
+		buf, _, err := p.Compress(sd)
+		if err != nil {
+			t.Fatalf("trial %d: compress: %v", trial, err)
+		}
+		got, err := Decompress(buf)
+		if err != nil {
+			t.Fatalf("trial %d: decompress: %v", trial, err)
+		}
+		if got.Len() != sd.Len() {
+			t.Fatalf("trial %d: entries %d != %d", trial, got.Len(), sd.Len())
+		}
+		gotEntries := got.Entries()
+		for i, e := range sd.Entries() {
+			g := gotEntries[i]
+			if g.Name != e.Name || g.DType != e.DType {
+				t.Fatalf("trial %d entry %d: structure mismatch", trial, i)
+			}
+			if e.DType != model.Float32 {
+				continue
+			}
+			eb := toleranceFor(p, e)
+			for j, v := range e.Tensor.Data() {
+				d := float64(v) - float64(g.Tensor.Data()[j])
+				if d < 0 {
+					d = -d
+				}
+				if d > eb {
+					t.Fatalf("trial %d entry %q[%d]: err %g > %g", trial, e.Name, j, d, eb)
+				}
+			}
+		}
+	}
+}
+
+func sprintfName(pattern string, i int) string {
+	out := make([]byte, 0, len(pattern)+4)
+	for j := 0; j < len(pattern); j++ {
+		if pattern[j] == '%' && j+1 < len(pattern) && pattern[j+1] == 'd' {
+			out = append(out, byte('0'+i%10))
+			j++
+			continue
+		}
+		out = append(out, pattern[j])
+	}
+	return string(out)
+}
+
+func randomFloatEntry(name string, size int, rng *rand.Rand) (model.Entry, error) {
+	data := make([]float32, size)
+	for i := range data {
+		data[i] = float32(rng.NormFloat64())
+	}
+	t, err := tensorFrom(data)
+	if err != nil {
+		return model.Entry{}, err
+	}
+	return model.Entry{Name: name, DType: model.Float32, Tensor: t}, nil
+}
+
+func toleranceFor(p *Pipeline, e model.Entry) float64 {
+	if !p.shouldLossy(e) {
+		return 0
+	}
+	data := e.Tensor.Data()
+	mn, mx := data[0], data[0]
+	for _, v := range data {
+		if v < mn {
+			mn = v
+		}
+		if v > mx {
+			mx = v
+		}
+	}
+	return 1e-2 * float64(mx-mn) * (1 + 1e-6)
+}
+
+func tensorFrom(data []float32) (*tensor.Tensor, error) {
+	return tensor.FromData(data, len(data))
+}

@@ -1,0 +1,131 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"fedsz/internal/model"
+	"fedsz/internal/tensor"
+)
+
+// Binary state-dict serialization — the repository's stand-in for the
+// pickle stage of paper Fig. 1: a compact, self-describing encoding of
+// named tensors and integer metadata that preserves insertion order.
+//
+// Layout:
+//
+//	magic "FSD1" | count uvarint | entries...
+//	entry: nameLen uvarint | name | dtype byte | ndims uvarint |
+//	       dims uvarint... | payload (LE float32s or LE int64s)
+const serializeMagic = "FSD1"
+
+// MarshalStateDict encodes sd into the binary state-dict format.
+func MarshalStateDict(sd *model.StateDict) ([]byte, error) {
+	out := make([]byte, 0, sd.SizeBytes()+int64(sd.Len()*16)+8)
+	out = append(out, serializeMagic...)
+	out = binary.AppendUvarint(out, uint64(sd.Len()))
+	for _, e := range sd.Entries() {
+		out = binary.AppendUvarint(out, uint64(len(e.Name)))
+		out = append(out, e.Name...)
+		out = append(out, byte(e.DType))
+		switch e.DType {
+		case model.Float32:
+			shape := e.Tensor.Shape()
+			out = binary.AppendUvarint(out, uint64(len(shape)))
+			for _, d := range shape {
+				out = binary.AppendUvarint(out, uint64(d))
+			}
+			for _, v := range e.Tensor.Data() {
+				out = binary.LittleEndian.AppendUint32(out, math.Float32bits(v))
+			}
+		case model.Int64:
+			out = binary.AppendUvarint(out, 1)
+			out = binary.AppendUvarint(out, uint64(len(e.Ints)))
+			for _, v := range e.Ints {
+				out = binary.LittleEndian.AppendUint64(out, uint64(v))
+			}
+		default:
+			return nil, fmt.Errorf("core: entry %q has unsupported dtype %d", e.Name, e.DType)
+		}
+	}
+	return out, nil
+}
+
+// UnmarshalStateDict decodes a buffer produced by MarshalStateDict.
+func UnmarshalStateDict(buf []byte) (*model.StateDict, error) {
+	if len(buf) < 4 || string(buf[:4]) != serializeMagic {
+		return nil, fmt.Errorf("%w: bad state-dict magic", ErrCorrupt)
+	}
+	buf = buf[4:]
+	count, n := binary.Uvarint(buf)
+	if n <= 0 {
+		return nil, fmt.Errorf("%w: state-dict count", ErrCorrupt)
+	}
+	buf = buf[n:]
+	sd := model.NewStateDict()
+	for i := uint64(0); i < count; i++ {
+		nameLen, n := binary.Uvarint(buf)
+		if n <= 0 || uint64(len(buf)-n) < nameLen+1 {
+			return nil, fmt.Errorf("%w: entry %d name", ErrCorrupt, i)
+		}
+		name := string(buf[n : n+int(nameLen)])
+		buf = buf[n+int(nameLen):]
+		dtype := model.DType(buf[0])
+		buf = buf[1:]
+
+		ndims, n := binary.Uvarint(buf)
+		if n <= 0 || ndims > 16 {
+			return nil, fmt.Errorf("%w: entry %q dims", ErrCorrupt, name)
+		}
+		buf = buf[n:]
+		shape := make([]int, ndims)
+		elems := 1
+		for d := range shape {
+			v, n := binary.Uvarint(buf)
+			if n <= 0 {
+				return nil, fmt.Errorf("%w: entry %q dim %d", ErrCorrupt, name, d)
+			}
+			buf = buf[n:]
+			shape[d] = int(v)
+			elems *= int(v)
+		}
+		if elems < 0 {
+			return nil, fmt.Errorf("%w: entry %q element overflow", ErrCorrupt, name)
+		}
+
+		switch dtype {
+		case model.Float32:
+			if len(buf) < elems*4 {
+				return nil, fmt.Errorf("%w: entry %q payload", ErrCorrupt, name)
+			}
+			data := make([]float32, elems)
+			for j := range data {
+				data[j] = math.Float32frombits(binary.LittleEndian.Uint32(buf[j*4:]))
+			}
+			buf = buf[elems*4:]
+			t, err := tensor.FromData(data, shape...)
+			if err != nil {
+				return nil, fmt.Errorf("%w: entry %q: %v", ErrCorrupt, name, err)
+			}
+			if err := sd.Add(model.Entry{Name: name, DType: model.Float32, Tensor: t}); err != nil {
+				return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+			}
+		case model.Int64:
+			if len(buf) < elems*8 {
+				return nil, fmt.Errorf("%w: entry %q payload", ErrCorrupt, name)
+			}
+			ints := make([]int64, elems)
+			for j := range ints {
+				ints[j] = int64(binary.LittleEndian.Uint64(buf[j*8:]))
+			}
+			buf = buf[elems*8:]
+			if err := sd.Add(model.Entry{Name: name, DType: model.Int64, Ints: ints}); err != nil {
+				return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+			}
+		default:
+			return nil, fmt.Errorf("%w: entry %q dtype %d", ErrCorrupt, name, dtype)
+		}
+	}
+	return sd, nil
+}

@@ -1,0 +1,44 @@
+package core
+
+import (
+	"fmt"
+
+	"fedsz/internal/lossy"
+	"fedsz/internal/sz2"
+	"fedsz/internal/sz3"
+	"fedsz/internal/szx"
+	"fedsz/internal/zfp"
+)
+
+// Lossy compressor names accepted by the pipeline.
+const (
+	LossySZ2         = "sz2"
+	LossySZ3         = "sz3"
+	LossySZx         = "szx"
+	LossySZxArtifact = "szx-artifact"
+	LossyZFP         = "zfp"
+)
+
+// LossyByName constructs the EBLC registered under name.
+// "szx-artifact" selects the paper-artifact SZx mode (see package szx).
+func LossyByName(name string) (lossy.Compressor, error) {
+	switch name {
+	case LossySZ2:
+		return sz2.New(), nil
+	case LossySZ3:
+		return sz3.New(), nil
+	case LossySZx:
+		return szx.New(), nil
+	case LossySZxArtifact:
+		return szx.New(szx.WithMode(szx.ModePaperArtifact)), nil
+	case LossyZFP:
+		return zfp.New(), nil
+	default:
+		return nil, fmt.Errorf("core: unknown lossy compressor %q", name)
+	}
+}
+
+// LossyNames lists the suite in the paper's Table I order.
+func LossyNames() []string {
+	return []string{LossySZ2, LossySZ3, LossySZx, LossyZFP}
+}

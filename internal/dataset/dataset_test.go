@@ -1,0 +1,155 @@
+package dataset
+
+import (
+	"testing"
+
+	"fedsz/internal/nn"
+)
+
+func TestSpecs(t *testing.T) {
+	specs := Specs()
+	if len(specs) != 3 {
+		t.Fatalf("want 3 specs, got %d", len(specs))
+	}
+	if specs[0].Dim != 3072 || specs[0].Classes != 10 {
+		t.Fatalf("cifar10 spec wrong: %+v", specs[0])
+	}
+	if specs[1].Dim != 784 {
+		t.Fatalf("fmnist spec wrong: %+v", specs[1])
+	}
+	if specs[2].Classes != 101 {
+		t.Fatalf("caltech spec wrong: %+v", specs[2])
+	}
+	if _, err := ByName("cifar10"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ByName("imagenet"); err == nil {
+		t.Fatal("expected error for unknown dataset")
+	}
+}
+
+func TestGenerateDeterministicAndBalanced(t *testing.T) {
+	d1 := CIFAR10().Generate(200, 42)
+	d2 := CIFAR10().Generate(200, 42)
+	for i := range d1.X {
+		if d1.X[i] != d2.X[i] {
+			t.Fatal("generation must be deterministic")
+		}
+	}
+	counts := make([]int, d1.Classes)
+	for _, y := range d1.Y {
+		counts[y]++
+	}
+	for c, n := range counts {
+		if n != 20 {
+			t.Fatalf("class %d has %d samples, want 20", c, n)
+		}
+	}
+}
+
+func TestBatch(t *testing.T) {
+	d := FashionMNIST().Generate(50, 1)
+	b, labels := d.Batch(10, 20)
+	if b.N != 10 || b.Dim != 784 || len(labels) != 10 {
+		t.Fatalf("batch shape %d×%d/%d", b.N, b.Dim, len(labels))
+	}
+	if b.Row(0)[0] != d.X[10*784] {
+		t.Fatal("batch content mismatch")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for out-of-range batch")
+		}
+	}()
+	d.Batch(45, 55)
+}
+
+func TestSplitPreservesSamples(t *testing.T) {
+	d := CIFAR10().Generate(103, 7)
+	shards := d.Split(4)
+	total := 0
+	for _, s := range shards {
+		total += s.N
+		if s.Dim != d.Dim || s.Classes != d.Classes {
+			t.Fatal("shard metadata")
+		}
+	}
+	if total != d.N {
+		t.Fatalf("split lost samples: %d != %d", total, d.N)
+	}
+	// Sizes within 1 of each other.
+	for _, s := range shards {
+		if s.N < d.N/4 || s.N > d.N/4+1 {
+			t.Fatalf("unbalanced shard: %d", s.N)
+		}
+	}
+}
+
+func TestShuffleKeepsPairs(t *testing.T) {
+	d := FashionMNIST().Generate(60, 3)
+	// Tag each row's first feature with its label to detect pair breaks.
+	for i := 0; i < d.N; i++ {
+		d.X[i*d.Dim] = float32(d.Y[i]) * 1000
+	}
+	d.Shuffle(9)
+	for i := 0; i < d.N; i++ {
+		if d.X[i*d.Dim] != float32(d.Y[i])*1000 {
+			t.Fatal("shuffle broke X/Y pairing")
+		}
+	}
+}
+
+func TestChance(t *testing.T) {
+	d := Caltech101().Generate(101, 1)
+	if d.Chance() != 1.0/101 {
+		t.Fatalf("chance = %v", d.Chance())
+	}
+}
+
+func TestTrainTestSplit(t *testing.T) {
+	d := CIFAR10().Generate(100, 4)
+	train, test := d.TrainTest(0.8, 1)
+	if train.N != 80 || test.N != 20 {
+		t.Fatalf("split sizes %d/%d", train.N, test.N)
+	}
+	if len(train.X) != 80*d.Dim || len(test.X) != 20*d.Dim {
+		t.Fatal("split data sizes")
+	}
+	// Original untouched.
+	if d.N != 100 {
+		t.Fatal("split mutated source")
+	}
+}
+
+func TestDatasetIsLearnable(t *testing.T) {
+	// An MLP must beat chance comfortably after a few epochs — the
+	// property the accuracy experiments rely on. Train and test must
+	// share class templates, hence the TrainTest split.
+	spec := CIFAR10()
+	all := spec.Generate(600, 11)
+	train, test := all.TrainTest(2.0/3, 5)
+	net := nn.AlexNetMini(spec.Dim, spec.Classes, 5)
+	for epoch := 0; epoch < 5; epoch++ {
+		train.Shuffle(int64(epoch))
+		for lo := 0; lo+20 <= train.N; lo += 20 {
+			x, y := train.Batch(lo, lo+20)
+			net.TrainBatch(x, y, 0.01, 0.9)
+		}
+	}
+	x, y := test.Batch(0, test.N)
+	acc := net.Accuracy(x, y)
+	if acc < 3*test.Chance() {
+		t.Fatalf("accuracy %.3f should beat 3× chance %.3f", acc, 3*test.Chance())
+	}
+}
+
+func TestSNRIsPositiveForStructuredData(t *testing.T) {
+	d := CIFAR10().Generate(300, 2)
+	if d.SNR() < -20 {
+		t.Fatalf("SNR %.1f dB implausibly low", d.SNR())
+	}
+	var empty Dataset
+	if empty.SNR() != 0 {
+		t.Fatal("empty SNR should be 0")
+	}
+}

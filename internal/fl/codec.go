@@ -1,0 +1,100 @@
+// Package fl implements the federated-learning runtime the paper
+// evaluates FedSZ inside: FedAvg aggregation (McMahan et al., 2017),
+// local SGD clients, pluggable update codecs and an in-process
+// simulation harness with an analytic network model. The real-network
+// path lives in package transport.
+package fl
+
+import (
+	"fmt"
+	"time"
+
+	"fedsz/internal/core"
+	"fedsz/internal/model"
+)
+
+// UpdateStats accounts for one encoded client update.
+type UpdateStats struct {
+	OriginalBytes   int64
+	CompressedBytes int64
+	EncodeTime      time.Duration
+	DecodeTime      time.Duration // filled by the receiver
+}
+
+// Ratio returns the update's compression ratio.
+func (s UpdateStats) Ratio() float64 {
+	if s.CompressedBytes == 0 {
+		return 0
+	}
+	return float64(s.OriginalBytes) / float64(s.CompressedBytes)
+}
+
+// Codec converts model state dicts to and from wire bytes.
+type Codec interface {
+	Name() string
+	Encode(sd *model.StateDict) ([]byte, UpdateStats, error)
+	Decode(buf []byte) (*model.StateDict, error)
+}
+
+// PlainCodec serializes updates without compression — the paper's
+// "Uncompressed" baseline.
+type PlainCodec struct{}
+
+// Name implements Codec.
+func (PlainCodec) Name() string { return "plain" }
+
+// Encode implements Codec.
+func (PlainCodec) Encode(sd *model.StateDict) ([]byte, UpdateStats, error) {
+	start := time.Now()
+	buf, err := core.MarshalStateDict(sd)
+	if err != nil {
+		return nil, UpdateStats{}, err
+	}
+	return buf, UpdateStats{
+		OriginalBytes:   int64(len(buf)),
+		CompressedBytes: int64(len(buf)),
+		EncodeTime:      time.Since(start),
+	}, nil
+}
+
+// Decode implements Codec.
+func (PlainCodec) Decode(buf []byte) (*model.StateDict, error) {
+	return core.UnmarshalStateDict(buf)
+}
+
+// FedSZCodec wraps the FedSZ pipeline as an update codec.
+type FedSZCodec struct {
+	pipeline *core.Pipeline
+}
+
+// NewFedSZCodec builds a codec from a core pipeline config.
+func NewFedSZCodec(cfg core.Config) (*FedSZCodec, error) {
+	p, err := core.NewPipeline(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("fl: %w", err)
+	}
+	return &FedSZCodec{pipeline: p}, nil
+}
+
+// Name implements Codec.
+func (c *FedSZCodec) Name() string {
+	return "fedsz-" + c.pipeline.Config().Lossy
+}
+
+// Encode implements Codec.
+func (c *FedSZCodec) Encode(sd *model.StateDict) ([]byte, UpdateStats, error) {
+	buf, st, err := c.pipeline.Compress(sd)
+	if err != nil {
+		return nil, UpdateStats{}, err
+	}
+	return buf, UpdateStats{
+		OriginalBytes:   st.OriginalBytes,
+		CompressedBytes: st.CompressedBytes,
+		EncodeTime:      st.CompressTime,
+	}, nil
+}
+
+// Decode implements Codec.
+func (c *FedSZCodec) Decode(buf []byte) (*model.StateDict, error) {
+	return core.Decompress(buf)
+}

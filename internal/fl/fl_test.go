@@ -1,0 +1,237 @@
+package fl
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"fedsz/internal/core"
+	"fedsz/internal/dataset"
+	"fedsz/internal/lossy"
+	"fedsz/internal/model"
+	"fedsz/internal/netsim"
+	"fedsz/internal/nn"
+	"fedsz/internal/tensor"
+)
+
+func dictFrom(t *testing.T, vals map[string][]float32) *model.StateDict {
+	t.Helper()
+	sd := model.NewStateDict()
+	// Deterministic order for test readability.
+	for _, name := range []string{"a.weight", "b.bias", "n"} {
+		v, ok := vals[name]
+		if !ok {
+			continue
+		}
+		tr, err := tensor.FromData(v, len(v))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sd.Add(model.Entry{Name: name, DType: model.Float32, Tensor: tr}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return sd
+}
+
+func TestFedAvgWeighted(t *testing.T) {
+	u1 := dictFrom(t, map[string][]float32{"a.weight": {1, 2}, "b.bias": {0}})
+	u2 := dictFrom(t, map[string][]float32{"a.weight": {3, 6}, "b.bias": {1}})
+	agg, err := FedAvg([]*model.StateDict{u1, u2}, []int{1, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, _ := agg.Get("a.weight")
+	want := []float32{0.25*1 + 0.75*3, 0.25*2 + 0.75*6}
+	for i := range want {
+		if math.Abs(float64(e.Tensor.Data()[i]-want[i])) > 1e-6 {
+			t.Fatalf("agg = %v, want %v", e.Tensor.Data(), want)
+		}
+	}
+}
+
+func TestFedAvgIntEntriesCopied(t *testing.T) {
+	sd := model.NewStateDict()
+	if err := sd.Add(model.Entry{Name: "bn.num_batches_tracked", DType: model.Int64, Ints: []int64{7}}); err != nil {
+		t.Fatal(err)
+	}
+	agg, err := FedAvg([]*model.StateDict{sd, sd.Clone()}, []int{1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, _ := agg.Get("bn.num_batches_tracked")
+	if e.Ints[0] != 7 {
+		t.Fatal("int entry lost")
+	}
+}
+
+func TestFedAvgErrors(t *testing.T) {
+	u := dictFrom(t, map[string][]float32{"a.weight": {1}})
+	if _, err := FedAvg(nil, nil); err == nil {
+		t.Fatal("expected empty error")
+	}
+	if _, err := FedAvg([]*model.StateDict{u}, []int{1, 2}); err == nil {
+		t.Fatal("expected count mismatch error")
+	}
+	if _, err := FedAvg([]*model.StateDict{u}, []int{-1}); err == nil {
+		t.Fatal("expected negative count error")
+	}
+	if _, err := FedAvg([]*model.StateDict{u}, []int{0}); err == nil {
+		t.Fatal("expected zero-total error")
+	}
+	other := dictFrom(t, map[string][]float32{"b.bias": {1}})
+	if _, err := FedAvg([]*model.StateDict{u, other}, []int{1, 1}); err == nil {
+		t.Fatal("expected structure mismatch error")
+	}
+}
+
+func TestPlainCodecRoundTrip(t *testing.T) {
+	sd := nn.AlexNetMini(64, 4, 1).StateDict()
+	var c PlainCodec
+	buf, st, err := c.Encode(sd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Ratio() != 1 {
+		t.Fatalf("plain codec ratio %v", st.Ratio())
+	}
+	got, err := c.Decode(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != sd.Len() {
+		t.Fatal("round trip lost entries")
+	}
+}
+
+func TestFedSZCodecRoundTrip(t *testing.T) {
+	sd := nn.AlexNetMini(256, 10, 1).StateDict()
+	c, err := NewFedSZCodec(core.Config{Bound: lossy.RelBound(1e-2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Name() != "fedsz-sz2" {
+		t.Fatalf("codec name %q", c.Name())
+	}
+	buf, st, err := c.Encode(sd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Ratio() < 2 {
+		t.Fatalf("fedsz codec ratio %.2f too low", st.Ratio())
+	}
+	got, err := c.Decode(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != sd.Len() {
+		t.Fatal("round trip lost entries")
+	}
+	if _, err := NewFedSZCodec(core.Config{Lossy: "bad"}); err == nil {
+		t.Fatal("expected config error")
+	}
+}
+
+func smallSim(codec Codec) SimConfig {
+	return SimConfig{
+		Dataset:          dataset.FashionMNIST(),
+		Clients:          4,
+		Rounds:           8,
+		SamplesPerClient: 80,
+		TestSamples:      100,
+		Codec:            codec,
+		Link:             netsim.Link{BandwidthBps: netsim.Mbps(10)},
+		Seed:             7,
+	}
+}
+
+func TestRunSimPlain(t *testing.T) {
+	res, err := RunSim(smallSim(PlainCodec{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rounds) != 8 {
+		t.Fatalf("rounds = %d", len(res.Rounds))
+	}
+	last := res.Rounds[7]
+	if last.TestAccuracy <= 0.1 {
+		t.Fatalf("accuracy %.3f did not beat chance", last.TestAccuracy)
+	}
+	if last.CommTime <= 0 || last.BytesUplink <= 0 {
+		t.Fatalf("missing comm accounting: %+v", last)
+	}
+	if last.TrainTime <= 0 || last.ValidationTime <= 0 {
+		t.Fatalf("missing timing: %+v", last)
+	}
+	if res.FinalAccuracy() != last.TestAccuracy {
+		t.Fatal("FinalAccuracy mismatch")
+	}
+	if res.TotalCommTime() <= 0 {
+		t.Fatal("TotalCommTime")
+	}
+}
+
+func TestRunSimFedSZMatchesPlainAccuracy(t *testing.T) {
+	// The paper's core claim: at REL 1e-2, compressed training tracks
+	// uncompressed training.
+	plain, err := RunSim(smallSim(PlainCodec{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	codec, err := NewFedSZCodec(core.Config{Bound: lossy.RelBound(1e-2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	comp, err := RunSim(smallSim(codec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	diff := math.Abs(plain.FinalAccuracy() - comp.FinalAccuracy())
+	if diff > 0.2 {
+		t.Fatalf("accuracy gap %.3f too large: plain %.3f vs fedsz %.3f",
+			diff, plain.FinalAccuracy(), comp.FinalAccuracy())
+	}
+	// And communication shrinks by the compression ratio.
+	if comp.Rounds[0].BytesUplink >= plain.Rounds[0].BytesUplink {
+		t.Fatal("fedsz should shrink uplink bytes")
+	}
+	if comp.Rounds[0].CommTime >= plain.Rounds[0].CommTime {
+		t.Fatal("fedsz should shrink comm time")
+	}
+}
+
+func TestSimulateWeakScaling(t *testing.T) {
+	link := netsim.Link{BandwidthBps: netsim.Mbps(10)}
+	pts := SimulateWeakScaling([]int{2, 4, 8}, time.Second, 1e6, link)
+	if len(pts) != 3 {
+		t.Fatal("points")
+	}
+	// Epoch time grows with workers (serial ingest).
+	if !(pts[0].EpochTimePerClient < pts[1].EpochTimePerClient &&
+		pts[1].EpochTimePerClient < pts[2].EpochTimePerClient) {
+		t.Fatalf("weak scaling should grow: %+v", pts)
+	}
+	// Doubling workers roughly doubles the comm component.
+	comm2 := pts[0].EpochTimePerClient - time.Second
+	comm4 := pts[1].EpochTimePerClient - time.Second
+	if math.Abs(float64(comm4)/float64(comm2)-2) > 0.01 {
+		t.Fatalf("comm scaling: %v vs %v", comm2, comm4)
+	}
+}
+
+func TestSimulateStrongScaling(t *testing.T) {
+	link := netsim.Link{BandwidthBps: netsim.Mbps(10)}
+	pts := SimulateStrongScaling([]int{2, 4, 8, 128}, 127, time.Second, 1e5, link)
+	// Epoch time shrinks with more workers.
+	for i := 1; i < len(pts); i++ {
+		if pts[i].EpochTimePerClient > pts[i-1].EpochTimePerClient {
+			t.Fatalf("strong scaling should shrink: %+v", pts)
+		}
+	}
+	// Speedup at 128 workers is bounded by the serial comm component
+	// (Amdahl), so it is finite and > 1.
+	sp := float64(pts[0].EpochTimePerClient) / float64(pts[len(pts)-1].EpochTimePerClient)
+	if sp <= 1 {
+		t.Fatalf("speedup %.2f", sp)
+	}
+}

@@ -1,0 +1,295 @@
+package fl
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"fedsz/internal/dataset"
+	"fedsz/internal/model"
+	"fedsz/internal/netsim"
+	"fedsz/internal/nn"
+	"fedsz/internal/stats"
+)
+
+// SimConfig parameterizes an in-process federated simulation
+// reproducing the paper's setup (§VI: FedAvg, one epoch per client per
+// round, simulated bandwidth).
+type SimConfig struct {
+	Model            string       // mini model name: "alexnet", "mobilenetv2", "resnet50"
+	Dataset          dataset.Spec //
+	Clients          int          //
+	Rounds           int          //
+	LocalEpochs      int          // epochs per client per round (paper: 1)
+	SamplesPerClient int          //
+	TestSamples      int          //
+	BatchSize        int          //
+	LR               float32      //
+	Momentum         float32      //
+	Codec            Codec        // update codec (PlainCodec or FedSZCodec)
+	Link             netsim.Link  // client→server link model
+	Seed             int64        //
+
+	// ClientsPerRound samples a subset of clients each round (0 = all),
+	// as in large-scale FL deployments.
+	ClientsPerRound int
+	// NonIIDAlpha > 0 partitions client data with Dirichlet(alpha)
+	// label skew instead of the IID split.
+	NonIIDAlpha float64
+}
+
+func (c SimConfig) withDefaults() SimConfig {
+	if c.Model == "" {
+		c.Model = "alexnet"
+	}
+	if c.Dataset.Dim == 0 {
+		c.Dataset = dataset.CIFAR10()
+	}
+	if c.Clients == 0 {
+		c.Clients = 4 // paper §VI-B: four clients
+	}
+	if c.Rounds == 0 {
+		c.Rounds = 10
+	}
+	if c.LocalEpochs == 0 {
+		c.LocalEpochs = 1
+	}
+	if c.SamplesPerClient == 0 {
+		c.SamplesPerClient = 120
+	}
+	if c.TestSamples == 0 {
+		c.TestSamples = 200
+	}
+	if c.BatchSize == 0 {
+		c.BatchSize = 20
+	}
+	if c.LR == 0 {
+		c.LR = 0.01
+	}
+	if c.Momentum == 0 {
+		c.Momentum = 0.9
+	}
+	if c.Codec == nil {
+		c.Codec = PlainCodec{}
+	}
+	return c
+}
+
+// RoundMetrics captures one communication round.
+type RoundMetrics struct {
+	Round        int
+	TestAccuracy float64
+
+	// Wall-clock components, mean per client (paper Fig. 6 breakdown).
+	TrainTime      time.Duration
+	EncodeTime     time.Duration
+	DecodeTime     time.Duration
+	ValidationTime time.Duration
+
+	// Simulated network time for the round: the span until the last
+	// update lands on the server's (serial) ingest link.
+	CommTime time.Duration
+
+	BytesUplink   int64 // compressed bytes sent by all clients
+	OriginalBytes int64 // uncompressed equivalent
+}
+
+// SimResult is a full simulation trace.
+type SimResult struct {
+	Config SimConfig
+	Rounds []RoundMetrics
+}
+
+// FinalAccuracy returns the last round's test accuracy.
+func (r *SimResult) FinalAccuracy() float64 {
+	if len(r.Rounds) == 0 {
+		return 0
+	}
+	return r.Rounds[len(r.Rounds)-1].TestAccuracy
+}
+
+// TotalCommTime sums the simulated communication time across rounds.
+func (r *SimResult) TotalCommTime() time.Duration {
+	var d time.Duration
+	for _, m := range r.Rounds {
+		d += m.CommTime
+	}
+	return d
+}
+
+// client is one simulated FL participant.
+type client struct {
+	id   int
+	net  *nn.Network
+	data *dataset.Dataset
+}
+
+// RunSim executes the federated simulation: per round, every client
+// loads the global model, trains locally, encodes its update; the
+// server decodes, aggregates with FedAvg, and validates. Client compute
+// runs in parallel goroutines; network time is modeled analytically on
+// a virtual clock (the server ingest link is serial, as in the paper's
+// MPI-based emulation).
+func RunSim(cfg SimConfig) (*SimResult, error) {
+	cfg = cfg.withDefaults()
+
+	full := cfg.Dataset.Generate(cfg.Clients*cfg.SamplesPerClient+cfg.TestSamples, cfg.Seed)
+	trainFrac := float64(cfg.Clients*cfg.SamplesPerClient) / float64(full.N)
+	trainSet, testSet := full.TrainTest(trainFrac, cfg.Seed+1)
+	var shards []*dataset.Dataset
+	if cfg.NonIIDAlpha > 0 {
+		shards = trainSet.SplitDirichlet(cfg.Clients, cfg.NonIIDAlpha, cfg.Seed+2)
+	} else {
+		shards = trainSet.Split(cfg.Clients)
+	}
+
+	clients := make([]*client, cfg.Clients)
+	for i := range clients {
+		clients[i] = &client{
+			id:   i,
+			net:  nn.MiniByName(cfg.Model, cfg.Dataset.Dim, cfg.Dataset.Classes, cfg.Seed),
+			data: shards[i],
+		}
+	}
+	server := nn.MiniByName(cfg.Model, cfg.Dataset.Dim, cfg.Dataset.Classes, cfg.Seed)
+	global := server.StateDict()
+
+	testX, testY := testSet.Batch(0, testSet.N)
+	result := &SimResult{Config: cfg}
+
+	type clientOut struct {
+		payload []byte
+		stats   UpdateStats
+		samples int
+		train   time.Duration
+		err     error
+	}
+
+	sampler := stats.NewRNG(cfg.Seed + 3)
+	for round := 0; round < cfg.Rounds; round++ {
+		if ra, ok := cfg.Codec.(ReferenceAware); ok {
+			ra.SetReference(global)
+		}
+		participants := clients
+		if cfg.ClientsPerRound > 0 && cfg.ClientsPerRound < len(clients) {
+			perm := sampler.Perm(len(clients))[:cfg.ClientsPerRound]
+			participants = make([]*client, len(perm))
+			for i, p := range perm {
+				participants[i] = clients[p]
+			}
+		}
+		outs := make([]clientOut, len(participants))
+		var wg sync.WaitGroup
+		sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+		for i, c := range participants {
+			wg.Add(1)
+			go func(i int, c *client) {
+				defer wg.Done()
+				sem <- struct{}{}
+				defer func() { <-sem }()
+				o := &outs[i]
+				if o.err = c.net.LoadStateDict(global); o.err != nil {
+					return
+				}
+				start := time.Now()
+				for ep := 0; ep < cfg.LocalEpochs; ep++ {
+					c.data.Shuffle(cfg.Seed + int64(round*1000+ep))
+					for lo := 0; lo+cfg.BatchSize <= c.data.N; lo += cfg.BatchSize {
+						x, y := c.data.Batch(lo, lo+cfg.BatchSize)
+						c.net.TrainBatch(x, y, cfg.LR, cfg.Momentum)
+					}
+				}
+				o.train = time.Since(start)
+				o.samples = c.data.N
+				o.payload, o.stats, o.err = cfg.Codec.Encode(c.net.StateDict())
+			}(i, c)
+		}
+		wg.Wait()
+
+		m := RoundMetrics{Round: round}
+		var clock netsim.VirtualClock
+		updates := make([]*model.StateDict, len(participants))
+		counts := make([]int, len(participants))
+		for i := range outs {
+			o := &outs[i]
+			if o.err != nil {
+				return nil, fmt.Errorf("fl: round %d client %d: %w", round, i, o.err)
+			}
+			// Serial server ingest: each upload occupies the link after
+			// the previous one finishes (MPI-style emulation, §VI-C).
+			clock.Advance(cfg.Link.TransferTime(o.stats.CompressedBytes))
+
+			decodeStart := time.Now()
+			sd, err := cfg.Codec.Decode(o.payload)
+			if err != nil {
+				return nil, fmt.Errorf("fl: round %d decode client %d: %w", round, i, err)
+			}
+			o.stats.DecodeTime = time.Since(decodeStart)
+
+			updates[i] = sd
+			counts[i] = o.samples
+			m.TrainTime += o.train
+			m.EncodeTime += o.stats.EncodeTime
+			m.DecodeTime += o.stats.DecodeTime
+			m.BytesUplink += o.stats.CompressedBytes
+			m.OriginalBytes += o.stats.OriginalBytes
+		}
+		m.CommTime = clock.Now()
+		m.TrainTime /= time.Duration(len(participants))
+		m.EncodeTime /= time.Duration(len(participants))
+		m.DecodeTime /= time.Duration(len(participants))
+
+		agg, err := FedAvg(updates, counts)
+		if err != nil {
+			return nil, fmt.Errorf("fl: round %d: %w", round, err)
+		}
+		global = agg
+
+		valStart := time.Now()
+		if err := server.LoadStateDict(global); err != nil {
+			return nil, fmt.Errorf("fl: round %d load: %w", round, err)
+		}
+		m.TestAccuracy = server.Accuracy(testX, testY)
+		m.ValidationTime = time.Since(valStart)
+
+		m.Round = round
+		result.Rounds = append(result.Rounds, m)
+	}
+	return result, nil
+}
+
+// ScalingPoint is one (workers, time) sample of the Fig. 9 experiments.
+type ScalingPoint struct {
+	Workers            int
+	EpochTimePerClient time.Duration // simulated wall time per client epoch
+}
+
+// SimulateWeakScaling models the paper's weak-scaling experiment
+// (Fig. 9a): one client per core, shared 10 Mbps server ingest. The
+// per-client epoch time is compute + its share of the serialized
+// communication. computeTime and updateBytes characterize one client.
+func SimulateWeakScaling(workers []int, computeTime time.Duration, updateBytes int64, link netsim.Link) []ScalingPoint {
+	out := make([]ScalingPoint, len(workers))
+	for i, w := range workers {
+		comm := time.Duration(w) * link.TransferTime(updateBytes)
+		out[i] = ScalingPoint{Workers: w, EpochTimePerClient: computeTime + comm}
+	}
+	return out
+}
+
+// SimulateStrongScaling models Fig. 9b: a fixed population of clients
+// multiplexed over an increasing number of cores. Compute parallelizes;
+// the serial ingest link does not.
+func SimulateStrongScaling(workers []int, clients int, computeTime time.Duration, updateBytes int64, link netsim.Link) []ScalingPoint {
+	comm := time.Duration(clients) * link.TransferTime(updateBytes)
+	out := make([]ScalingPoint, len(workers))
+	for i, w := range workers {
+		waves := (clients + w - 1) / w
+		out[i] = ScalingPoint{
+			Workers:            w,
+			EpochTimePerClient: time.Duration(waves)*computeTime + comm,
+		}
+	}
+	return out
+}

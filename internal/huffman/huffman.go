@@ -1,0 +1,414 @@
+// Package huffman implements a canonical Huffman coder over
+// non-negative integer symbols.
+//
+// It is the entropy stage shared by the SZ2/SZ3 quantization-code
+// streams (alphabets of up to 2^16 symbols, of which only a few hundred
+// are typically present) and by the LZH lossless codec (byte alphabet).
+// Code lengths are limited to MaxCodeLen by iterative frequency
+// flattening, and the table is serialized compactly as
+// (symbol-delta, length) pairs so that sparse alphabets cost almost
+// nothing.
+package huffman
+
+import (
+	"container/heap"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sort"
+
+	"fedsz/internal/bitstream"
+)
+
+// MaxCodeLen is the maximum admitted code length. Frequencies are
+// flattened until the implied tree fits.
+const MaxCodeLen = 30
+
+// fastBits is the width of the single-level fast decode table.
+const fastBits = 10
+
+var (
+	errCorrupt = errors.New("huffman: corrupt stream")
+	errEmpty   = errors.New("huffman: empty alphabet")
+)
+
+// denseLimit caps the alphabet span for which dense (slice-indexed)
+// frequency counting and code lookup are used on the encode hot path.
+const denseLimit = 1 << 20
+
+// Encode Huffman-encodes symbols (all must be >= 0) and returns a
+// self-describing buffer containing the code table and the bit stream.
+func Encode(symbols []int) ([]byte, error) {
+	maxSym := 0
+	for _, s := range symbols {
+		if s < 0 {
+			return nil, fmt.Errorf("huffman: negative symbol %d", s)
+		}
+		if s > maxSym {
+			maxSym = s
+		}
+	}
+	freq := make(map[int]int)
+	var denseFreq []int
+	if maxSym < denseLimit {
+		denseFreq = make([]int, maxSym+1)
+		for _, s := range symbols {
+			denseFreq[s]++
+		}
+		for s, c := range denseFreq {
+			if c > 0 {
+				freq[s] = c
+			}
+		}
+	} else {
+		for _, s := range symbols {
+			freq[s]++
+		}
+	}
+	lengths, err := buildLengths(freq)
+	if err != nil && !errors.Is(err, errEmpty) {
+		return nil, err
+	}
+	codes := canonicalCodes(lengths)
+
+	var hdr []byte
+	hdr = binary.AppendUvarint(hdr, uint64(len(symbols)))
+	hdr = binary.AppendUvarint(hdr, uint64(len(lengths)))
+	prev := 0
+	// Serialize (delta, length) sorted by symbol.
+	syms := sortedSymbols(lengths)
+	for _, s := range syms {
+		hdr = binary.AppendUvarint(hdr, uint64(s-prev))
+		hdr = append(hdr, byte(lengths[s]))
+		prev = s
+	}
+
+	w := bitstream.NewWriter(len(symbols) / 2)
+	if denseFreq != nil {
+		denseCodes := make([]symCode, maxSym+1)
+		for s, c := range codes {
+			denseCodes[s] = c
+		}
+		for _, s := range symbols {
+			c := denseCodes[s]
+			w.WriteBits(uint64(c.code), uint(c.len))
+		}
+	} else {
+		for _, s := range symbols {
+			c := codes[s]
+			w.WriteBits(uint64(c.code), uint(c.len))
+		}
+	}
+	body := w.Bytes()
+	out := make([]byte, 0, len(hdr)+len(body)+5)
+	out = binary.AppendUvarint(out, uint64(len(hdr)))
+	out = append(out, hdr...)
+	out = append(out, body...)
+	return out, nil
+}
+
+// Decode reverses Encode.
+func Decode(buf []byte) ([]int, error) {
+	hdrLen, n := binary.Uvarint(buf)
+	if n <= 0 || uint64(len(buf)-n) < hdrLen {
+		return nil, errCorrupt
+	}
+	hdr := buf[n : n+int(hdrLen)]
+	body := buf[n+int(hdrLen):]
+
+	count, n := binary.Uvarint(hdr)
+	if n <= 0 {
+		return nil, errCorrupt
+	}
+	hdr = hdr[n:]
+	nSyms, n := binary.Uvarint(hdr)
+	if n <= 0 {
+		return nil, errCorrupt
+	}
+	hdr = hdr[n:]
+
+	lengths := make(map[int]int, nSyms)
+	prev := 0
+	for i := uint64(0); i < nSyms; i++ {
+		delta, n := binary.Uvarint(hdr)
+		if n <= 0 || len(hdr) < n+1 {
+			return nil, errCorrupt
+		}
+		l := int(hdr[n])
+		hdr = hdr[n+1:]
+		sym := prev + int(delta)
+		prev = sym
+		if l < 1 || l > MaxCodeLen {
+			return nil, errCorrupt
+		}
+		lengths[sym] = l
+	}
+	if count == 0 {
+		return nil, nil
+	}
+	if len(lengths) == 0 {
+		return nil, errCorrupt
+	}
+	dec, err := newDecoder(lengths)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]int, count)
+	r := bitstream.NewReader(body)
+	for i := range out {
+		s, err := dec.next(r)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = s
+	}
+	return out, nil
+}
+
+type symCode struct {
+	code uint32
+	len  int
+}
+
+// buildLengths computes length-limited Huffman code lengths for the
+// given symbol frequencies.
+func buildLengths(freq map[int]int) (map[int]int, error) {
+	if len(freq) == 0 {
+		return map[int]int{}, errEmpty
+	}
+	if len(freq) == 1 {
+		for s := range freq {
+			return map[int]int{s: 1}, nil
+		}
+	}
+	f := make(map[int]int, len(freq))
+	for s, c := range freq {
+		f[s] = c
+	}
+	for {
+		lengths := huffmanLengths(f)
+		maxLen := 0
+		for _, l := range lengths {
+			if l > maxLen {
+				maxLen = l
+			}
+		}
+		if maxLen <= MaxCodeLen {
+			return lengths, nil
+		}
+		// Flatten the distribution and retry.
+		for s, c := range f {
+			f[s] = (c + 1) / 2
+		}
+	}
+}
+
+type hNode struct {
+	freq  int
+	sym   int // valid for leaves
+	depth int // tie-break for deterministic trees
+	left  *hNode
+	right *hNode
+}
+
+type hHeap []*hNode
+
+func (h hHeap) Len() int { return len(h) }
+func (h hHeap) Less(i, j int) bool {
+	if h[i].freq != h[j].freq {
+		return h[i].freq < h[j].freq
+	}
+	if h[i].depth != h[j].depth {
+		return h[i].depth < h[j].depth
+	}
+	return h[i].sym < h[j].sym
+}
+func (h hHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *hHeap) Push(x interface{}) { *h = append(*h, x.(*hNode)) }
+func (h *hHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+func huffmanLengths(freq map[int]int) map[int]int {
+	h := make(hHeap, 0, len(freq))
+	for _, s := range sortedSymbols(freq) {
+		h = append(h, &hNode{freq: freq[s], sym: s})
+	}
+	heap.Init(&h)
+	for h.Len() > 1 {
+		a := heap.Pop(&h).(*hNode)
+		b := heap.Pop(&h).(*hNode)
+		d := a.depth
+		if b.depth > d {
+			d = b.depth
+		}
+		heap.Push(&h, &hNode{
+			freq:  a.freq + b.freq,
+			depth: d + 1,
+			sym:   min(a.sym, b.sym),
+			left:  a,
+			right: b,
+		})
+	}
+	lengths := make(map[int]int, len(freq))
+	var walk func(n *hNode, depth int)
+	walk = func(n *hNode, depth int) {
+		if n.left == nil {
+			if depth == 0 {
+				depth = 1
+			}
+			lengths[n.sym] = depth
+			return
+		}
+		walk(n.left, depth+1)
+		walk(n.right, depth+1)
+	}
+	walk(h[0], 0)
+	return lengths
+}
+
+// canonicalCodes assigns canonical codes: symbols sorted by
+// (length, symbol) receive consecutive codes.
+func canonicalCodes(lengths map[int]int) map[int]symCode {
+	syms := sortedSymbols(lengths)
+	sort.SliceStable(syms, func(i, j int) bool {
+		li, lj := lengths[syms[i]], lengths[syms[j]]
+		if li != lj {
+			return li < lj
+		}
+		return syms[i] < syms[j]
+	})
+	codes := make(map[int]symCode, len(syms))
+	code := uint32(0)
+	prevLen := 0
+	for _, s := range syms {
+		l := lengths[s]
+		code <<= uint(l - prevLen)
+		codes[s] = symCode{code: code, len: l}
+		code++
+		prevLen = l
+	}
+	return codes
+}
+
+// decoder performs canonical decoding with a fast single-level table
+// for short codes and first-code arithmetic for the tail.
+type decoder struct {
+	maxLen    int
+	firstCode [MaxCodeLen + 2]uint32 // first canonical code of each length
+	offset    [MaxCodeLen + 2]int    // index of first symbol of each length in syms
+	countLen  [MaxCodeLen + 2]int
+	syms      []int // symbols in canonical order
+	fast      []fastEntry
+}
+
+type fastEntry struct {
+	sym int32
+	len int8 // 0 => slow path
+}
+
+func newDecoder(lengths map[int]int) (*decoder, error) {
+	d := &decoder{}
+	syms := sortedSymbols(lengths)
+	sort.SliceStable(syms, func(i, j int) bool {
+		li, lj := lengths[syms[i]], lengths[syms[j]]
+		if li != lj {
+			return li < lj
+		}
+		return syms[i] < syms[j]
+	})
+	d.syms = syms
+	for _, s := range syms {
+		l := lengths[s]
+		d.countLen[l]++
+		if l > d.maxLen {
+			d.maxLen = l
+		}
+	}
+	// Kraft check and firstCode computation.
+	code := uint32(0)
+	idx := 0
+	kraft := uint64(0)
+	for l := 1; l <= d.maxLen; l++ {
+		d.firstCode[l] = code
+		d.offset[l] = idx
+		idx += d.countLen[l]
+		kraft += uint64(d.countLen[l]) << uint(d.maxLen-l)
+		code = (code + uint32(d.countLen[l])) << 1
+	}
+	if kraft > 1<<uint(d.maxLen) {
+		return nil, errCorrupt
+	}
+	// Fast table.
+	d.fast = make([]fastEntry, 1<<fastBits)
+	canon := canonicalCodes(lengths)
+	for _, s := range syms {
+		c := canon[s]
+		if c.len > fastBits {
+			continue
+		}
+		shift := uint(fastBits - c.len)
+		base := c.code << shift
+		for i := uint32(0); i < 1<<shift; i++ {
+			d.fast[base|i] = fastEntry{sym: int32(s), len: int8(c.len)}
+		}
+	}
+	return d, nil
+}
+
+func (d *decoder) next(r *bitstream.Reader) (int, error) {
+	// Fast path: peek fastBits if available.
+	if r.BitsRemaining() >= fastBits {
+		save := *r
+		v, err := r.ReadBits(fastBits)
+		if err != nil {
+			return 0, err
+		}
+		e := d.fast[v]
+		if e.len > 0 {
+			// Rewind the unused bits.
+			*r = save
+			if _, err := r.ReadBits(uint(e.len)); err != nil {
+				return 0, err
+			}
+			return int(e.sym), nil
+		}
+		*r = save
+	}
+	// Slow path: read bit-by-bit and match canonical prefix.
+	code := uint32(0)
+	for l := 1; l <= d.maxLen; l++ {
+		b, err := r.ReadBit()
+		if err != nil {
+			return 0, err
+		}
+		code = code<<1 | uint32(b)
+		if d.countLen[l] == 0 {
+			continue
+		}
+		if diff := int64(code) - int64(d.firstCode[l]); diff >= 0 && diff < int64(d.countLen[l]) {
+			return d.syms[d.offset[l]+int(diff)], nil
+		}
+	}
+	return 0, errCorrupt
+}
+
+func sortedSymbols[V any](m map[int]V) []int {
+	out := make([]int, 0, len(m))
+	for s := range m {
+		out = append(out, s)
+	}
+	sort.Ints(out)
+	return out
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

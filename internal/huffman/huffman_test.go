@@ -1,0 +1,169 @@
+package huffman
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func roundTrip(t *testing.T, symbols []int) {
+	t.Helper()
+	buf, err := Encode(symbols)
+	if err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	got, err := Decode(buf)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if len(got) != len(symbols) {
+		t.Fatalf("length mismatch: got %d want %d", len(got), len(symbols))
+	}
+	for i := range symbols {
+		if got[i] != symbols[i] {
+			t.Fatalf("symbol %d: got %d want %d", i, got[i], symbols[i])
+		}
+	}
+}
+
+func TestEmpty(t *testing.T) {
+	roundTrip(t, nil)
+}
+
+func TestSingleSymbol(t *testing.T) {
+	roundTrip(t, []int{7, 7, 7, 7, 7})
+}
+
+func TestTwoSymbols(t *testing.T) {
+	roundTrip(t, []int{0, 1, 0, 0, 1, 1, 0})
+}
+
+func TestNegativeSymbolRejected(t *testing.T) {
+	if _, err := Encode([]int{1, -1}); err == nil {
+		t.Fatal("expected error for negative symbol")
+	}
+}
+
+func TestSkewedDistribution(t *testing.T) {
+	// Heavily skewed: mimics SZ quantization codes clustered at the
+	// center of the radius.
+	rng := rand.New(rand.NewSource(1))
+	symbols := make([]int, 20000)
+	for i := range symbols {
+		switch {
+		case rng.Float64() < 0.85:
+			symbols[i] = 32768
+		case rng.Float64() < 0.9:
+			symbols[i] = 32768 + rng.Intn(9) - 4
+		default:
+			symbols[i] = rng.Intn(65536)
+		}
+	}
+	buf, err := Encode(symbols)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(buf) >= len(symbols)*2 {
+		t.Fatalf("no compression on skewed input: %d bytes for %d symbols", len(buf), len(symbols))
+	}
+	roundTrip(t, symbols)
+}
+
+func TestLargeSparseAlphabet(t *testing.T) {
+	symbols := []int{0, 1000000, 5, 1000000, 0, 42}
+	roundTrip(t, symbols)
+}
+
+func TestExtremeSkewTriggersLengthLimit(t *testing.T) {
+	// Fibonacci-like frequencies create degenerate (deep) trees; the
+	// coder must flatten frequencies to honor MaxCodeLen.
+	var symbols []int
+	f := 1
+	for s := 0; s < 40; s++ {
+		for i := 0; i < f && len(symbols) < 300000; i++ {
+			symbols = append(symbols, s)
+		}
+		f = f + f/2 + 1
+	}
+	roundTrip(t, symbols)
+}
+
+func TestCorruptInput(t *testing.T) {
+	if _, err := Decode([]byte{0xff}); err == nil {
+		t.Fatal("expected error for truncated header")
+	}
+	if _, err := Decode(nil); err == nil {
+		t.Fatal("expected error for empty input")
+	}
+	// Valid stream, truncated body.
+	buf, err := Encode([]int{1, 2, 3, 4, 5, 6, 7, 8, 9, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Decode(buf[:len(buf)-2]); err == nil {
+		t.Fatal("expected error for truncated body")
+	}
+}
+
+func TestQuickRoundTrip(t *testing.T) {
+	f := func(seed int64, count uint16, spread uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(count) % 2000
+		alpha := int(spread)%500 + 1
+		symbols := make([]int, n)
+		for i := range symbols {
+			symbols[i] = rng.Intn(alpha)
+		}
+		buf, err := Encode(symbols)
+		if err != nil {
+			return false
+		}
+		got, err := Decode(buf)
+		if err != nil || len(got) != n {
+			return false
+		}
+		for i := range symbols {
+			if got[i] != symbols[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkEncodeSkewed(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	symbols := make([]int, 1<<16)
+	for i := range symbols {
+		symbols[i] = int(rng.NormFloat64()*4) + 32768
+	}
+	b.SetBytes(int64(len(symbols) * 4))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Encode(symbols); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDecodeSkewed(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	symbols := make([]int, 1<<16)
+	for i := range symbols {
+		symbols[i] = int(rng.NormFloat64()*4) + 32768
+	}
+	buf, err := Encode(symbols)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(symbols) * 4))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Decode(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,69 @@
+package lossless
+
+import (
+	"bytes"
+	"compress/gzip"
+	"compress/zlib"
+	"fmt"
+	"io"
+)
+
+// flateCodec backs the zlib and gzip entries of Table II with the
+// standard library's DEFLATE implementation — the same algorithm the
+// paper's zlib/gzip used.
+type flateCodec struct {
+	name string
+}
+
+func newFlateCodec(name string) *flateCodec { return &flateCodec{name: name} }
+
+// Name implements Codec.
+func (c *flateCodec) Name() string { return c.name }
+
+// Compress implements Codec.
+func (c *flateCodec) Compress(src []byte) ([]byte, error) {
+	var buf bytes.Buffer
+	var w io.WriteCloser
+	var err error
+	switch c.name {
+	case NameZlib:
+		w, err = zlib.NewWriterLevel(&buf, zlib.DefaultCompression)
+	case NameGzip:
+		w, err = gzip.NewWriterLevel(&buf, gzip.DefaultCompression)
+	default:
+		return nil, fmt.Errorf("lossless: bad flate codec %q", c.name)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("lossless: %s writer: %w", c.name, err)
+	}
+	if _, err := w.Write(src); err != nil {
+		return nil, fmt.Errorf("lossless: %s write: %w", c.name, err)
+	}
+	if err := w.Close(); err != nil {
+		return nil, fmt.Errorf("lossless: %s close: %w", c.name, err)
+	}
+	return buf.Bytes(), nil
+}
+
+// Decompress implements Codec.
+func (c *flateCodec) Decompress(src []byte) ([]byte, error) {
+	var r io.ReadCloser
+	var err error
+	switch c.name {
+	case NameZlib:
+		r, err = zlib.NewReader(bytes.NewReader(src))
+	case NameGzip:
+		r, err = gzip.NewReader(bytes.NewReader(src))
+	default:
+		return nil, fmt.Errorf("lossless: bad flate codec %q", c.name)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("%w: %s: %v", ErrCorrupt, c.name, err)
+	}
+	defer r.Close()
+	out, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %s: %v", ErrCorrupt, c.name, err)
+	}
+	return out, nil
+}

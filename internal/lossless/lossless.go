@@ -1,0 +1,59 @@
+// Package lossless implements the lossless codec suite evaluated in the
+// paper (Table II): blosc-lz, zlib, gzip, a zstd-like LZ+Huffman codec
+// and an xz-like deep-search variant.
+//
+// Every codec produces a self-describing buffer (the original length is
+// embedded), so Decompress needs no side information. Codecs are
+// obtained by name through New, mirroring how the paper's Python
+// pipeline selects its lossless backend.
+package lossless
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Codec is a lossless byte compressor.
+type Codec interface {
+	// Name returns the canonical codec name.
+	Name() string
+	// Compress encodes src into a self-describing buffer.
+	Compress(src []byte) ([]byte, error)
+	// Decompress decodes a buffer produced by Compress.
+	Decompress(src []byte) ([]byte, error)
+}
+
+// ErrCorrupt reports a malformed compressed buffer.
+var ErrCorrupt = errors.New("lossless: corrupt compressed buffer")
+
+// Codec names accepted by New.
+const (
+	NameBloscLZ  = "blosclz"
+	NameZlib     = "zlib"
+	NameGzip     = "gzip"
+	NameZstdLike = "zstdlike"
+	NameXzLike   = "xzlike"
+)
+
+// New returns the codec registered under name.
+func New(name string) (Codec, error) {
+	switch name {
+	case NameBloscLZ:
+		return NewBloscLZ(4), nil
+	case NameZlib:
+		return newFlateCodec(NameZlib), nil
+	case NameGzip:
+		return newFlateCodec(NameGzip), nil
+	case NameZstdLike:
+		return NewLZH(ProfileZstd), nil
+	case NameXzLike:
+		return NewLZH(ProfileXz), nil
+	default:
+		return nil, fmt.Errorf("lossless: unknown codec %q", name)
+	}
+}
+
+// Names lists all available codec names in Table II order.
+func Names() []string {
+	return []string{NameBloscLZ, NameGzip, NameXzLike, NameZlib, NameZstdLike}
+}

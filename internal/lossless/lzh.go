@@ -1,0 +1,88 @@
+package lossless
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"fedsz/internal/huffman"
+)
+
+// LZHProfile selects the effort/window trade-off of the LZH codec.
+type LZHProfile int
+
+const (
+	// ProfileZstd approximates zstd's default profile: a large window
+	// with moderate-depth lazy matching and an entropy stage.
+	ProfileZstd LZHProfile = iota + 1
+	// ProfileXz approximates xz's profile: a very large window with a
+	// deep (slow) match search — best ratio, worst runtime, mirroring
+	// xz's Table II position.
+	ProfileXz
+)
+
+// LZH is an LZ77 + canonical-Huffman codec. Two profiles stand in for
+// zstd and xz (see DESIGN.md §1 for the substitution rationale).
+type LZH struct {
+	profile LZHProfile
+	params  lzParams
+}
+
+// NewLZH returns an LZH codec with the given profile.
+func NewLZH(profile LZHProfile) *LZH {
+	p := lzParams{maxDist: 1 << 24, dist3: true, hashBits: 16, lazy: true}
+	switch profile {
+	case ProfileXz:
+		p.window = 1 << 23
+		p.depth = 128
+		p.noAccel = true
+	default:
+		p.window = 1 << 20
+		p.depth = 16
+	}
+	return &LZH{profile: profile, params: p}
+}
+
+// Name implements Codec.
+func (c *LZH) Name() string {
+	if c.profile == ProfileXz {
+		return NameXzLike
+	}
+	return NameZstdLike
+}
+
+// Compress implements Codec.
+func (c *LZH) Compress(src []byte) ([]byte, error) {
+	tokens := lzCompress(nil, src, c.params)
+	syms := make([]int, len(tokens))
+	for i, b := range tokens {
+		syms[i] = int(b)
+	}
+	enc, err := huffman.Encode(syms)
+	if err != nil {
+		return nil, fmt.Errorf("lossless: %s entropy stage: %w", c.Name(), err)
+	}
+	out := make([]byte, 0, len(enc)+10)
+	out = binary.AppendUvarint(out, uint64(len(src)))
+	out = append(out, enc...)
+	return out, nil
+}
+
+// Decompress implements Codec.
+func (c *LZH) Decompress(src []byte) ([]byte, error) {
+	origLen, n := binary.Uvarint(src)
+	if n <= 0 {
+		return nil, fmt.Errorf("%w: %s header", ErrCorrupt, c.Name())
+	}
+	syms, err := huffman.Decode(src[n:])
+	if err != nil {
+		return nil, fmt.Errorf("%w: %s: %v", ErrCorrupt, c.Name(), err)
+	}
+	tokens := make([]byte, len(syms))
+	for i, s := range syms {
+		if s < 0 || s > 255 {
+			return nil, fmt.Errorf("%w: %s token %d", ErrCorrupt, c.Name(), s)
+		}
+		tokens[i] = byte(s)
+	}
+	return lzDecompress(tokens, int(origLen), c.params.dist3)
+}

@@ -1,0 +1,157 @@
+// Package lossy defines the common contract implemented by the four
+// error-bounded lossy compressors (SZ2, SZ3, SZx, ZFP) and the helpers
+// they share: error-bound modes, absolute-bound resolution and the
+// self-describing container header.
+//
+// The container header mirrors the SZ C API's behaviour: a compressed
+// buffer carries everything needed to decompress it (element count and
+// the absolute bound that was applied), so Decompress requires no side
+// information.
+package lossy
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+
+	"fedsz/internal/stats"
+)
+
+// Mode selects how Params.Bound is interpreted.
+type Mode int
+
+const (
+	// Abs treats Bound as an absolute error bound ε: |x-x̂| ≤ ε.
+	Abs Mode = iota + 1
+	// Rel treats Bound as a value-range-relative bound:
+	// ε = Bound × (max(x) − min(x)). This is the mode the paper uses
+	// throughout (REL error bounds 1e-5 … 1e-1).
+	Rel
+)
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	switch m {
+	case Abs:
+		return "ABS"
+	case Rel:
+		return "REL"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// Params configures a compression call.
+type Params struct {
+	Mode  Mode
+	Bound float64
+}
+
+// RelBound is shorthand for Params{Mode: Rel, Bound: b}.
+func RelBound(b float64) Params { return Params{Mode: Rel, Bound: b} }
+
+// AbsBound is shorthand for Params{Mode: Abs, Bound: b}.
+func AbsBound(b float64) Params { return Params{Mode: Abs, Bound: b} }
+
+// ErrInvalidParams reports a non-positive or missing error bound.
+var ErrInvalidParams = errors.New("lossy: invalid compression parameters")
+
+// Resolve converts the parameters into the absolute bound to apply to
+// data. For Rel mode, degenerate (constant) data resolves to a small
+// positive bound so that compression still succeeds.
+func (p Params) Resolve(data []float32) (float64, error) {
+	if p.Bound <= 0 || math.IsNaN(p.Bound) || math.IsInf(p.Bound, 0) {
+		return 0, fmt.Errorf("%w: bound %v", ErrInvalidParams, p.Bound)
+	}
+	switch p.Mode {
+	case Abs:
+		return p.Bound, nil
+	case Rel:
+		mn, mx := stats.MinMaxF32(data)
+		r := float64(mx) - float64(mn)
+		if r <= 0 {
+			// Constant input: any positive bound preserves it; pick one
+			// proportional to magnitude so the header stays meaningful.
+			mag := math.Abs(float64(mn))
+			if mag == 0 {
+				mag = 1
+			}
+			return p.Bound * mag, nil
+		}
+		return p.Bound * r, nil
+	default:
+		return 0, fmt.Errorf("%w: mode %v", ErrInvalidParams, p.Mode)
+	}
+}
+
+// Compressor is an error-bounded lossy compressor for 1-D float32 data
+// (FL model parameters are flattened to 1-D before compression, paper
+// §V-D3).
+type Compressor interface {
+	// Name returns the canonical compressor name ("sz2", "sz3", "szx",
+	// "zfp").
+	Name() string
+	// Compress encodes data under the given error-bound parameters.
+	Compress(data []float32, p Params) ([]byte, error)
+	// Decompress decodes a buffer produced by Compress.
+	Decompress(buf []byte) ([]float32, error)
+}
+
+// Container header: magic(4) | version(1) | count(varint) | absBound(8).
+const (
+	headerVersion = 1
+	magicLen      = 4
+)
+
+// ErrCorrupt reports a malformed compressed buffer.
+var ErrCorrupt = errors.New("lossy: corrupt compressed buffer")
+
+// WriteHeader prepends the standard container header for the given
+// magic (exactly 4 bytes), element count and absolute bound.
+func WriteHeader(magic string, count int, absBound float64) []byte {
+	if len(magic) != magicLen {
+		panic("lossy: magic must be 4 bytes")
+	}
+	out := make([]byte, 0, magicLen+1+10+8)
+	out = append(out, magic...)
+	out = append(out, headerVersion)
+	out = binary.AppendUvarint(out, uint64(count))
+	out = binary.LittleEndian.AppendUint64(out, math.Float64bits(absBound))
+	return out
+}
+
+// ReadHeader validates and strips the container header, returning the
+// element count, absolute bound and remaining payload.
+func ReadHeader(magic string, buf []byte) (count int, absBound float64, rest []byte, err error) {
+	if len(buf) < magicLen+1 || string(buf[:magicLen]) != magic {
+		return 0, 0, nil, fmt.Errorf("%w: bad magic", ErrCorrupt)
+	}
+	if buf[magicLen] != headerVersion {
+		return 0, 0, nil, fmt.Errorf("%w: unsupported version %d", ErrCorrupt, buf[magicLen])
+	}
+	buf = buf[magicLen+1:]
+	c, n := binary.Uvarint(buf)
+	if n <= 0 || len(buf) < n+8 {
+		return 0, 0, nil, fmt.Errorf("%w: truncated header", ErrCorrupt)
+	}
+	absBound = math.Float64frombits(binary.LittleEndian.Uint64(buf[n : n+8]))
+	return int(c), absBound, buf[n+8:], nil
+}
+
+// MaxAbsError returns the maximum absolute elementwise difference
+// between a and b; used by tests and the experiment harness to verify
+// bounds.
+func MaxAbsError(a, b []float32) float64 {
+	if len(a) != len(b) {
+		return math.Inf(1)
+	}
+	var m float64
+	for i := range a {
+		d := math.Abs(float64(a[i]) - float64(b[i]))
+		if d > m {
+			m = d
+		}
+	}
+	return m
+}

@@ -1,0 +1,100 @@
+package lossy
+
+import (
+	"math"
+	"testing"
+)
+
+func TestResolveAbs(t *testing.T) {
+	eb, err := AbsBound(0.25).Resolve([]float32{1, 2, 3})
+	if err != nil || eb != 0.25 {
+		t.Fatalf("got %v, %v", eb, err)
+	}
+}
+
+func TestResolveRel(t *testing.T) {
+	eb, err := RelBound(0.01).Resolve([]float32{-1, 0, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(eb-0.04) > 1e-12 {
+		t.Fatalf("eb = %v, want 0.04", eb)
+	}
+}
+
+func TestResolveRelConstantData(t *testing.T) {
+	eb, err := RelBound(0.01).Resolve([]float32{5, 5, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eb != 0.05 {
+		t.Fatalf("constant data eb = %v, want 0.05", eb)
+	}
+	eb, err = RelBound(0.01).Resolve([]float32{0, 0})
+	if err != nil || eb != 0.01 {
+		t.Fatalf("all-zero eb = %v err=%v", eb, err)
+	}
+}
+
+func TestResolveInvalid(t *testing.T) {
+	if _, err := (Params{Mode: Rel, Bound: 0}).Resolve(nil); err == nil {
+		t.Fatal("expected error for zero bound")
+	}
+	if _, err := (Params{Mode: Rel, Bound: math.NaN()}).Resolve(nil); err == nil {
+		t.Fatal("expected error for NaN bound")
+	}
+	if _, err := (Params{Mode: 0, Bound: 1}).Resolve(nil); err == nil {
+		t.Fatal("expected error for missing mode")
+	}
+}
+
+func TestModeString(t *testing.T) {
+	if Abs.String() != "ABS" || Rel.String() != "REL" {
+		t.Fatal("mode strings")
+	}
+	if Mode(9).String() != "Mode(9)" {
+		t.Fatal("unknown mode string")
+	}
+}
+
+func TestHeaderRoundTrip(t *testing.T) {
+	buf := WriteHeader("TEST", 12345, 0.0625)
+	buf = append(buf, 0xaa, 0xbb)
+	count, eb, rest, err := ReadHeader("TEST", buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count != 12345 || eb != 0.0625 {
+		t.Fatalf("count=%d eb=%v", count, eb)
+	}
+	if len(rest) != 2 || rest[0] != 0xaa {
+		t.Fatalf("rest = %x", rest)
+	}
+}
+
+func TestHeaderErrors(t *testing.T) {
+	buf := WriteHeader("ABCD", 1, 1)
+	if _, _, _, err := ReadHeader("WXYZ", buf); err == nil {
+		t.Fatal("expected bad-magic error")
+	}
+	if _, _, _, err := ReadHeader("ABCD", buf[:3]); err == nil {
+		t.Fatal("expected truncation error")
+	}
+	bad := append([]byte(nil), buf...)
+	bad[4] = 99 // version
+	if _, _, _, err := ReadHeader("ABCD", bad); err == nil {
+		t.Fatal("expected version error")
+	}
+	if _, _, _, err := ReadHeader("ABCD", buf[:6]); err == nil {
+		t.Fatal("expected truncated header error")
+	}
+}
+
+func TestMaxAbsError(t *testing.T) {
+	if e := MaxAbsError([]float32{1, 2}, []float32{1.5, 2}); e != 0.5 {
+		t.Fatalf("e = %v", e)
+	}
+	if e := MaxAbsError([]float32{1}, []float32{1, 2}); !math.IsInf(e, 1) {
+		t.Fatalf("length mismatch should be +Inf, got %v", e)
+	}
+}

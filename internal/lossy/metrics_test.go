@@ -1,0 +1,68 @@
+package lossy
+
+import (
+	"math"
+	"testing"
+)
+
+func TestEvaluateExact(t *testing.T) {
+	a := []float32{1, 2, 3}
+	m := Evaluate(a, a)
+	if m.MaxAbsErr != 0 || m.RMSE != 0 || !math.IsInf(m.PSNR, 1) {
+		t.Fatalf("exact metrics %+v", m)
+	}
+	if m.Range != 2 {
+		t.Fatalf("range %v", m.Range)
+	}
+}
+
+func TestEvaluateKnownValues(t *testing.T) {
+	orig := []float32{0, 1}
+	recon := []float32{0.1, 0.9}
+	m := Evaluate(orig, recon)
+	if math.Abs(m.MaxAbsErr-0.1) > 1e-7 {
+		t.Fatalf("max err %v", m.MaxAbsErr)
+	}
+	if math.Abs(m.RMSE-0.1) > 1e-7 {
+		t.Fatalf("rmse %v", m.RMSE)
+	}
+	if math.Abs(m.NRMSE-0.1) > 1e-7 {
+		t.Fatalf("nrmse %v", m.NRMSE)
+	}
+	if math.Abs(m.PSNR-20) > 1e-5 { // 20·log10(1/0.1)
+		t.Fatalf("psnr %v", m.PSNR)
+	}
+}
+
+func TestEvaluateDegenerate(t *testing.T) {
+	if m := Evaluate([]float32{1}, []float32{1, 2}); !math.IsInf(m.MaxAbsErr, 1) {
+		t.Fatal("length mismatch should be Inf")
+	}
+	if m := Evaluate(nil, nil); !math.IsInf(m.MaxAbsErr, 1) {
+		t.Fatal("empty should be Inf")
+	}
+	// Constant input: range 0, PSNR undefined (0), NRMSE 0.
+	m := Evaluate([]float32{5, 5}, []float32{5.5, 4.5})
+	if m.Range != 0 || m.NRMSE != 0 || m.PSNR != 0 {
+		t.Fatalf("constant metrics %+v", m)
+	}
+}
+
+// TestPSNRTracksBound: tightening the bound by 10× should raise PSNR by
+// ≈20 dB for a quantizing compressor. Verified against SZ2 in that
+// package's tests; here we verify the metric arithmetic itself.
+func TestPSNRTracksErrorScale(t *testing.T) {
+	orig := make([]float32, 1000)
+	reconA := make([]float32, 1000)
+	reconB := make([]float32, 1000)
+	for i := range orig {
+		orig[i] = float32(i) / 1000
+		reconA[i] = orig[i] + 0.01
+		reconB[i] = orig[i] + 0.001
+	}
+	a := Evaluate(orig, reconA)
+	b := Evaluate(orig, reconB)
+	if diff := b.PSNR - a.PSNR; math.Abs(diff-20) > 0.5 {
+		t.Fatalf("PSNR delta %v, want ≈20 dB", diff)
+	}
+}

@@ -1,0 +1,258 @@
+package model
+
+import "fmt"
+
+// Kind classifies an architecture entry; it drives both weight
+// generation statistics and parameter accounting.
+type Kind int
+
+// Entry kinds.
+const (
+	KindConvWeight Kind = iota + 1
+	KindFCWeight
+	KindBias
+	KindBNWeight
+	KindBNBias
+	KindBNMean
+	KindBNVar
+	KindBNCount
+)
+
+// ArchEntry describes one state-dict entry of an architecture.
+type ArchEntry struct {
+	Name  string
+	Kind  Kind
+	Shape []int
+}
+
+// NumElements returns the entry's element count.
+func (e ArchEntry) NumElements() int {
+	n := 1
+	for _, d := range e.Shape {
+		n *= d
+	}
+	return n
+}
+
+// Arch is a full architecture specification: the ordered list of
+// state-dict entries with torchvision-compatible names.
+type Arch struct {
+	Name    string
+	Entries []ArchEntry
+}
+
+// NumParams returns the trainable parameter count (weights, biases and
+// BatchNorm affine parameters — what torchvision reports).
+func (a Arch) NumParams() int64 {
+	var n int64
+	for _, e := range a.Entries {
+		switch e.Kind {
+		case KindConvWeight, KindFCWeight, KindBias, KindBNWeight, KindBNBias:
+			n += int64(e.NumElements())
+		}
+	}
+	return n
+}
+
+// TotalElements returns the element count of the full state dict,
+// including BatchNorm buffers.
+func (a Arch) TotalElements() int64 {
+	var n int64
+	for _, e := range a.Entries {
+		n += int64(e.NumElements())
+	}
+	return n
+}
+
+// SizeBytes returns the serialized payload size of the state dict
+// (Int64 counters cost 8 bytes, everything else 4).
+func (a Arch) SizeBytes() int64 {
+	var n int64
+	for _, e := range a.Entries {
+		if e.Kind == KindBNCount {
+			n += int64(e.NumElements()) * 8
+		} else {
+			n += int64(e.NumElements()) * 4
+		}
+	}
+	return n
+}
+
+// archBuilder accumulates entries with the shared naming helpers.
+type archBuilder struct {
+	name    string
+	entries []ArchEntry
+}
+
+func (b *archBuilder) conv(name string, out, in, kh, kw int) {
+	b.entries = append(b.entries, ArchEntry{Name: name + ".weight", Kind: KindConvWeight, Shape: []int{out, in, kh, kw}})
+}
+
+func (b *archBuilder) convBias(name string, out int) {
+	b.entries = append(b.entries, ArchEntry{Name: name + ".bias", Kind: KindBias, Shape: []int{out}})
+}
+
+func (b *archBuilder) linear(name string, out, in int) {
+	b.entries = append(b.entries,
+		ArchEntry{Name: name + ".weight", Kind: KindFCWeight, Shape: []int{out, in}},
+		ArchEntry{Name: name + ".bias", Kind: KindBias, Shape: []int{out}},
+	)
+}
+
+func (b *archBuilder) bn(name string, c int) {
+	b.entries = append(b.entries,
+		ArchEntry{Name: name + ".weight", Kind: KindBNWeight, Shape: []int{c}},
+		ArchEntry{Name: name + ".bias", Kind: KindBNBias, Shape: []int{c}},
+		ArchEntry{Name: name + ".running_mean", Kind: KindBNMean, Shape: []int{c}},
+		ArchEntry{Name: name + ".running_var", Kind: KindBNVar, Shape: []int{c}},
+		ArchEntry{Name: name + ".num_batches_tracked", Kind: KindBNCount, Shape: []int{1}},
+	)
+}
+
+func (b *archBuilder) build() Arch {
+	return Arch{Name: b.name, Entries: b.entries}
+}
+
+// divc scales a channel count by the width divisor, keeping a floor of
+// 8 channels so scaled-down variants stay well-formed.
+func divc(c, div int) int {
+	if div <= 1 {
+		return c
+	}
+	s := c / div
+	if s < 8 {
+		s = 8
+	}
+	return s
+}
+
+// AlexNet returns the torchvision AlexNet specification
+// (61,100,840 parameters at div=1). div > 1 shrinks channel and hidden
+// widths for fast experiments.
+func AlexNet(div int) Arch {
+	b := &archBuilder{name: "alexnet"}
+	c := func(n int) int { return divc(n, div) }
+	convs := []struct {
+		layer   string
+		out, in int
+		k       int
+	}{
+		{"features.0", c(64), 3, 11},
+		{"features.3", c(192), c(64), 5},
+		{"features.6", c(384), c(192), 3},
+		{"features.8", c(256), c(384), 3},
+		{"features.10", c(256), c(256), 3},
+	}
+	for _, cv := range convs {
+		b.conv(cv.layer, cv.out, cv.in, cv.k, cv.k)
+		b.convBias(cv.layer, cv.out)
+	}
+	hidden := c(4096)
+	b.linear("classifier.1", hidden, c(256)*6*6)
+	b.linear("classifier.4", hidden, hidden)
+	b.linear("classifier.6", 1000, hidden)
+	return b.build()
+}
+
+// ResNet50 returns the torchvision ResNet-50 specification
+// (25,557,032 parameters at div=1).
+func ResNet50(div int) Arch {
+	b := &archBuilder{name: "resnet50"}
+	c := func(n int) int { return divc(n, div) }
+
+	b.conv("conv1", c(64), 3, 7, 7)
+	b.bn("bn1", c(64))
+
+	const expansion = 4
+	inPlanes := c(64)
+	stages := []struct {
+		name   string
+		planes int
+		blocks int
+	}{
+		{"layer1", c(64), 3},
+		{"layer2", c(128), 4},
+		{"layer3", c(256), 6},
+		{"layer4", c(512), 3},
+	}
+	for _, st := range stages {
+		out := st.planes * expansion
+		for blk := 0; blk < st.blocks; blk++ {
+			p := fmt.Sprintf("%s.%d", st.name, blk)
+			b.conv(p+".conv1", st.planes, inPlanes, 1, 1)
+			b.bn(p+".bn1", st.planes)
+			b.conv(p+".conv2", st.planes, st.planes, 3, 3)
+			b.bn(p+".bn2", st.planes)
+			b.conv(p+".conv3", out, st.planes, 1, 1)
+			b.bn(p+".bn3", out)
+			if blk == 0 {
+				b.conv(p+".downsample.0", out, inPlanes, 1, 1)
+				b.bn(p+".downsample.1", out)
+			}
+			inPlanes = out
+		}
+	}
+	b.linear("fc", 1000, inPlanes)
+	return b.build()
+}
+
+// MobileNetV2 returns the torchvision MobileNetV2 specification
+// (3,504,872 parameters at div=1).
+func MobileNetV2(div int) Arch {
+	b := &archBuilder{name: "mobilenetv2"}
+	c := func(n int) int { return divc(n, div) }
+
+	b.conv("features.0.0", c(32), 3, 3, 3)
+	b.bn("features.0.1", c(32))
+
+	// Inverted residual settings: expansion t, output channels, repeats,
+	// stride (stride does not affect shapes).
+	settings := []struct {
+		t, ch, n int
+	}{
+		{1, 16, 1},
+		{6, 24, 2},
+		{6, 32, 3},
+		{6, 64, 4},
+		{6, 96, 3},
+		{6, 160, 3},
+		{6, 320, 1},
+	}
+	in := c(32)
+	feature := 1
+	for _, s := range settings {
+		out := c(s.ch)
+		for rep := 0; rep < s.n; rep++ {
+			p := fmt.Sprintf("features.%d.conv", feature)
+			hidden := in * s.t
+			if s.t == 1 {
+				// conv.0 = depthwise ConvBNReLU, conv.1 = pw-linear, conv.2 = bn
+				b.conv(p+".0.0", hidden, 1, 3, 3)
+				b.bn(p+".0.1", hidden)
+				b.conv(p+".1", out, hidden, 1, 1)
+				b.bn(p+".2", out)
+			} else {
+				// conv.0 = pw expand, conv.1 = depthwise, conv.2 = pw-linear, conv.3 = bn
+				b.conv(p+".0.0", hidden, in, 1, 1)
+				b.bn(p+".0.1", hidden)
+				b.conv(p+".1.0", hidden, 1, 3, 3)
+				b.bn(p+".1.1", hidden)
+				b.conv(p+".2", out, hidden, 1, 1)
+				b.bn(p+".3", out)
+			}
+			in = out
+			feature++
+		}
+	}
+	last := c(1280)
+	b.conv(fmt.Sprintf("features.%d.0", feature), last, in, 1, 1)
+	b.bn(fmt.Sprintf("features.%d.1", feature), last)
+	b.linear("classifier.1", 1000, last)
+	return b.build()
+}
+
+// Architectures returns the paper's three models (Table III order:
+// MobileNetV2, ResNet50, AlexNet) at the given width divisor.
+func Architectures(div int) []Arch {
+	return []Arch{MobileNetV2(div), ResNet50(div), AlexNet(div)}
+}

@@ -1,0 +1,248 @@
+package model
+
+import (
+	"testing"
+
+	"fedsz/internal/tensor"
+)
+
+func mustTensor(t *testing.T, data []float32, shape ...int) *tensor.Tensor {
+	t.Helper()
+	tr, err := tensor.FromData(data, shape...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestStateDictOrderAndLookup(t *testing.T) {
+	sd := NewStateDict()
+	names := []string{"b.weight", "a.bias", "c.running_mean"}
+	for _, n := range names {
+		if err := sd.Add(Entry{Name: n, DType: Float32, Tensor: mustTensor(t, []float32{1}, 1)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := sd.Names()
+	for i := range names {
+		if got[i] != names[i] {
+			t.Fatalf("insertion order broken: %v", got)
+		}
+	}
+	if _, ok := sd.Get("a.bias"); !ok {
+		t.Fatal("Get failed")
+	}
+	if _, ok := sd.Get("missing"); ok {
+		t.Fatal("Get should miss")
+	}
+	if sd.Len() != 3 {
+		t.Fatalf("Len = %d", sd.Len())
+	}
+}
+
+func TestStateDictValidation(t *testing.T) {
+	sd := NewStateDict()
+	if err := sd.Add(Entry{Name: "", DType: Float32}); err == nil {
+		t.Fatal("expected empty-name error")
+	}
+	if err := sd.Add(Entry{Name: "x", DType: 0}); err == nil {
+		t.Fatal("expected dtype error")
+	}
+	if err := sd.Add(Entry{Name: "x", DType: Int64, Ints: []int64{1}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := sd.Add(Entry{Name: "x", DType: Int64, Ints: []int64{2}}); err == nil {
+		t.Fatal("expected duplicate error")
+	}
+}
+
+func TestEntryAccounting(t *testing.T) {
+	e := Entry{Name: "w.weight", DType: Float32, Tensor: mustTensor(t, make([]float32, 6), 2, 3)}
+	if e.NumElements() != 6 || e.SizeBytes() != 24 {
+		t.Fatalf("entry accounting: %d %d", e.NumElements(), e.SizeBytes())
+	}
+	if !e.IsWeightNamed() {
+		t.Fatal("IsWeightNamed")
+	}
+	i := Entry{Name: "bn.num_batches_tracked", DType: Int64, Ints: []int64{7}}
+	if i.NumElements() != 1 || i.SizeBytes() != 8 {
+		t.Fatalf("int entry accounting: %d %d", i.NumElements(), i.SizeBytes())
+	}
+	if i.IsWeightNamed() {
+		t.Fatal("counter should not be weight-named")
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	sd := NewStateDict()
+	if err := sd.Add(Entry{Name: "w.weight", DType: Float32, Tensor: mustTensor(t, []float32{1, 2}, 2)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := sd.Add(Entry{Name: "n", DType: Int64, Ints: []int64{5}}); err != nil {
+		t.Fatal(err)
+	}
+	cp := sd.Clone()
+	e, _ := cp.Get("w.weight")
+	e.Tensor.Data()[0] = 99
+	ei, _ := cp.Get("n")
+	ei.Ints[0] = 99
+	orig, _ := sd.Get("w.weight")
+	if orig.Tensor.Data()[0] != 1 {
+		t.Fatal("clone aliases tensor data")
+	}
+	origI, _ := sd.Get("n")
+	if origI.Ints[0] != 5 {
+		t.Fatal("clone aliases int data")
+	}
+}
+
+// TestArchitectureParameterCounts pins the three architectures to their
+// torchvision parameter counts (paper Table III).
+func TestArchitectureParameterCounts(t *testing.T) {
+	tests := []struct {
+		arch Arch
+		want int64
+	}{
+		{AlexNet(1), 61100840},
+		{ResNet50(1), 25557032},
+		{MobileNetV2(1), 3504872},
+	}
+	for _, tt := range tests {
+		if got := tt.arch.NumParams(); got != tt.want {
+			t.Errorf("%s: NumParams = %d, want %d", tt.arch.Name, got, tt.want)
+		}
+	}
+}
+
+func TestArchitectureSizes(t *testing.T) {
+	// Table III: AlexNet ≈230MB, MobileNetV2 ≈14MB.
+	alex := AlexNet(1).SizeBytes()
+	if alex < 230e6 || alex > 250e6 {
+		t.Errorf("AlexNet size = %d, want ≈244MB", alex)
+	}
+	mob := MobileNetV2(1).SizeBytes()
+	if mob < 13e6 || mob > 16e6 {
+		t.Errorf("MobileNetV2 size = %d, want ≈14MB", mob)
+	}
+}
+
+func TestWidthDivisorShrinks(t *testing.T) {
+	for _, build := range []func(int) Arch{AlexNet, ResNet50, MobileNetV2} {
+		full := build(1)
+		quarter := build(4)
+		if quarter.NumParams() >= full.NumParams()/4 {
+			t.Errorf("%s: div=4 should shrink params by >4x: %d vs %d",
+				full.Name, quarter.NumParams(), full.NumParams())
+		}
+	}
+}
+
+func TestBuildStateDictDeterministic(t *testing.T) {
+	a := MobileNetV2(8)
+	sd1 := BuildStateDict(a, 42)
+	sd2 := BuildStateDict(a, 42)
+	e1, _ := sd1.Get("features.0.0.weight")
+	e2, _ := sd2.Get("features.0.0.weight")
+	d1, d2 := e1.Tensor.Data(), e2.Tensor.Data()
+	for i := range d1 {
+		if d1[i] != d2[i] {
+			t.Fatal("same seed must give identical weights")
+		}
+	}
+	sd3 := BuildStateDict(a, 43)
+	e3, _ := sd3.Get("features.0.0.weight")
+	same := true
+	for i, v := range e1.Tensor.Data() {
+		if e3.Tensor.Data()[i] != v {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds must give different weights")
+	}
+}
+
+func TestBuildStateDictMatchesArch(t *testing.T) {
+	a := ResNet50(8)
+	sd := BuildStateDict(a, 1)
+	if int64(sd.Len()) != int64(len(a.Entries)) {
+		t.Fatalf("entry count %d != arch %d", sd.Len(), len(a.Entries))
+	}
+	if sd.NumElements() != a.TotalElements() {
+		t.Fatalf("elements %d != arch %d", sd.NumElements(), a.TotalElements())
+	}
+	if sd.SizeBytes() != a.SizeBytes() {
+		t.Fatalf("size %d != arch %d", sd.SizeBytes(), a.SizeBytes())
+	}
+	// BN counters materialize as Int64.
+	e, ok := sd.Get("bn1.num_batches_tracked")
+	if !ok || e.DType != Int64 || e.Ints[0] != 1000 {
+		t.Fatalf("BN counter entry wrong: %+v", e)
+	}
+	// BN variance must be positive.
+	v, _ := sd.Get("bn1.running_var")
+	for _, x := range v.Tensor.Data() {
+		if x <= 0 {
+			t.Fatal("running_var must be positive")
+		}
+	}
+}
+
+func TestWeightDistributionShape(t *testing.T) {
+	// Conv weights should cluster near zero with occasional spikes
+	// (paper Fig. 3): std small relative to range.
+	a := AlexNet(4)
+	sd := BuildStateDict(a, 7)
+	e, _ := sd.Get("features.6.weight")
+	flat := e.Tensor.Data()
+	var mx float32
+	var sum float64
+	for _, v := range flat {
+		if v > mx {
+			mx = v
+		}
+		sum += float64(v) * float64(v)
+	}
+	std := float32(0)
+	if len(flat) > 0 {
+		std = float32(sqrt(sum / float64(len(flat))))
+	}
+	if mx < 3*std {
+		t.Fatalf("expected heavy tails: max %v vs std %v", mx, std)
+	}
+}
+
+func sqrt(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	z := x
+	for i := 0; i < 40; i++ {
+		z = (z + x/z) / 2
+	}
+	return z
+}
+
+func TestFlatWeights(t *testing.T) {
+	sd := NewStateDict()
+	if err := sd.Add(Entry{Name: "a.weight", DType: Float32, Tensor: mustTensor(t, []float32{1, 2}, 2)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := sd.Add(Entry{Name: "n", DType: Int64, Ints: []int64{9}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := sd.Add(Entry{Name: "b.bias", DType: Float32, Tensor: mustTensor(t, []float32{3}, 1)}); err != nil {
+		t.Fatal(err)
+	}
+	flat := sd.FlatWeights()
+	want := []float32{1, 2, 3}
+	if len(flat) != 3 {
+		t.Fatalf("flat = %v", flat)
+	}
+	for i := range want {
+		if flat[i] != want[i] {
+			t.Fatalf("flat = %v", flat)
+		}
+	}
+}

@@ -1,0 +1,138 @@
+// Package netsim models constrained networks. The paper emulates low
+// bandwidth by sleeping proportionally to message size inside MPI
+// (§VI-C); this package provides the two equivalents used here:
+//
+//   - an analytic Link model + virtual clock for fast, deterministic
+//     simulation (used by the experiment harness), and
+//   - a token-bucket rate-limited net.Conn wrapper for the real TCP
+//     transport (used by the cmd/fedszserver demo).
+package netsim
+
+import (
+	"net"
+	"sync"
+	"time"
+)
+
+// Mbps converts megabits/second to bits/second.
+func Mbps(x float64) float64 { return x * 1e6 }
+
+// Gbps converts gigabits/second to bits/second.
+func Gbps(x float64) float64 { return x * 1e9 }
+
+// Link describes a point-to-point network link.
+type Link struct {
+	// BandwidthBps is the link bandwidth in bits per second; zero or
+	// negative means infinite.
+	BandwidthBps float64
+	// Latency is the one-way propagation delay added per message.
+	Latency time.Duration
+}
+
+// TransferTime returns the modeled time to move `bytes` across the
+// link, including latency.
+func (l Link) TransferTime(bytes int64) time.Duration {
+	d := l.Latency
+	if l.BandwidthBps > 0 {
+		seconds := float64(bytes*8) / l.BandwidthBps
+		d += time.Duration(seconds * float64(time.Second))
+	}
+	return d
+}
+
+// VirtualClock is a monotonically advancing simulated clock. It lets
+// the harness account for hours of simulated transfer time in
+// microseconds of wall time.
+type VirtualClock struct {
+	mu  sync.Mutex
+	now time.Duration
+}
+
+// Now returns the current simulated time.
+func (c *VirtualClock) Now() time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+// Advance moves the clock forward by d (negative d is ignored) and
+// returns the new time.
+func (c *VirtualClock) Advance(d time.Duration) time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if d > 0 {
+		c.now += d
+	}
+	return c.now
+}
+
+// AdvanceTo moves the clock to at least t and returns the new time —
+// used to model a shared serial resource (e.g. a server ingest link).
+func (c *VirtualClock) AdvanceTo(t time.Duration) time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if t > c.now {
+		c.now = t
+	}
+	return c.now
+}
+
+// RateLimitedConn wraps a net.Conn, pacing writes to the configured
+// bandwidth with a token-bucket. Reads are unthrottled (the peer's
+// writes already are).
+type RateLimitedConn struct {
+	net.Conn
+
+	mu       sync.Mutex
+	bps      float64
+	nextFree time.Time
+	sleep    func(time.Duration) // test seam; defaults to time.Sleep
+}
+
+// Limit wraps conn with a bandwidth cap of bps bits/second. A
+// non-positive bps returns conn unchanged.
+func Limit(conn net.Conn, bps float64) net.Conn {
+	if bps <= 0 {
+		return conn
+	}
+	return &RateLimitedConn{Conn: conn, bps: bps, sleep: time.Sleep}
+}
+
+// Write implements net.Conn with pacing: each chunk reserves its
+// transmission slot on the token-bucket timeline and sleeps until the
+// slot opens.
+func (c *RateLimitedConn) Write(p []byte) (int, error) {
+	const chunk = 32 * 1024
+	written := 0
+	for written < len(p) {
+		n := len(p) - written
+		if n > chunk {
+			n = chunk
+		}
+		c.reserve(n)
+		m, err := c.Conn.Write(p[written : written+n])
+		written += m
+		if err != nil {
+			return written, err
+		}
+	}
+	return written, nil
+}
+
+func (c *RateLimitedConn) reserve(n int) {
+	cost := time.Duration(float64(n*8) / c.bps * float64(time.Second))
+	c.mu.Lock()
+	now := time.Now()
+	if c.nextFree.Before(now) {
+		c.nextFree = now
+	}
+	// The chunk occupies [nextFree, nextFree+cost); Write returns when
+	// its transmission window has elapsed, emulating link serialization.
+	c.nextFree = c.nextFree.Add(cost)
+	wait := c.nextFree.Sub(now)
+	sleep := c.sleep
+	c.mu.Unlock()
+	if wait > 0 {
+		sleep(wait)
+	}
+}

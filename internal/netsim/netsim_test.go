@@ -1,0 +1,113 @@
+package netsim
+
+import (
+	"net"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestLinkTransferTime(t *testing.T) {
+	l := Link{BandwidthBps: Mbps(10)}
+	// 10 MB over 10 Mbps = 8 seconds.
+	got := l.TransferTime(10e6)
+	if got != 8*time.Second {
+		t.Fatalf("transfer time = %v", got)
+	}
+	l.Latency = 50 * time.Millisecond
+	if l.TransferTime(0) != 50*time.Millisecond {
+		t.Fatal("latency not applied")
+	}
+	inf := Link{}
+	if inf.TransferTime(1e12) != 0 {
+		t.Fatal("infinite bandwidth should be instant")
+	}
+}
+
+func TestUnitHelpers(t *testing.T) {
+	if Mbps(10) != 1e7 || Gbps(1) != 1e9 {
+		t.Fatal("unit conversions")
+	}
+}
+
+func TestVirtualClock(t *testing.T) {
+	var c VirtualClock
+	if c.Now() != 0 {
+		t.Fatal("clock should start at zero")
+	}
+	c.Advance(3 * time.Second)
+	c.Advance(-time.Second) // ignored
+	if c.Now() != 3*time.Second {
+		t.Fatalf("now = %v", c.Now())
+	}
+	c.AdvanceTo(2 * time.Second) // backwards ignored
+	if c.Now() != 3*time.Second {
+		t.Fatal("AdvanceTo went backwards")
+	}
+	c.AdvanceTo(5 * time.Second)
+	if c.Now() != 5*time.Second {
+		t.Fatal("AdvanceTo")
+	}
+}
+
+func TestVirtualClockConcurrent(t *testing.T) {
+	var c VirtualClock
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Advance(time.Microsecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Now() != 8*1000*time.Microsecond {
+		t.Fatalf("lost updates: %v", c.Now())
+	}
+}
+
+func TestLimitPassthrough(t *testing.T) {
+	a, b := net.Pipe()
+	defer a.Close()
+	defer b.Close()
+	if Limit(a, 0) != a {
+		t.Fatal("non-positive bps should return conn unchanged")
+	}
+}
+
+func TestRateLimitedConnPaces(t *testing.T) {
+	a, b := net.Pipe()
+	defer a.Close()
+	defer b.Close()
+
+	var slept time.Duration
+	rl := &RateLimitedConn{
+		Conn:  a,
+		bps:   8 * 1024 * 8, // 8 KiB/s
+		sleep: func(d time.Duration) { slept += d },
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		buf := make([]byte, 64*1024)
+		total := 0
+		for total < 16*1024 {
+			n, err := b.Read(buf)
+			total += n
+			if err != nil {
+				return
+			}
+		}
+	}()
+	msg := make([]byte, 16*1024) // 16 KiB at 8 KiB/s -> ~2s of modeled pacing
+	if _, err := rl.Write(msg); err != nil {
+		t.Fatal(err)
+	}
+	<-done
+	// First chunk reserves ~0s wait; subsequent chunks accumulate.
+	if slept < 1*time.Second {
+		t.Fatalf("pacing slept only %v, want ≥1s modeled", slept)
+	}
+}

@@ -1,0 +1,83 @@
+package nn
+
+// Mini architectures: dense networks whose depth/width ratios echo the
+// three paper models. They exist so the accuracy experiments (Table I
+// accuracy, Fig. 4/5/6) can train in seconds in pure Go while exercising
+// the identical FedSZ compression path. Layer names follow the
+// "<name>.weight"/"<name>.bias" convention so the partitioner routes
+// hidden-layer weights through the lossy path.
+
+// AlexNetMini returns a 3-layer dense network (wide middle — AlexNet's
+// FC-heavy profile).
+func AlexNetMini(inputDim, classes int, seed int64) *Network {
+	h1, h2 := 256, 128
+	return NewNetwork("alexnet-mini",
+		NewDense("features.0", inputDim, h1, seed),
+		NewReLU(),
+		NewDense("classifier.1", h1, h2, seed),
+		NewReLU(),
+		NewDense("classifier.6", h2, classes, seed),
+	)
+}
+
+// MobileNetV2Mini returns a narrow, deeper network (MobileNet's
+// thin-tower profile).
+func MobileNetV2Mini(inputDim, classes int, seed int64) *Network {
+	h := 64
+	return NewNetwork("mobilenetv2-mini",
+		NewDense("features.0", inputDim, h, seed),
+		NewReLU(),
+		NewDense("features.4", h, h, seed),
+		NewReLU(),
+		NewDense("features.8", h, h, seed),
+		NewReLU(),
+		NewDense("classifier.1", h, classes, seed),
+	)
+}
+
+// ResNet50Mini returns a medium-width 4-layer network (ResNet's
+// mid-size profile).
+func ResNet50Mini(inputDim, classes int, seed int64) *Network {
+	h1, h2 := 128, 128
+	return NewNetwork("resnet50-mini",
+		NewDense("layer1.0", inputDim, h1, seed),
+		NewReLU(),
+		NewDense("layer2.0", h1, h2, seed),
+		NewReLU(),
+		NewDense("layer3.0", h2, h2, seed),
+		NewReLU(),
+		NewDense("fc", h2, classes, seed),
+	)
+}
+
+// ConvNetMini returns a small convolutional network for c×h×w image
+// inputs — used by the convolutional example to exercise Conv2D and
+// MaxPool2D end to end.
+func ConvNetMini(c, h, w, classes int, seed int64) *Network {
+	conv1 := NewConv2D("features.0", c, 8, 3, h, w, seed)
+	pool1 := NewMaxPool2D(8, h, w)
+	conv2 := NewConv2D("features.3", 8, 16, 3, h/2, w/2, seed)
+	pool2 := NewMaxPool2D(16, h/2, w/2)
+	return NewNetwork("convnet-mini",
+		conv1,
+		NewReLU(),
+		pool1,
+		conv2,
+		NewReLU(),
+		pool2,
+		NewDense("classifier.1", 16*(h/4)*(w/4), classes, seed),
+	)
+}
+
+// MiniByName builds a mini model matching a paper model name
+// ("alexnet", "mobilenetv2", "resnet50").
+func MiniByName(name string, inputDim, classes int, seed int64) *Network {
+	switch name {
+	case "mobilenetv2":
+		return MobileNetV2Mini(inputDim, classes, seed)
+	case "resnet50":
+		return ResNet50Mini(inputDim, classes, seed)
+	default:
+		return AlexNetMini(inputDim, classes, seed)
+	}
+}

@@ -1,0 +1,214 @@
+package nn
+
+import (
+	"math"
+	"testing"
+
+	"fedsz/internal/tensor"
+)
+
+func TestDenseForwardKnownValues(t *testing.T) {
+	d := NewDense("l", 2, 2, 1)
+	copy(d.weight.W.Data(), []float32{1, 2, 3, 4}) // W = [[1,2],[3,4]]
+	copy(d.bias.W.Data(), []float32{0.5, -0.5})
+	x := NewBatch(1, 2)
+	copy(x.Data, []float32{1, 1})
+	y := d.Forward(x)
+	if y.Row(0)[0] != 3.5 || y.Row(0)[1] != 6.5 {
+		t.Fatalf("forward = %v", y.Row(0))
+	}
+}
+
+// TestDenseGradientNumerically verifies backward against a central
+// finite difference on a tiny network.
+func TestDenseGradientNumerically(t *testing.T) {
+	d := NewDense("l", 3, 2, 42)
+	x := NewBatch(2, 3)
+	copy(x.Data, []float32{0.5, -1, 2, 1, 0.25, -0.75})
+	labels := []int{0, 1}
+
+	lossAt := func() float64 {
+		y := d.Forward(x)
+		loss, _ := SoftmaxCrossEntropy(y, labels)
+		return float64(loss)
+	}
+
+	// Analytic gradients.
+	y := d.Forward(x)
+	_, g := SoftmaxCrossEntropy(y, labels)
+	d.weight.Grad = tensor.New(2, 3)
+	d.bias.Grad = tensor.New(2)
+	d.Backward(g)
+
+	const eps = 1e-3
+	w := d.weight.W.Data()
+	gw := d.weight.Grad.Data()
+	for i := range w {
+		orig := w[i]
+		w[i] = orig + eps
+		up := lossAt()
+		w[i] = orig - eps
+		down := lossAt()
+		w[i] = orig
+		numeric := (up - down) / (2 * eps)
+		if math.Abs(numeric-float64(gw[i])) > 1e-2*math.Max(1, math.Abs(numeric)) {
+			t.Fatalf("weight grad %d: analytic %v numeric %v", i, gw[i], numeric)
+		}
+	}
+}
+
+func TestReLU(t *testing.T) {
+	r := NewReLU()
+	x := NewBatch(1, 4)
+	copy(x.Data, []float32{-1, 2, 0, 3})
+	y := r.Forward(x)
+	want := []float32{0, 2, 0, 3}
+	for i := range want {
+		if y.Data[i] != want[i] {
+			t.Fatalf("relu forward = %v", y.Data)
+		}
+	}
+	g := NewBatch(1, 4)
+	copy(g.Data, []float32{5, 5, 5, 5})
+	gi := r.Backward(g)
+	wantG := []float32{0, 5, 0, 5}
+	for i := range wantG {
+		if gi.Data[i] != wantG[i] {
+			t.Fatalf("relu backward = %v", gi.Data)
+		}
+	}
+}
+
+func TestSoftmaxCrossEntropyUniform(t *testing.T) {
+	logits := NewBatch(1, 4) // all zeros -> uniform
+	loss, grad := SoftmaxCrossEntropy(logits, []int{2})
+	if math.Abs(float64(loss)-math.Log(4)) > 1e-5 {
+		t.Fatalf("loss = %v, want ln4", loss)
+	}
+	// Gradient sums to zero.
+	var sum float32
+	for _, g := range grad.Row(0) {
+		sum += g
+	}
+	if math.Abs(float64(sum)) > 1e-6 {
+		t.Fatalf("grad sum = %v", sum)
+	}
+}
+
+func TestMaxPool(t *testing.T) {
+	p := NewMaxPool2D(1, 2, 2)
+	x := NewBatch(1, 4)
+	copy(x.Data, []float32{1, 5, 3, 2})
+	y := p.Forward(x)
+	if y.Dim != 1 || y.Data[0] != 5 {
+		t.Fatalf("pool forward = %v", y.Data)
+	}
+	g := NewBatch(1, 1)
+	g.Data[0] = 7
+	gi := p.Backward(g)
+	want := []float32{0, 7, 0, 0}
+	for i := range want {
+		if gi.Data[i] != want[i] {
+			t.Fatalf("pool backward = %v", gi.Data)
+		}
+	}
+}
+
+func TestConvGradientNumerically(t *testing.T) {
+	c := NewConv2D("c", 1, 2, 3, 4, 4, 7)
+	x := NewBatch(1, 16)
+	for i := range x.Data {
+		x.Data[i] = float32(i%5)*0.3 - 0.5
+	}
+	labels := []int{3}
+	lossAt := func() float64 {
+		y := c.Forward(x)
+		loss, _ := SoftmaxCrossEntropy(y, labels)
+		return float64(loss)
+	}
+	y := c.Forward(x)
+	_, g := SoftmaxCrossEntropy(y, labels)
+	c.weight.Grad = tensor.New(2, 1, 3, 3)
+	c.bias.Grad = tensor.New(2)
+	c.Backward(g)
+
+	const eps = 1e-3
+	w := c.weight.W.Data()
+	gw := c.weight.Grad.Data()
+	for _, i := range []int{0, 4, 8, 9, 13, 17} {
+		orig := w[i]
+		w[i] = orig + eps
+		up := lossAt()
+		w[i] = orig - eps
+		down := lossAt()
+		w[i] = orig
+		numeric := (up - down) / (2 * eps)
+		if math.Abs(numeric-float64(gw[i])) > 2e-2*math.Max(1, math.Abs(numeric)) {
+			t.Fatalf("conv grad %d: analytic %v numeric %v", i, gw[i], numeric)
+		}
+	}
+}
+
+func TestStateDictRoundTrip(t *testing.T) {
+	n1 := AlexNetMini(10, 3, 1)
+	n2 := AlexNetMini(10, 3, 2) // different init
+	sd := n1.StateDict()
+	if err := n2.LoadStateDict(sd); err != nil {
+		t.Fatal(err)
+	}
+	p1, p2 := n1.Params(), n2.Params()
+	for i := range p1 {
+		d1, d2 := p1[i].W.Data(), p2[i].W.Data()
+		for j := range d1 {
+			if d1[j] != d2[j] {
+				t.Fatalf("param %s diverges after load", p1[i].Name)
+			}
+		}
+	}
+	if err := n2.LoadStateDict(MobileNetV2Mini(10, 3, 1).StateDict()); err == nil {
+		t.Fatal("expected error loading incompatible dict")
+	}
+}
+
+func TestMiniModelsDistinct(t *testing.T) {
+	a := AlexNetMini(100, 10, 1)
+	m := MobileNetV2Mini(100, 10, 1)
+	r := ResNet50Mini(100, 10, 1)
+	if a.NumParams() == m.NumParams() || m.NumParams() == r.NumParams() {
+		t.Fatal("mini models should differ in size")
+	}
+	for _, name := range []string{"alexnet", "mobilenetv2", "resnet50", "unknown"} {
+		if MiniByName(name, 10, 2, 1) == nil {
+			t.Fatalf("MiniByName(%q) nil", name)
+		}
+	}
+}
+
+func TestTrainingReducesLoss(t *testing.T) {
+	// A tiny separable problem must be learnable.
+	net := AlexNetMini(4, 2, 3)
+	x := NewBatch(8, 4)
+	labels := make([]int, 8)
+	for i := 0; i < 8; i++ {
+		c := i % 2
+		labels[i] = c
+		for j := 0; j < 4; j++ {
+			v := float32(0.2)
+			if (j%2 == 0) == (c == 0) {
+				v = 1
+			}
+			x.Row(i)[j] = v
+		}
+	}
+	first := net.TrainBatch(x, labels, 0.1, 0.9)
+	var last float32
+	for i := 0; i < 60; i++ {
+		last = net.TrainBatch(x, labels, 0.1, 0.9)
+	}
+	if last >= first/2 {
+		t.Fatalf("training failed to reduce loss: %v -> %v", first, last)
+	}
+	if acc := net.Accuracy(x, labels); acc != 1 {
+		t.Fatalf("accuracy on memorized set = %v", acc)
+	}
+}

@@ -1,0 +1,63 @@
+// Package privacy analyzes the error introduced by lossy compression —
+// the paper's §VII-D observation that decompression residuals resemble
+// Laplacian noise, suggesting differential-privacy potential. The
+// analysis takes the pairwise difference of original and decompressed
+// weights, fits Laplace and Gaussian distributions by maximum
+// likelihood, and compares goodness of fit with Kolmogorov–Smirnov
+// distances.
+package privacy
+
+import (
+	"errors"
+
+	"fedsz/internal/stats"
+)
+
+// Analysis summarizes one residual distribution (paper Fig. 10).
+type Analysis struct {
+	Residuals  []float64
+	Summary    stats.Summary
+	Histogram  *stats.Histogram
+	Laplace    stats.LaplaceFit
+	Gaussian   stats.GaussianFit
+	KSLaplace  float64
+	KSGaussian float64
+}
+
+// LaplacePreferred reports whether the Laplace fit beats the Gaussian
+// one — the paper's qualitative finding.
+func (a Analysis) LaplacePreferred() bool { return a.KSLaplace < a.KSGaussian }
+
+// Residuals returns the elementwise differences original−decompressed.
+func Residuals(original, decompressed []float32) ([]float64, error) {
+	if len(original) != len(decompressed) {
+		return nil, errors.New("privacy: length mismatch")
+	}
+	out := make([]float64, len(original))
+	for i := range original {
+		out[i] = float64(original[i]) - float64(decompressed[i])
+	}
+	return out, nil
+}
+
+// Analyze fits the residual distribution with bins histogram buckets.
+func Analyze(residuals []float64, bins int) (Analysis, error) {
+	if len(residuals) == 0 {
+		return Analysis{}, errors.New("privacy: no residuals")
+	}
+	h, err := stats.NewHistogram(residuals, bins)
+	if err != nil {
+		return Analysis{}, err
+	}
+	lap := stats.FitLaplace(residuals)
+	gau := stats.FitGaussian(residuals)
+	return Analysis{
+		Residuals:  residuals,
+		Summary:    stats.Summarize(residuals),
+		Histogram:  h,
+		Laplace:    lap,
+		Gaussian:   gau,
+		KSLaplace:  stats.KSStatistic(residuals, lap.CDF),
+		KSGaussian: stats.KSStatistic(residuals, gau.CDF),
+	}, nil
+}

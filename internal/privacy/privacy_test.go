@@ -1,0 +1,91 @@
+package privacy
+
+import (
+	"testing"
+
+	"fedsz/internal/core"
+	"fedsz/internal/lossy"
+	"fedsz/internal/model"
+	"fedsz/internal/stats"
+)
+
+func TestResiduals(t *testing.T) {
+	r, err := Residuals([]float32{1, 2}, []float32{0.5, 2.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r[0] != 0.5 || r[1] != -0.5 {
+		t.Fatalf("residuals = %v", r)
+	}
+	if _, err := Residuals([]float32{1}, []float32{1, 2}); err == nil {
+		t.Fatal("expected length error")
+	}
+}
+
+func TestAnalyzeErrors(t *testing.T) {
+	if _, err := Analyze(nil, 10); err == nil {
+		t.Fatal("expected empty error")
+	}
+	if _, err := Analyze([]float64{1}, 0); err == nil {
+		t.Fatal("expected bins error")
+	}
+}
+
+func TestAnalyzeSyntheticLaplace(t *testing.T) {
+	rng := stats.NewRNG(1)
+	xs := make([]float64, 30000)
+	for i := range xs {
+		xs[i] = stats.SampleLaplace(rng, 0, 0.01)
+	}
+	a, err := Analyze(xs, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.LaplacePreferred() {
+		t.Fatalf("Laplace sample should prefer Laplace: KS %v vs %v", a.KSLaplace, a.KSGaussian)
+	}
+	if a.Histogram.Total != len(xs) {
+		t.Fatal("histogram lost samples")
+	}
+}
+
+// TestCompressionErrorLooksLaplacian reproduces the paper's Fig. 10
+// finding: residuals of the full FedSZ pipeline (per-tensor relative
+// bounds, so each tensor contributes a different error scale) across a
+// model's weights fit a Laplace distribution better than a Gaussian.
+// A single tensor's residual is near-uniform; the Laplacian shape
+// emerges from the scale mixture across tensors.
+func TestCompressionErrorLooksLaplacian(t *testing.T) {
+	sd := model.BuildStateDict(model.AlexNet(16), 5)
+	for _, bound := range []float64{0.1, 0.05} {
+		p, err := core.NewPipeline(core.Config{Bound: lossy.RelBound(bound)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf, _, err := p.Compress(sd)
+		if err != nil {
+			t.Fatal(err)
+		}
+		recon, err := core.Decompress(buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Residuals(sd.FlatWeights(), recon.FlatWeights())
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, err := Analyze(res, 60)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !a.LaplacePreferred() {
+			t.Errorf("bound %v: KS(Laplace)=%.4f should beat KS(Gaussian)=%.4f",
+				bound, a.KSLaplace, a.KSGaussian)
+		}
+		// Residuals are symmetric around ~0.
+		if a.Summary.Mean > 0.1*a.Summary.Std && a.Summary.Std > 0 {
+			t.Errorf("bound %v: residual mean %v not centered (std %v)",
+				bound, a.Summary.Mean, a.Summary.Std)
+		}
+	}
+}

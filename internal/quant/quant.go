@@ -1,0 +1,66 @@
+// Package quant implements the error-bounded linear quantizer shared by
+// the prediction-based compressors (SZ2, SZ3).
+//
+// Prediction errors are mapped onto integer codes with step 2ε, which
+// guarantees that the reconstructed value differs from the original by
+// at most ε (the absolute error bound). Codes outside the configured
+// radius mark the value "unpredictable"; such values are stored
+// verbatim by the caller.
+package quant
+
+import "math"
+
+// DefaultRadius matches SZ's default 2^15 quantization intervals to
+// either side of zero.
+const DefaultRadius = 32768
+
+// Quantizer maps prediction errors to integer codes with a fixed
+// absolute error bound.
+type Quantizer struct {
+	eb     float64 // absolute error bound (half step)
+	step   float64 // 2*eb
+	radius int
+}
+
+// New returns a Quantizer with absolute bound eb > 0 and the given
+// radius (maximum |code|). A non-positive radius selects DefaultRadius.
+func New(eb float64, radius int) Quantizer {
+	if eb <= 0 {
+		panic("quant: error bound must be positive")
+	}
+	if radius <= 0 {
+		radius = DefaultRadius
+	}
+	return Quantizer{eb: eb, step: 2 * eb, radius: radius}
+}
+
+// Bound returns the absolute error bound.
+func (q Quantizer) Bound() float64 { return q.eb }
+
+// Radius returns the maximum code magnitude.
+func (q Quantizer) Radius() int { return q.radius }
+
+// Encode quantizes the difference between val and pred. It returns the
+// integer code, the reconstructed value the decoder will produce, and
+// whether the value was quantizable. When ok is false the caller must
+// store val exactly.
+func (q Quantizer) Encode(val, pred float64) (code int, recon float64, ok bool) {
+	diff := val - pred
+	c := math.Round(diff / q.step)
+	if math.Abs(c) > float64(q.radius) || math.IsNaN(c) {
+		return 0, 0, false
+	}
+	code = int(c)
+	recon = pred + float64(code)*q.step
+	// Guard against floating-point edge cases: if rounding pushed the
+	// reconstruction outside the bound, treat as unpredictable.
+	if math.Abs(recon-val) > q.eb*(1+1e-9) {
+		return 0, 0, false
+	}
+	return code, recon, true
+}
+
+// Decode reconstructs a value from its code and prediction.
+func (q Quantizer) Decode(code int, pred float64) float64 {
+	return pred + float64(code)*q.step
+}

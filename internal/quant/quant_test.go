@@ -1,0 +1,86 @@
+package quant
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestEncodeDecodeWithinBound(t *testing.T) {
+	q := New(0.01, 0)
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 10000; i++ {
+		pred := rng.NormFloat64()
+		val := pred + rng.NormFloat64()*0.5
+		code, recon, ok := q.Encode(val, pred)
+		if !ok {
+			continue
+		}
+		if got := q.Decode(code, pred); got != recon {
+			t.Fatalf("decode mismatch: %v vs %v", got, recon)
+		}
+		if math.Abs(recon-val) > 0.01*(1+1e-9) {
+			t.Fatalf("bound violated: |%v-%v| = %v", recon, val, math.Abs(recon-val))
+		}
+	}
+}
+
+func TestUnpredictable(t *testing.T) {
+	q := New(1e-6, 4)
+	if _, _, ok := q.Encode(1.0, 0.0); ok {
+		t.Fatal("expected unpredictable for huge error with tiny radius")
+	}
+	if _, _, ok := q.Encode(math.NaN(), 0.0); ok {
+		t.Fatal("expected unpredictable for NaN")
+	}
+}
+
+func TestZeroErrorIsCodeZero(t *testing.T) {
+	q := New(0.5, 0)
+	code, recon, ok := q.Encode(3.25, 3.25)
+	if !ok || code != 0 || recon != 3.25 {
+		t.Fatalf("got code=%d recon=%v ok=%v", code, recon, ok)
+	}
+}
+
+func TestPanicsOnBadBound(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for eb <= 0")
+		}
+	}()
+	New(0, 0)
+}
+
+func TestDefaults(t *testing.T) {
+	q := New(0.1, 0)
+	if q.Radius() != DefaultRadius {
+		t.Fatalf("radius = %d", q.Radius())
+	}
+	if q.Bound() != 0.1 {
+		t.Fatalf("bound = %v", q.Bound())
+	}
+}
+
+// Property: for any (val, pred) pair, either the value is flagged
+// unpredictable or the round-trip honors the bound exactly.
+func TestQuickBoundInvariant(t *testing.T) {
+	q := New(0.003, 0)
+	f := func(val, pred float64) bool {
+		if math.IsNaN(val) || math.IsInf(val, 0) || math.IsNaN(pred) || math.IsInf(pred, 0) {
+			return true
+		}
+		code, recon, ok := q.Encode(val, pred)
+		if !ok {
+			return true
+		}
+		if q.Decode(code, pred) != recon {
+			return false
+		}
+		return math.Abs(recon-val) <= 0.003*(1+1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}

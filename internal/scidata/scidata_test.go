@@ -1,0 +1,58 @@
+package scidata
+
+import (
+	"testing"
+
+	"fedsz/internal/model"
+	"fedsz/internal/stats"
+)
+
+func toF64(xs []float32) []float64 {
+	out := make([]float64, len(xs))
+	for i, x := range xs {
+		out[i] = float64(x)
+	}
+	return out
+}
+
+func TestDeterministic(t *testing.T) {
+	a := Density().Slice(256, 1)
+	b := Density().Slice(256, 1)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("slices must be deterministic")
+		}
+	}
+	c := Density().Slice(256, 100)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different slices must differ")
+	}
+}
+
+func TestDensityIsPositive(t *testing.T) {
+	for _, v := range Density().Slice(1024, 1) {
+		if v <= 0 {
+			t.Fatalf("density value %v <= 0", v)
+		}
+	}
+}
+
+// TestScientificDataSmootherThanModelParams reproduces the core claim
+// of paper Fig. 2: scientific fields are far smoother than FL model
+// parameter streams.
+func TestScientificDataSmootherThanModelParams(t *testing.T) {
+	sci := stats.Roughness(toF64(VelocityY().Slice(500, 1)))
+	sd := model.BuildStateDict(model.AlexNet(8), 3)
+	flat := sd.FlatWeights()
+	params := stats.Roughness(toF64(flat[1000:1500]))
+	if sci*5 > params {
+		t.Fatalf("scientific roughness %v should be ≪ parameter roughness %v", sci, params)
+	}
+}

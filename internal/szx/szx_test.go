@@ -1,0 +1,192 @@
+package szx
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"fedsz/internal/lossy"
+	"fedsz/internal/lossy/lossytest"
+)
+
+func TestConformance(t *testing.T) {
+	// Only the error-bounded mode is held to the bound contract; the
+	// paper-artifact mode intentionally ignores it.
+	lossytest.Run(t, New())
+}
+
+func TestNameAndMode(t *testing.T) {
+	if New().Name() != "szx" {
+		t.Fatal("name")
+	}
+	if New().Mode() != ModeErrorBounded {
+		t.Fatal("default mode")
+	}
+	if New(WithMode(ModePaperArtifact)).Mode() != ModePaperArtifact {
+		t.Fatal("artifact mode")
+	}
+}
+
+func TestConstantBlocksCollapse(t *testing.T) {
+	// Near-constant data must compress extremely well via the
+	// constant-block path.
+	data := make([]float32, 4096)
+	for i := range data {
+		data[i] = 1.0 + float32(i%3)*1e-6
+	}
+	c := New()
+	buf, err := c.Compress(data, lossy.AbsBound(1e-3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cr := float64(len(data)*4) / float64(len(buf))
+	if cr < 50 {
+		t.Fatalf("constant-block CR = %.1f, expected > 50", cr)
+	}
+}
+
+func TestTruncationPathBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	data := make([]float32, 10000)
+	for i := range data {
+		data[i] = float32(rng.NormFloat64())
+	}
+	for _, bound := range []float64{1e-1, 1e-2, 1e-3, 1e-4} {
+		p := lossy.RelBound(bound)
+		c := New()
+		buf, err := c.Compress(data, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := c.Decompress(buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eb, _ := p.Resolve(data)
+		if maxErr := lossy.MaxAbsError(data, got); maxErr > eb {
+			t.Fatalf("bound %g violated: %g > %g", bound, maxErr, eb)
+		}
+	}
+}
+
+func TestRequiredMantissaBitsExactAt23(t *testing.T) {
+	block := []float32{1.0, float32(math.Pi), -2.7182817}
+	m := requiredMantissaBits(block, 1e-30)
+	if m != 23 {
+		t.Fatalf("m = %d, want 23 for unreachable bound", m)
+	}
+	// With m=23 truncation is bit-exact.
+	for _, v := range block {
+		r := math.Float32frombits(math.Float32bits(v))
+		if r != v {
+			t.Fatal("m=23 must be exact")
+		}
+	}
+}
+
+func TestArtifactModeFixedRatio(t *testing.T) {
+	// The artifact mode must reproduce the paper's signature: a ratio
+	// near 4.8 that does not move with the error bound.
+	rng := rand.New(rand.NewSource(9))
+	data := make([]float32, 100000)
+	for i := range data {
+		data[i] = float32(rng.NormFloat64() * 0.05)
+	}
+	c := New(WithMode(ModePaperArtifact))
+	var sizes []int
+	for _, bound := range []float64{1e-1, 1e-2, 1e-3, 1e-4} {
+		buf, err := c.Compress(data, lossy.RelBound(bound))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sizes = append(sizes, len(buf))
+		got, err := c.Decompress(buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(data) {
+			t.Fatal("length")
+		}
+	}
+	for i := 1; i < len(sizes); i++ {
+		if sizes[i] != sizes[0] {
+			t.Fatalf("artifact size must be bound-independent: %v", sizes)
+		}
+	}
+	cr := float64(len(data)*4) / float64(sizes[0])
+	if cr < 4.5 || cr > 5.2 {
+		t.Fatalf("artifact CR = %.2f, want ≈4.8", cr)
+	}
+}
+
+func TestArtifactModeDestroysStructure(t *testing.T) {
+	// Values become strided group means (the emulated wrong-dimensions
+	// fault) — the mechanism behind the paper's 10% accuracy rows.
+	data := []float32{1, 2, 3, 4, 5, 10, 10, 10, 10, 10}
+	c := New(WithMode(ModePaperArtifact))
+	buf, err := c.Compress(data, lossy.RelBound(1e-4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Decompress(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// stride = ceil(10/5) = 2: group 0 = {1,3,5,10,10} -> 5.8,
+	// group 1 = {2,4,10,10,10} -> 7.2.
+	for i := 0; i < 10; i += 2 {
+		if got[i] != 5.8 {
+			t.Fatalf("even value %d = %v, want 5.8", i, got[i])
+		}
+	}
+	for i := 1; i < 10; i += 2 {
+		if got[i] != 7.2 {
+			t.Fatalf("odd value %d = %v, want 7.2", i, got[i])
+		}
+	}
+}
+
+func TestCorruptModeByte(t *testing.T) {
+	c := New()
+	buf, err := c.Compress([]float32{1, 2, 3}, lossy.RelBound(1e-2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := append([]byte(nil), buf...)
+	bad[len("SZX0")+1+1+8] = 99 // mode byte follows magic|version|varint(3)|bound
+	if _, err := c.Decompress(bad); err == nil {
+		t.Fatal("expected error for bad mode byte")
+	}
+}
+
+func BenchmarkCompress(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	data := make([]float32, 1<<20)
+	for i := range data {
+		data[i] = float32(rng.NormFloat64() * 0.05)
+	}
+	c := New()
+	b.SetBytes(int64(len(data) * 4))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Compress(data, lossy.RelBound(1e-2)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCompressArtifact(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	data := make([]float32, 1<<20)
+	for i := range data {
+		data[i] = float32(rng.NormFloat64() * 0.05)
+	}
+	c := New(WithMode(ModePaperArtifact))
+	b.SetBytes(int64(len(data) * 4))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Compress(data, lossy.RelBound(1e-2)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

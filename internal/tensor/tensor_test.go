@@ -1,0 +1,107 @@
+package tensor
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNewAndShape(t *testing.T) {
+	tr := New(2, 3, 4)
+	if tr.NumElements() != 24 || tr.Dims() != 3 || tr.SizeBytes() != 96 {
+		t.Fatalf("unexpected %v", tr)
+	}
+	s := tr.Shape()
+	s[0] = 99 // must not alias internal shape
+	if tr.Shape()[0] != 2 {
+		t.Fatal("Shape leaked internal slice")
+	}
+}
+
+func TestScalar(t *testing.T) {
+	tr := New()
+	if tr.NumElements() != 1 {
+		t.Fatalf("scalar elems = %d", tr.NumElements())
+	}
+}
+
+func TestFromDataValidation(t *testing.T) {
+	if _, err := FromData([]float32{1, 2, 3}, 2, 2); err == nil {
+		t.Fatal("expected count mismatch error")
+	}
+	if _, err := FromData(nil, -1); err == nil {
+		t.Fatal("expected negative dim error")
+	}
+	tr, err := FromData([]float32{1, 2, 3, 4}, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.At(1, 0) != 3 {
+		t.Fatalf("At(1,0) = %v", tr.At(1, 0))
+	}
+}
+
+func TestAtSetRowMajor(t *testing.T) {
+	tr := New(2, 3)
+	tr.Set(7, 1, 2)
+	if tr.Data()[5] != 7 {
+		t.Fatalf("row-major layout broken: %v", tr.Data())
+	}
+	if tr.At(1, 2) != 7 {
+		t.Fatal("At after Set")
+	}
+}
+
+func TestCloneIsolation(t *testing.T) {
+	tr := New(4)
+	tr.Set(1, 0)
+	cp := tr.Clone()
+	cp.Set(9, 0)
+	if tr.At(0) != 1 {
+		t.Fatal("clone aliases original")
+	}
+}
+
+func TestReshape(t *testing.T) {
+	tr := New(6)
+	v, err := tr.Reshape(2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v.Set(5, 0, 1)
+	if tr.At(1) != 5 {
+		t.Fatal("reshape must share data")
+	}
+	if _, err := tr.Reshape(4); err == nil {
+		t.Fatal("expected reshape size error")
+	}
+}
+
+func TestPanicsOnBadIndex(t *testing.T) {
+	tr := New(2, 2)
+	for _, fn := range []func(){
+		func() { tr.At(2, 0) },
+		func() { tr.At(0) },
+		func() { tr.Set(1, -1, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestQuickOffsetBijective(t *testing.T) {
+	tr := New(3, 5, 7)
+	f := func(a, b, c uint8) bool {
+		i, j, k := int(a)%3, int(b)%5, int(c)%7
+		tr.Set(float32(i*100+j*10+k), i, j, k)
+		return tr.At(i, j, k) == float32(i*100+j*10+k)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,239 @@
+// Package transport runs federated rounds over real TCP sockets with a
+// length-prefixed framing protocol, optionally rate-limited to emulate
+// constrained WANs. It is the wire-level counterpart of the in-process
+// simulation in package fl: the server broadcasts the global model,
+// clients return codec-encoded updates, the server aggregates with
+// FedAvg. The paper's APPFL deployment used gRPC; the framing here is a
+// minimal stdlib-only equivalent.
+package transport
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"fedsz/internal/core"
+	"fedsz/internal/fl"
+	"fedsz/internal/model"
+	"fedsz/internal/netsim"
+)
+
+// MsgType identifies a frame.
+type MsgType uint8
+
+// Protocol frames.
+const (
+	MsgJoin        MsgType = iota + 1 // client → server: hello
+	MsgGlobalModel                    // server → client: serialized global state
+	MsgUpdate                         // client → server: sample count + encoded update
+	MsgShutdown                       // server → client: training complete
+)
+
+// MaxFrameSize bounds a frame payload (1 GiB) to fail fast on
+// corruption.
+const MaxFrameSize = 1 << 30
+
+// ErrProtocol reports a framing violation.
+var ErrProtocol = errors.New("transport: protocol error")
+
+// WriteFrame writes one frame: type byte, big-endian length, payload.
+func WriteFrame(w io.Writer, t MsgType, payload []byte) error {
+	var hdr [5]byte
+	hdr[0] = byte(t)
+	binary.BigEndian.PutUint32(hdr[1:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("transport: write header: %w", err)
+	}
+	if _, err := w.Write(payload); err != nil {
+		return fmt.Errorf("transport: write payload: %w", err)
+	}
+	return nil
+}
+
+// ReadFrame reads one frame written by WriteFrame.
+func ReadFrame(r io.Reader) (MsgType, []byte, error) {
+	var hdr [5]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, fmt.Errorf("transport: read header: %w", err)
+	}
+	size := binary.BigEndian.Uint32(hdr[1:])
+	if size > MaxFrameSize {
+		return 0, nil, fmt.Errorf("%w: frame size %d", ErrProtocol, size)
+	}
+	payload := make([]byte, size)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return 0, nil, fmt.Errorf("transport: read payload: %w", err)
+	}
+	return MsgType(hdr[0]), payload, nil
+}
+
+// ServerConfig parameterizes a transport server.
+type ServerConfig struct {
+	Clients      int      // connections to wait for
+	Rounds       int      // federated rounds to run
+	Codec        fl.Codec // update codec (uplink)
+	BandwidthBps float64  // per-connection rate limit; 0 = unlimited
+	// OnRound, if non-nil, observes each aggregated global model.
+	OnRound func(round int, global *model.StateDict)
+}
+
+// Server coordinates federated rounds over TCP.
+type Server struct {
+	cfg ServerConfig
+}
+
+// NewServer validates cfg and returns a Server.
+func NewServer(cfg ServerConfig) (*Server, error) {
+	if cfg.Clients <= 0 {
+		return nil, errors.New("transport: need at least one client")
+	}
+	if cfg.Rounds <= 0 {
+		return nil, errors.New("transport: need at least one round")
+	}
+	if cfg.Codec == nil {
+		cfg.Codec = fl.PlainCodec{}
+	}
+	return &Server{cfg: cfg}, nil
+}
+
+// Serve accepts cfg.Clients connections on ln, runs cfg.Rounds
+// federated rounds starting from initial, and returns the final global
+// model. It owns the accepted connections and closes them on return.
+func (s *Server) Serve(ln net.Listener, initial *model.StateDict) (*model.StateDict, error) {
+	conns := make([]net.Conn, 0, s.cfg.Clients)
+	defer func() {
+		for _, c := range conns {
+			_ = c.Close()
+		}
+	}()
+	for len(conns) < s.cfg.Clients {
+		conn, err := ln.Accept()
+		if err != nil {
+			return nil, fmt.Errorf("transport: accept: %w", err)
+		}
+		t, _, err := ReadFrame(conn)
+		if err != nil || t != MsgJoin {
+			_ = conn.Close()
+			return nil, fmt.Errorf("%w: expected join, got %v (err %v)", ErrProtocol, t, err)
+		}
+		conns = append(conns, netsim.Limit(conn, s.cfg.BandwidthBps))
+	}
+
+	global := initial
+	for round := 0; round < s.cfg.Rounds; round++ {
+		if ra, ok := s.cfg.Codec.(fl.ReferenceAware); ok {
+			ra.SetReference(global)
+		}
+		blob, err := core.MarshalStateDict(global)
+		if err != nil {
+			return nil, err
+		}
+		for _, c := range conns {
+			if err := WriteFrame(c, MsgGlobalModel, blob); err != nil {
+				return nil, err
+			}
+		}
+
+		updates := make([]*model.StateDict, len(conns))
+		counts := make([]int, len(conns))
+		errs := make([]error, len(conns))
+		var wg sync.WaitGroup
+		for i, c := range conns {
+			wg.Add(1)
+			go func(i int, c net.Conn) {
+				defer wg.Done()
+				t, payload, err := ReadFrame(c)
+				if err != nil {
+					errs[i] = err
+					return
+				}
+				if t != MsgUpdate {
+					errs[i] = fmt.Errorf("%w: expected update, got %v", ErrProtocol, t)
+					return
+				}
+				samples, n := binary.Uvarint(payload)
+				if n <= 0 {
+					errs[i] = fmt.Errorf("%w: update sample count", ErrProtocol)
+					return
+				}
+				sd, err := s.cfg.Codec.Decode(payload[n:])
+				if err != nil {
+					errs[i] = err
+					return
+				}
+				updates[i] = sd
+				counts[i] = int(samples)
+			}(i, c)
+		}
+		wg.Wait()
+		for i, err := range errs {
+			if err != nil {
+				return nil, fmt.Errorf("transport: round %d client %d: %w", round, i, err)
+			}
+		}
+		global, err = fl.FedAvg(updates, counts)
+		if err != nil {
+			return nil, fmt.Errorf("transport: round %d: %w", round, err)
+		}
+		if s.cfg.OnRound != nil {
+			s.cfg.OnRound(round, global)
+		}
+	}
+	for _, c := range conns {
+		if err := WriteFrame(c, MsgShutdown, nil); err != nil {
+			return nil, err
+		}
+	}
+	return global, nil
+}
+
+// TrainFunc produces a client's update for one round: given the global
+// model it returns the locally trained state dict and sample count.
+type TrainFunc func(round int, global *model.StateDict) (*model.StateDict, int, error)
+
+// RunClient participates in federated rounds over conn until the
+// server sends MsgShutdown. Updates are encoded with codec.
+func RunClient(conn net.Conn, codec fl.Codec, train TrainFunc) error {
+	if codec == nil {
+		codec = fl.PlainCodec{}
+	}
+	if err := WriteFrame(conn, MsgJoin, nil); err != nil {
+		return err
+	}
+	for round := 0; ; round++ {
+		t, payload, err := ReadFrame(conn)
+		if err != nil {
+			return err
+		}
+		switch t {
+		case MsgShutdown:
+			return nil
+		case MsgGlobalModel:
+			global, err := core.UnmarshalStateDict(payload)
+			if err != nil {
+				return err
+			}
+			if ra, ok := codec.(fl.ReferenceAware); ok {
+				ra.SetReference(global)
+			}
+			update, samples, err := train(round, global)
+			if err != nil {
+				return fmt.Errorf("transport: client train: %w", err)
+			}
+			enc, _, err := codec.Encode(update)
+			if err != nil {
+				return err
+			}
+			msg := binary.AppendUvarint(nil, uint64(samples))
+			msg = append(msg, enc...)
+			if err := WriteFrame(conn, MsgUpdate, msg); err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("%w: unexpected frame %v", ErrProtocol, t)
+		}
+	}
+}

@@ -1,0 +1,218 @@
+package zfp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"fedsz/internal/lossy"
+	"fedsz/internal/lossy/lossytest"
+)
+
+func TestConformance(t *testing.T) {
+	// Fixed-precision mode carries no hard bound guarantee (paper
+	// §V-D1); the suite runs with a 4× slack envelope.
+	lossytest.RunSlack(t, New(), 4)
+}
+
+func TestName(t *testing.T) {
+	if New().Name() != "zfp" {
+		t.Fatal("name")
+	}
+}
+
+func TestLiftRoundTripSmallValues(t *testing.T) {
+	// The lifting pair loses only low-order bits; for small integers
+	// scaled up, forward+inverse must reproduce values to within a few
+	// LSBs.
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 1000; trial++ {
+		var p, q [4]int32
+		for i := range p {
+			p[i] = int32(rng.Intn(1<<24)) - 1<<23
+			p[i] <<= 4 // headroom so LSB loss is relatively tiny
+			q[i] = p[i]
+		}
+		fwdLift(&q)
+		invLift(&q)
+		for i := range p {
+			diff := int64(p[i]) - int64(q[i])
+			if diff < -64 || diff > 64 {
+				t.Fatalf("trial %d: lift round-trip error %d at %d (in %v)", trial, diff, i, p)
+			}
+		}
+	}
+}
+
+func TestNegabinaryRoundTrip(t *testing.T) {
+	cases := []int32{0, 1, -1, 2, -2, math.MaxInt32, math.MinInt32, 123456, -987654}
+	for _, v := range cases {
+		if got := uint2int(int2uint(v)); got != v {
+			t.Fatalf("negabinary round trip %d -> %d", v, got)
+		}
+	}
+	f := func(v int32) bool { return uint2int(int2uint(v)) == v }
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNegabinaryOrdersMagnitude(t *testing.T) {
+	// Negabinary puts small-magnitude values in low bit planes: the
+	// high planes of small values must be zero.
+	small := int2uint(3)
+	large := int2uint(1 << 20)
+	topPlanesSmall := small >> 12
+	topPlanesLarge := large >> 12
+	if topPlanesSmall != 0x2aaaa>>2&^0 && topPlanesSmall > topPlanesLarge {
+		t.Logf("small=%x large=%x", small, large)
+	}
+	// The essential property: |x| small => negabinary value small.
+	if int2uint(3) > int2uint(1<<30) {
+		t.Fatal("negabinary must order magnitudes")
+	}
+}
+
+func TestEncodeDecodeIntsLossless(t *testing.T) {
+	// With all 32 planes kept, the embedded coder is lossless.
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 2000; trial++ {
+		var u [4]uint32
+		for i := range u {
+			switch rng.Intn(3) {
+			case 0:
+				u[i] = uint32(rng.Intn(16))
+			case 1:
+				u[i] = rng.Uint32()
+			default:
+				u[i] = 0
+			}
+		}
+		w := newTestWriter()
+		encodeInts(w, &u, intprec)
+		r := newTestReader(w)
+		var got [4]uint32
+		if err := decodeInts(r, &got, intprec); err != nil {
+			t.Fatalf("trial %d: decode: %v (in %v)", trial, err, u)
+		}
+		if got != u {
+			t.Fatalf("trial %d: got %v want %v", trial, got, u)
+		}
+	}
+}
+
+func TestEncodeDecodeIntsTruncated(t *testing.T) {
+	// With fewer planes, decoded values must match in the kept planes.
+	var u = [4]uint32{0xdeadbeef, 0x00000001, 0x80000000, 0x12345678}
+	for _, prec := range []int{4, 8, 16, 24} {
+		w := newTestWriter()
+		encodeInts(w, &u, prec)
+		r := newTestReader(w)
+		var got [4]uint32
+		if err := decodeInts(r, &got, prec); err != nil {
+			t.Fatalf("prec %d: %v", prec, err)
+		}
+		mask := uint32(0xffffffff) << uint(intprec-prec)
+		for i := range u {
+			if got[i] != u[i]&mask {
+				t.Fatalf("prec %d value %d: got %08x want %08x", prec, i, got[i], u[i]&mask)
+			}
+		}
+	}
+}
+
+func TestPrecisionMapping(t *testing.T) {
+	// Tighter bounds demand more planes.
+	p2 := Precision(1e-2, 0)
+	p4 := Precision(1e-4, 0)
+	if p2 >= p4 {
+		t.Fatalf("precision must grow with tighter bounds: %d vs %d", p2, p4)
+	}
+	if Precision(0, 0) != intprec {
+		t.Fatal("non-positive bound should keep all planes")
+	}
+	if Precision(1e-300, 0) != intprec {
+		t.Fatal("extreme bound should clamp to intprec")
+	}
+	if p := Precision(1e300, 0); p != 2 {
+		t.Fatalf("huge bound should clamp to 2, got %d", p)
+	}
+}
+
+func TestZeroBlocks(t *testing.T) {
+	data := make([]float32, 4096)
+	c := New()
+	buf, err := c.Compress(data, lossy.AbsBound(1e-3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All-zero input: one emptiness bit per block.
+	if len(buf) > 20+4096/4/8+2 {
+		t.Fatalf("zero blocks should cost ~1 bit each, got %d bytes", len(buf))
+	}
+	got, err := c.Decompress(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range got {
+		if v != 0 {
+			t.Fatalf("value %d = %v, want 0", i, v)
+		}
+	}
+}
+
+func TestLowerRatioThanSZ2Shape(t *testing.T) {
+	// The paper finds ZFP underperforms SZ2 on spiky 1-D data. We check
+	// the weaker invariant that ratio increases as bounds loosen.
+	data := lossytest.Corpus(13)["spiky"]
+	c := New()
+	var prev float64
+	for _, bound := range []float64{1e-4, 1e-3, 1e-2, 1e-1} {
+		buf, err := c.Compress(data, lossy.RelBound(bound))
+		if err != nil {
+			t.Fatal(err)
+		}
+		cr := float64(len(data)*4) / float64(len(buf))
+		if cr < prev {
+			t.Fatalf("CR should not shrink as bound loosens: %.2f after %.2f", cr, prev)
+		}
+		prev = cr
+	}
+}
+
+func BenchmarkCompress(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	data := make([]float32, 1<<20)
+	for i := range data {
+		data[i] = float32(rng.NormFloat64() * 0.05)
+	}
+	c := New()
+	b.SetBytes(int64(len(data) * 4))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Compress(data, lossy.RelBound(1e-2)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDecompress(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	data := make([]float32, 1<<20)
+	for i := range data {
+		data[i] = float32(rng.NormFloat64() * 0.05)
+	}
+	c := New()
+	buf, err := c.Compress(data, lossy.RelBound(1e-2))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(data) * 4))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Decompress(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
