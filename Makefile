@@ -1,0 +1,38 @@
+# Local dev and CI run the identical commands: .github/workflows/ci.yml
+# invokes the same go invocations these targets wrap.
+
+GO ?= go
+
+.PHONY: all build test race bench fmt vet fuzz parallel-bench
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# One iteration of every benchmark — the CI smoke; drop -benchtime for
+# real measurements. -run=^$$ keeps the unit tests out of this target.
+bench:
+	$(GO) test -run=^$$ -bench=. -benchtime=1x ./...
+
+fmt:
+	gofmt -l -w .
+
+vet:
+	$(GO) vet ./...
+
+# Short fuzz smoke over the pipeline decoder (matches the CI step).
+fuzz:
+	$(GO) test -run=^$$ -fuzz=FuzzDecompress -fuzztime=10s ./internal/core
+
+# Regenerate the committed serial-vs-parallel datapoint. Run on a
+# multi-core machine at paper scale: make parallel-bench SCALE=1
+SCALE ?= 8
+parallel-bench:
+	$(GO) run ./cmd/fedszbench -exp parallel -scale $(SCALE) -format json -o BENCH_parallel.json

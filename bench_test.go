@@ -65,6 +65,10 @@ func BenchmarkFig9Scaling(b *testing.B) { runBench(b, "fig9") }
 // BenchmarkFig10Privacy regenerates Fig. 10 (error distributions).
 func BenchmarkFig10Privacy(b *testing.B) { runBench(b, "fig10") }
 
+// BenchmarkParallelTable regenerates the serial-vs-parallel speedup
+// table (the Eqn. 1 tC scaling experiment).
+func BenchmarkParallelTable(b *testing.B) { runBench(b, "parallel") }
+
 // BenchmarkPipelineCompress measures the end-to-end FedSZ compression
 // throughput on a quarter-width MobileNetV2 update.
 func BenchmarkPipelineCompress(b *testing.B) {
@@ -73,6 +77,19 @@ func BenchmarkPipelineCompress(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, _, err := Compress(sd); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPipelineCompressSerial pins the single-worker baseline the
+// parallel engine is measured against.
+func BenchmarkPipelineCompressSerial(b *testing.B) {
+	sd := BuildStateDict(MobileNetV2(4), 1)
+	b.SetBytes(sd.SizeBytes())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := Compress(sd, WithParallelism(1)); err != nil {
 			b.Fatal(err)
 		}
 	}

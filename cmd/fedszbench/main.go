@@ -5,6 +5,7 @@
 //	fedszbench -exp table1            # one experiment
 //	fedszbench -exp all -scale 4      # everything, quarter-width models
 //	fedszbench -list                  # show experiment ids
+//	fedszbench -exp parallel -format json -o BENCH_parallel.json
 //
 // Scale 1 reproduces paper-size models (AlexNet ≈244 MB — minutes per
 // experiment); the default scale 8 finishes each experiment in seconds
@@ -14,6 +15,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"fedsz/internal/bench"
@@ -33,7 +35,8 @@ func run() error {
 		seed   = flag.Int64("seed", 42, "random seed")
 		quick  = flag.Bool("quick", false, "trim sweeps for a fast smoke run")
 		list   = flag.Bool("list", false, "list experiment ids and exit")
-		format = flag.String("format", "text", "output format: text or csv")
+		format = flag.String("format", "text", "output format: text, csv or json")
+		out    = flag.String("o", "", "write output to a file instead of stdout")
 	)
 	flag.Parse()
 
@@ -42,6 +45,16 @@ func run() error {
 			fmt.Println(id)
 		}
 		return nil
+	}
+
+	w := io.Writer(os.Stdout)
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
 	}
 
 	opts := bench.Options{Scale: *scale, Seed: *seed, Quick: *quick}
@@ -56,9 +69,11 @@ func run() error {
 		}
 		switch *format {
 		case "csv":
-			err = tab.RenderCSV(os.Stdout)
+			err = tab.RenderCSV(w)
+		case "json":
+			err = tab.RenderJSON(w)
 		case "text":
-			err = tab.Render(os.Stdout)
+			err = tab.Render(w)
 		default:
 			err = fmt.Errorf("unknown format %q", *format)
 		}

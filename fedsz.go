@@ -13,6 +13,23 @@
 //	...
 //	restored, err := fedsz.Decompress(buf)
 //
+// # Concurrency
+//
+// Per-tensor compression is embarrassingly parallel, and the pipeline
+// exploits that: Compress fans the per-tensor lossy passes and the
+// independent lossless metadata pass across a worker pool sized by
+// WithParallelism (default runtime.GOMAXPROCS(0)), and Decompress
+// mirrors the fan-out. Sections are assembled in deterministic entry
+// order, so the bitstream is byte-identical at every parallelism level;
+// only wall-clock compression time (the paper's tC) changes.
+//
+// Everything the API hands out is safe for concurrent use once
+// constructed: a Codec from NewCodec may encode updates from many
+// client goroutines at once, and Compress/Decompress may be called
+// freely from multiple goroutines. Mutable values the caller owns
+// (StateDict, Tensor) are not synchronized — do not mutate them during
+// a concurrent encode.
+//
 // The packages under internal/ implement the full system: the four
 // error-bounded compressors (SZ2, SZ3, SZx, ZFP), the lossless suite,
 // the model and training substrates, the FedAvg runtime with simulated
@@ -127,6 +144,15 @@ func WithThreshold(elements int) Option {
 // "zlib", "gzip", "zstdlike" or "xzlike".
 func WithLossless(name string) Option {
 	return func(c *core.Config) { c.Lossless = name }
+}
+
+// WithParallelism caps the worker pool that fans per-tensor compression
+// (and the independent metadata pass) across cores. The default, 0,
+// selects runtime.GOMAXPROCS(0); 1 forces the serial path. The output
+// bitstream is byte-identical at every setting, so the knob trades only
+// wall-clock tC (paper Eqn. 1) against CPU occupancy.
+func WithParallelism(n int) Option {
+	return func(c *core.Config) { c.Parallelism = n }
 }
 
 func buildConfig(opts []Option) core.Config {

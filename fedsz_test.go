@@ -64,6 +64,21 @@ func TestPublicOptions(t *testing.T) {
 	if _, _, err := Compress(sd, WithThreshold(-2)); err == nil {
 		t.Fatal("expected threshold error")
 	}
+	// WithParallelism never changes the bitstream, only wall-clock.
+	serial, _, err := Compress(sd, WithParallelism(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wide, _, err := Compress(sd, WithParallelism(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(serial) != len(wide) || string(serial) != string(wide) {
+		t.Fatal("bitstream differs across parallelism levels")
+	}
+	if _, _, err := Compress(sd, WithParallelism(-1)); err == nil {
+		t.Fatal("expected parallelism error")
+	}
 }
 
 func TestPublicCodec(t *testing.T) {

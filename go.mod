@@ -1,0 +1,3 @@
+module fedsz
+
+go 1.22

@@ -7,6 +7,7 @@ package bench
 
 import (
 	"encoding/csv"
+	"encoding/json"
 	"fmt"
 	"io"
 	"sort"
@@ -97,6 +98,21 @@ func (t *Table) Render(w io.Writer) error {
 	return err
 }
 
+// RenderJSON writes the table as an indented JSON object — the format
+// the committed BENCH_*.json datapoints use, so runs on different
+// machines diff cleanly.
+func (t *Table) RenderJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(struct {
+		ID     string     `json:"id"`
+		Title  string     `json:"title"`
+		Header []string   `json:"header"`
+		Rows   [][]string `json:"rows"`
+		Notes  []string   `json:"notes,omitempty"`
+	}{t.ID, t.Title, t.Header, t.Rows, t.Notes})
+}
+
 // RenderCSV writes the table as CSV (header row first) for plotting
 // pipelines.
 func (t *Table) RenderCSV(w io.Writer) error {
@@ -120,6 +136,7 @@ type Runner func(Options) (*Table, error)
 func experiments() map[string]Runner {
 	return map[string]Runner{
 		"ablations": Ablations,
+		"parallel":  Parallel,
 		"table1":    Table1,
 		"table2":    Table2,
 		"table3":    Table3,

@@ -1,0 +1,122 @@
+package bench
+
+import (
+	"bytes"
+	"fmt"
+	"runtime"
+	"time"
+
+	"fedsz/internal/core"
+	"fedsz/internal/model"
+)
+
+// Parallel measures the compression-engine worker-pool scaling: the
+// same state dict is compressed serially (parallelism 1) and with
+// progressively wider pools, reporting wall-clock tC and the speedup
+// over serial. Byte-identity of every parallel bitstream against the
+// serial one is verified inline — the experiment doubles as a
+// determinism check. The paper's Eqn. 1 decision rule S/CR + tC < S/B
+// is exactly where this speedup lands: a smaller tC widens the
+// bandwidth range in which compressing wins.
+func Parallel(opts Options) (*Table, error) {
+	opts = opts.withDefaults()
+	t := &Table{
+		ID:     "parallel",
+		Title:  "Compress wall-clock vs worker-pool width (REL 1e-2, sz2)",
+		Header: []string{"Model", "Workers", "tC", "Speedup", "Ratio", "Identical"},
+		Notes: []string{
+			fmt.Sprintf("GOMAXPROCS=%d; speedup is serial tC / parallel tC, best of %d runs", runtime.GOMAXPROCS(0), parallelReps(opts)),
+			"Identical = bitstream byte-equal to the serial one (determinism invariant)",
+		},
+	}
+
+	type workload struct {
+		name string
+		sd   *model.StateDict
+	}
+	workloads := []workload{
+		{"ResNet50", model.BuildStateDict(model.ResNet50(opts.Scale), opts.Seed)},
+		{"MobileNetV2", model.BuildStateDict(model.MobileNetV2(opts.Scale), opts.Seed)},
+	}
+	if opts.Quick {
+		workloads = workloads[1:]
+	}
+
+	for _, w := range workloads {
+		serial, serialT, st, err := timedCompress(w.sd, 1, opts)
+		if err != nil {
+			return nil, fmt.Errorf("bench: %s serial: %w", w.name, err)
+		}
+		t.Rows = append(t.Rows, []string{
+			w.name, "1", secs(serialT.Seconds()), "1.00", f2(st.Ratio()), "yes",
+		})
+		for _, workers := range parallelWidths(opts) {
+			buf, tc, st, err := timedCompress(w.sd, workers, opts)
+			if err != nil {
+				return nil, fmt.Errorf("bench: %s x%d: %w", w.name, workers, err)
+			}
+			identical := "yes"
+			if !bytes.Equal(buf, serial) {
+				identical = "NO"
+			}
+			t.Rows = append(t.Rows, []string{
+				w.name, fmt.Sprintf("%d", workers), secs(tc.Seconds()),
+				f2(serialT.Seconds() / tc.Seconds()), f2(st.Ratio()), identical,
+			})
+		}
+	}
+	return t, nil
+}
+
+// parallelWidths lists the pool widths swept against the serial
+// baseline: powers of two up to GOMAXPROCS, always including 4 (the
+// paper-style "≥4 cores" datapoint) and GOMAXPROCS itself.
+func parallelWidths(opts Options) []int {
+	maxW := runtime.GOMAXPROCS(0)
+	seen := map[int]bool{1: true}
+	var out []int
+	add := func(w int) {
+		if w > 1 && !seen[w] {
+			seen[w] = true
+			out = append(out, w)
+		}
+	}
+	for w := 2; w < maxW && !opts.Quick; w *= 2 {
+		add(w)
+	}
+	add(4)
+	add(maxW)
+	return out
+}
+
+func parallelReps(opts Options) int {
+	if opts.Quick {
+		return 1
+	}
+	return 3
+}
+
+// timedCompress compresses sd at the given parallelism and returns the
+// bitstream, the best-of-reps wall-clock, and the (rep-invariant) stats.
+func timedCompress(sd *model.StateDict, workers int, opts Options) ([]byte, time.Duration, core.Stats, error) {
+	p, err := core.NewPipeline(core.Config{Parallelism: workers})
+	if err != nil {
+		return nil, 0, core.Stats{}, err
+	}
+	var (
+		buf  []byte
+		st   core.Stats
+		best time.Duration
+	)
+	for rep := 0; rep < parallelReps(opts); rep++ {
+		b, s, err := p.Compress(sd)
+		if err != nil {
+			return nil, 0, core.Stats{}, err
+		}
+		if rep == 0 || s.CompressTime < best {
+			best = s.CompressTime
+			buf, st = b, s
+		}
+	}
+	return buf, best, st, nil
+}

@@ -1,0 +1,7 @@
+//go:build race
+
+package bench
+
+// raceEnabled reports whether the race detector is instrumenting this
+// test binary. See race_off_test.go.
+const raceEnabled = true

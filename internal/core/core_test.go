@@ -1,6 +1,7 @@
 package core
 
 import (
+	"encoding/binary"
 	"math"
 	"testing"
 	"time"
@@ -204,6 +205,17 @@ func TestDecompressCorrupt(t *testing.T) {
 	bad[4] = 99
 	if _, err := Decompress(bad); err == nil {
 		t.Fatal("expected version error")
+	}
+	// A forged entry count in [2^63, 2^64) used to wrap negative on the
+	// int conversion and panic on the tag slice; it must error instead.
+	forged := []byte("FDSZ\x01")
+	forged = appendString(forged, "sz2")
+	forged = appendString(forged, "blosclz")
+	forged = binary.AppendUvarint(forged, 1000)    // threshold
+	forged = binary.AppendUvarint(forged, 1<<63)   // entry count
+	forged = append(forged, make([]byte, 1024)...) // plausible body
+	if _, err := Decompress(forged); err == nil {
+		t.Fatal("expected entry-count error for forged count")
 	}
 }
 

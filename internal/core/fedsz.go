@@ -8,12 +8,29 @@
 // losslessly (blosc-lz by default). Both parts are framed into a single
 // self-describing bitstream for transmission; decompression reverses
 // the pipeline and reassembles the state dict in its original order.
+//
+// # Concurrency
+//
+// Per-tensor compression is embarrassingly parallel: each entry is
+// compressed independently under its own bound, and the lossless
+// metadata pass is independent of every tensor. Compress and Decompress
+// therefore fan the per-entry work across a worker pool sized by
+// Config.Parallelism (default runtime.GOMAXPROCS(0)), assembling the
+// sections in deterministic entry order so the bitstream is
+// byte-identical at any parallelism level.
+//
+// A Pipeline is immutable after NewPipeline and safe for concurrent use
+// by multiple goroutines, as are all the lossy and lossless codec
+// implementations it dispatches to (each Compress/Decompress call
+// allocates or pools its own scratch state; codecs hold only
+// construction-time configuration).
 package core
 
 import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"runtime"
 	"time"
 
 	"fedsz/internal/lossless"
@@ -50,6 +67,11 @@ type Config struct {
 	Threshold int
 	// Lossless names the metadata codec ("blosclz" by default).
 	Lossless string
+	// Parallelism caps the worker pool that fans per-tensor compression
+	// (and the independent metadata pass) across cores. Zero selects
+	// runtime.GOMAXPROCS(0); 1 forces the serial path. The bitstream is
+	// byte-identical at every setting.
+	Parallelism int
 }
 
 func (c Config) withDefaults() Config {
@@ -64,6 +86,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Lossless == "" {
 		c.Lossless = lossless.NameBloscLZ
+	}
+	if c.Parallelism == 0 {
+		c.Parallelism = runtime.GOMAXPROCS(0)
 	}
 	return c
 }
@@ -101,7 +126,9 @@ func (s Stats) LossyFraction() float64 {
 	return float64(s.LossyInBytes) / float64(total)
 }
 
-// Pipeline is a configured FedSZ compressor.
+// Pipeline is a configured FedSZ compressor. It is immutable after
+// NewPipeline and safe for concurrent use: any number of goroutines may
+// call Compress and Decompress on the same Pipeline simultaneously.
 type Pipeline struct {
 	cfg      Config
 	lossyC   lossy.Compressor
@@ -125,6 +152,9 @@ func NewPipeline(cfg Config) (*Pipeline, error) {
 	if cfg.Threshold < 0 {
 		return nil, fmt.Errorf("core: negative threshold %d", cfg.Threshold)
 	}
+	if cfg.Parallelism < 0 {
+		return nil, fmt.Errorf("core: negative parallelism %d", cfg.Parallelism)
+	}
 	return &Pipeline{cfg: cfg, lossyC: lc, lossless: ll}, nil
 }
 
@@ -137,7 +167,9 @@ func (p *Pipeline) shouldLossy(e model.Entry) bool {
 	return e.DType == model.Float32 && e.IsWeightNamed() && e.NumElements() > p.cfg.Threshold
 }
 
-// Compress encodes sd into a FedSZ bitstream.
+// Compress encodes sd into a FedSZ bitstream, fanning per-tensor work
+// across cfg.Parallelism workers. The caller must not mutate sd while
+// the call is in flight.
 func (p *Pipeline) Compress(sd *model.StateDict) ([]byte, Stats, error) {
 	start := time.Now()
 	var st Stats
@@ -165,6 +197,38 @@ func (p *Pipeline) Compress(sd *model.StateDict) ([]byte, Stats, error) {
 	st.NumMetaEntries = meta.Len()
 	st.OriginalBytes = st.LossyInBytes + st.MetaInBytes
 
+	// Fan the per-tensor lossy compressions (Algorithm 1 compresses each
+	// state-dict entry independently) and the independent lossless
+	// metadata pass across the worker pool. Results land in per-index
+	// slots, so assembly below runs in entry order and the bitstream is
+	// byte-identical at any parallelism.
+	comps := make([][]byte, len(lossyEntries))
+	var metaComp []byte
+	errs := runTasks(len(lossyEntries)+1, p.cfg.Parallelism, func(i int) error {
+		if i < len(lossyEntries) {
+			e := lossyEntries[i]
+			comp, err := p.lossyC.Compress(e.Tensor.Data(), p.cfg.Bound)
+			if err != nil {
+				return fmt.Errorf("core: lossy compress %q: %w", e.Name, err)
+			}
+			comps[i] = comp
+			return nil
+		}
+		blob, err := MarshalStateDict(meta)
+		if err != nil {
+			return err
+		}
+		mc, err := p.lossless.Compress(blob)
+		if err != nil {
+			return fmt.Errorf("core: lossless compress metadata: %w", err)
+		}
+		metaComp = mc
+		return nil
+	})
+	if err := firstError(errs); err != nil {
+		return nil, st, err
+	}
+
 	// Header.
 	out := make([]byte, 0, sd.SizeBytes()/4+256)
 	out = append(out, pipelineMagic...)
@@ -175,14 +239,10 @@ func (p *Pipeline) Compress(sd *model.StateDict) ([]byte, Stats, error) {
 	out = binary.AppendUvarint(out, uint64(len(entries)))
 	out = append(out, packBools(tags)...)
 
-	// Lossy section: per-tensor compression under the per-tensor bound
-	// (Algorithm 1 compresses each state-dict entry independently).
+	// Lossy section, in entry order.
 	out = binary.AppendUvarint(out, uint64(len(lossyEntries)))
-	for _, e := range lossyEntries {
-		comp, err := p.lossyC.Compress(e.Tensor.Data(), p.cfg.Bound)
-		if err != nil {
-			return nil, st, fmt.Errorf("core: lossy compress %q: %w", e.Name, err)
-		}
+	for i, e := range lossyEntries {
+		comp := comps[i]
 		st.LossyOutBytes += int64(len(comp))
 		out = appendString(out, e.Name)
 		shape := e.Tensor.Shape()
@@ -194,15 +254,7 @@ func (p *Pipeline) Compress(sd *model.StateDict) ([]byte, Stats, error) {
 		out = append(out, comp...)
 	}
 
-	// Lossless section: serialize remaining entries, then compress.
-	blob, err := MarshalStateDict(meta)
-	if err != nil {
-		return nil, st, err
-	}
-	metaComp, err := p.lossless.Compress(blob)
-	if err != nil {
-		return nil, st, fmt.Errorf("core: lossless compress metadata: %w", err)
-	}
+	// Lossless section.
 	st.MetaOutBytes = int64(len(metaComp))
 	out = binary.AppendUvarint(out, uint64(len(metaComp)))
 	out = append(out, metaComp...)
@@ -213,8 +265,28 @@ func (p *Pipeline) Compress(sd *model.StateDict) ([]byte, Stats, error) {
 }
 
 // Decompress decodes a FedSZ bitstream back into a state dict with the
-// original entry order.
+// original entry order, decoding tensors across runtime.GOMAXPROCS(0)
+// workers. No configuration is needed: the bitstream is self-describing.
 func Decompress(buf []byte) (*model.StateDict, error) {
+	return DecompressParallel(buf, 0)
+}
+
+// Decompress decodes a FedSZ bitstream using the pipeline's configured
+// parallelism. Decoding honours the codec names recorded in the stream,
+// not the pipeline's own configuration.
+func (p *Pipeline) Decompress(buf []byte) (*model.StateDict, error) {
+	return DecompressParallel(buf, p.cfg.Parallelism)
+}
+
+// DecompressParallel decodes a FedSZ bitstream with an explicit worker
+// count (0 selects runtime.GOMAXPROCS(0), 1 forces the serial path).
+// The frame is parsed sequentially — payload slicing is cheap — and the
+// per-tensor lossy decodes plus the lossless metadata pass fan across
+// the pool, mirroring Compress.
+func DecompressParallel(buf []byte, parallelism int) (*model.StateDict, error) {
+	if parallelism <= 0 {
+		parallelism = runtime.GOMAXPROCS(0)
+	}
 	if len(buf) < 5 || string(buf[:4]) != pipelineMagic {
 		return nil, fmt.Errorf("%w: bad magic", ErrCorrupt)
 	}
@@ -242,6 +314,11 @@ func Decompress(buf []byte) (*model.StateDict, error) {
 		return nil, fmt.Errorf("%w: entry count", ErrCorrupt)
 	}
 	buf = buf[n:]
+	// Each entry needs at least one tag bit; rejecting larger claims
+	// here also keeps the int conversion below from wrapping negative.
+	if nEntries64 > uint64(len(buf))*8 {
+		return nil, fmt.Errorf("%w: entry count %d exceeds buffer", ErrCorrupt, nEntries64)
+	}
 	nEntries := int(nEntries64)
 	tagBytes := (nEntries + 7) / 8
 	if len(buf) < tagBytes {
@@ -259,15 +336,24 @@ func Decompress(buf []byte) (*model.StateDict, error) {
 		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
 	}
 
-	// Lossy section.
+	// Lossy section: slice out every framed payload first, then decode
+	// them concurrently.
 	nLossy64, n := binary.Uvarint(buf)
 	if n <= 0 {
 		return nil, fmt.Errorf("%w: lossy count", ErrCorrupt)
 	}
 	buf = buf[n:]
+	// Each framed tensor costs at least 3 bytes (name-length, ndims and
+	// payload-length varints), so a count beyond len(buf)/3 is corrupt —
+	// reject it before sizing the slice by an attacker-controlled value.
+	if nLossy64 > uint64(len(buf))/3 {
+		return nil, fmt.Errorf("%w: lossy count %d exceeds buffer", ErrCorrupt, nLossy64)
+	}
 	type lossyTensor struct {
-		name string
-		t    *tensor.Tensor
+		name    string
+		shape   []int
+		payload []byte
+		t       *tensor.Tensor
 	}
 	lossyTensors := make([]lossyTensor, 0, nLossy64)
 	for i := uint64(0); i < nLossy64; i++ {
@@ -296,28 +382,43 @@ func Decompress(buf []byte) (*model.StateDict, error) {
 		}
 		payload := buf[n : n+int(payloadLen)]
 		buf = buf[n+int(payloadLen):]
-		data, err := lc.Decompress(payload)
-		if err != nil {
-			return nil, fmt.Errorf("%w: tensor %q: %v", ErrCorrupt, name, err)
-		}
-		t, err := tensor.FromData(data, shape...)
-		if err != nil {
-			return nil, fmt.Errorf("%w: tensor %q reshape: %v", ErrCorrupt, name, err)
-		}
-		lossyTensors = append(lossyTensors, lossyTensor{name: name, t: t})
+		lossyTensors = append(lossyTensors, lossyTensor{name: name, shape: shape, payload: payload})
 	}
 
-	// Lossless section.
+	// Lossless section boundary.
 	metaLen, n := binary.Uvarint(buf)
 	if n <= 0 || uint64(len(buf)-n) < metaLen {
 		return nil, fmt.Errorf("%w: metadata section", ErrCorrupt)
 	}
-	blob, err := ll.Decompress(buf[n : n+int(metaLen)])
-	if err != nil {
-		return nil, fmt.Errorf("%w: metadata: %v", ErrCorrupt, err)
-	}
-	meta, err := UnmarshalStateDict(blob)
-	if err != nil {
+	metaPayload := buf[n : n+int(metaLen)]
+
+	var meta *model.StateDict
+	errs := runTasks(len(lossyTensors)+1, parallelism, func(i int) error {
+		if i < len(lossyTensors) {
+			lt := &lossyTensors[i]
+			data, err := lc.Decompress(lt.payload)
+			if err != nil {
+				return fmt.Errorf("%w: tensor %q: %v", ErrCorrupt, lt.name, err)
+			}
+			t, err := tensor.FromData(data, lt.shape...)
+			if err != nil {
+				return fmt.Errorf("%w: tensor %q reshape: %v", ErrCorrupt, lt.name, err)
+			}
+			lt.t = t
+			return nil
+		}
+		blob, err := ll.Decompress(metaPayload)
+		if err != nil {
+			return fmt.Errorf("%w: metadata: %v", ErrCorrupt, err)
+		}
+		m, err := UnmarshalStateDict(blob)
+		if err != nil {
+			return err
+		}
+		meta = m
+		return nil
+	})
+	if err := firstError(errs); err != nil {
 		return nil, err
 	}
 

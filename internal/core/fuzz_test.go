@@ -10,6 +10,52 @@ import (
 	"fedsz/internal/tensor"
 )
 
+// FuzzDecompress is the native fuzz target behind CI's fuzz smoke step
+// (go test -run=^$ -fuzz=FuzzDecompress -fuzztime=10s ./internal/core):
+// whatever bytes arrive on the server's uplink, the decoder must return
+// an error or a dict — never panic, never return (nil, nil).
+func FuzzDecompress(f *testing.F) {
+	// Keep the seed stream small (one just-above-threshold weight tensor
+	// plus metadata) so the 10s CI smoke gets real mutation throughput.
+	rng := rand.New(rand.NewSource(5))
+	weights := make([]float32, DefaultThreshold+200)
+	for i := range weights {
+		weights[i] = float32(rng.NormFloat64())
+	}
+	wt, err := tensor.FromData(weights, len(weights))
+	if err != nil {
+		f.Fatal(err)
+	}
+	sd := model.NewStateDict()
+	for _, e := range []model.Entry{
+		{Name: "conv1.weight", DType: model.Float32, Tensor: wt},
+		{Name: "bn1.num_batches_tracked", DType: model.Int64, Ints: []int64{7}},
+	} {
+		if err := sd.Add(e); err != nil {
+			f.Fatal(err)
+		}
+	}
+	p, err := NewPipeline(Config{})
+	if err != nil {
+		f.Fatal(err)
+	}
+	valid, _, err := p.Compress(sd)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])
+	f.Add([]byte(pipelineMagic))
+	f.Add(append([]byte(pipelineMagic), formatVersion))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := Decompress(data)
+		if err == nil && got == nil {
+			t.Fatal("Decompress returned nil dict with nil error")
+		}
+	})
+}
+
 // TestDecompressNeverPanicsOnMutations drives the full pipeline decoder
 // with systematically corrupted inputs: bit flips, truncations and
 // random suffixes. The decoder must return an error or a dict — never

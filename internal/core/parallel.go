@@ -1,0 +1,64 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// runTasks executes fn(0) … fn(n-1) across at most parallelism
+// concurrent workers and returns the per-index errors. parallelism <= 1
+// degenerates to an inline loop, so the serial path pays no goroutine
+// overhead. Once any task fails, workers stop claiming new indices;
+// already-claimed tasks run to completion. Callers scan the returned
+// slice with firstError, surfacing the lowest-index recorded failure.
+// On success the outputs are scheduling-independent; on failure the
+// caller discards the whole call's result, so which of several
+// concurrent errors is recorded cannot leak nondeterminism into a
+// bitstream.
+func runTasks(n, parallelism int, fn func(i int) error) []error {
+	errs := make([]error, n)
+	if parallelism > n {
+		parallelism = n
+	}
+	if parallelism <= 1 {
+		for i := 0; i < n; i++ {
+			if errs[i] = fn(i); errs[i] != nil {
+				break
+			}
+		}
+		return errs
+	}
+
+	var next atomic.Int64
+	var failed atomic.Bool
+	var wg sync.WaitGroup
+	wg.Add(parallelism)
+	for w := 0; w < parallelism; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n || failed.Load() {
+					return
+				}
+				if err := fn(i); err != nil {
+					errs[i] = err
+					failed.Store(true)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return errs
+}
+
+// firstError returns the lowest-index non-nil error.
+func firstError(errs []error) error {
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -96,7 +96,7 @@ func UnmarshalStateDict(buf []byte) (*model.StateDict, error) {
 
 		switch dtype {
 		case model.Float32:
-			if len(buf) < elems*4 {
+			if elems > len(buf)/4 { // division form: elems*4 could overflow
 				return nil, fmt.Errorf("%w: entry %q payload", ErrCorrupt, name)
 			}
 			data := make([]float32, elems)
@@ -112,7 +112,7 @@ func UnmarshalStateDict(buf []byte) (*model.StateDict, error) {
 				return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
 			}
 		case model.Int64:
-			if len(buf) < elems*8 {
+			if elems > len(buf)/8 {
 				return nil, fmt.Errorf("%w: entry %q payload", ErrCorrupt, name)
 			}
 			ints := make([]int64, elems)

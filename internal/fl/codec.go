@@ -62,7 +62,11 @@ func (PlainCodec) Decode(buf []byte) (*model.StateDict, error) {
 	return core.UnmarshalStateDict(buf)
 }
 
-// FedSZCodec wraps the FedSZ pipeline as an update codec.
+// FedSZCodec wraps the FedSZ pipeline as an update codec. It is
+// immutable after construction and safe for concurrent use: the
+// simulation harness encodes every sampled client's update from its own
+// goroutine through one shared codec, and each Encode/Decode internally
+// fans per-tensor work across cfg.Parallelism workers.
 type FedSZCodec struct {
 	pipeline *core.Pipeline
 }
@@ -94,7 +98,8 @@ func (c *FedSZCodec) Encode(sd *model.StateDict) ([]byte, UpdateStats, error) {
 	}, nil
 }
 
-// Decode implements Codec.
+// Decode implements Codec. Decoding honours the codec names recorded in
+// the self-describing bitstream and the pipeline's parallelism setting.
 func (c *FedSZCodec) Decode(buf []byte) (*model.StateDict, error) {
-	return core.Decompress(buf)
+	return c.pipeline.Decompress(buf)
 }

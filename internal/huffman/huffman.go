@@ -16,9 +16,18 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync"
 
 	"fedsz/internal/bitstream"
 )
+
+// writerPool recycles bitstream writers (and their backing buffers)
+// across Encode calls — the encode path runs once per tensor per round
+// in the FedSZ pipeline, and is fanned across goroutines, which is
+// exactly the per-P caching sync.Pool provides.
+var writerPool = sync.Pool{
+	New: func() interface{} { return bitstream.NewWriter(4096) },
+}
 
 // MaxCodeLen is the maximum admitted code length. Frequencies are
 // flattened until the implied tree fits.
@@ -83,7 +92,8 @@ func Encode(symbols []int) ([]byte, error) {
 		prev = s
 	}
 
-	w := bitstream.NewWriter(len(symbols) / 2)
+	w := writerPool.Get().(*bitstream.Writer)
+	w.Reset()
 	if denseFreq != nil {
 		denseCodes := make([]symCode, maxSym+1)
 		for s, c := range codes {
@@ -104,6 +114,7 @@ func Encode(symbols []int) ([]byte, error) {
 	out = binary.AppendUvarint(out, uint64(len(hdr)))
 	out = append(out, hdr...)
 	out = append(out, body...)
+	writerPool.Put(w) // out holds a copy of body; the writer is free to recycle
 	return out, nil
 }
 
@@ -122,7 +133,10 @@ func Decode(buf []byte) ([]int, error) {
 	}
 	hdr = hdr[n:]
 	nSyms, n := binary.Uvarint(hdr)
-	if n <= 0 {
+	// Each table entry costs at least 2 header bytes (delta varint +
+	// length byte), so larger claims are corrupt — and must not size the
+	// map allocation.
+	if n <= 0 || nSyms > uint64(len(hdr)-n)/2 {
 		return nil, errCorrupt
 	}
 	hdr = hdr[n:]
@@ -147,6 +161,12 @@ func Decode(buf []byte) ([]int, error) {
 		return nil, nil
 	}
 	if len(lengths) == 0 {
+		return nil, errCorrupt
+	}
+	// Every decoded symbol consumes at least one bit, so a count beyond
+	// the body's bit length is corrupt — checked before the output
+	// allocation so a hostile count cannot drive an OOM.
+	if count > uint64(len(body))*8 {
 		return nil, errCorrupt
 	}
 	dec, err := newDecoder(lengths)

@@ -3,6 +3,7 @@ package lossless
 import (
 	"encoding/binary"
 	"fmt"
+	"sync"
 )
 
 // lzMinMatch is the minimum match length encoded by the LZ token
@@ -21,6 +22,18 @@ type lzParams struct {
 	accelCap int  // max skip stride (0 = unbounded)
 }
 
+// lzScratch holds the match-finder tables, recycled across calls: the
+// head table alone is 256 KiB at the LZH profiles' 16 hash bits, paid
+// once per tensor per round on the FedSZ hot path.
+type lzScratch struct {
+	head  []int32
+	chain []int32
+}
+
+var lzScratchPool = sync.Pool{
+	New: func() interface{} { return new(lzScratch) },
+}
+
 // lzCompress appends the token stream for src to dst.
 //
 // Token format:
@@ -37,13 +50,24 @@ func lzCompress(dst, src []byte, p lzParams) []byte {
 	if p.window > p.maxDist {
 		p.window = p.maxDist
 	}
-	head := make([]int32, 1<<p.hashBits)
+	sc := lzScratchPool.Get().(*lzScratch)
+	defer lzScratchPool.Put(sc)
+	if size := 1 << p.hashBits; cap(sc.head) < size {
+		sc.head = make([]int32, size)
+	}
+	head := sc.head[:1<<p.hashBits]
 	for i := range head {
 		head[i] = -1
 	}
 	var chain []int32
 	if p.depth > 1 {
-		chain = make([]int32, n)
+		// Stale entries from a previous run are unreachable: find only
+		// follows chain links from positions inserted this call, and
+		// insert writes chain[i] before publishing i via head.
+		if cap(sc.chain) < n {
+			sc.chain = make([]int32, n)
+		}
+		chain = sc.chain[:n]
 	}
 	lastInserted := -1
 	insert := func(i int) {
@@ -159,7 +183,17 @@ func appendMatch(dst []byte, mlen, dist int, dist3 bool) []byte {
 
 // lzDecompress decodes a token stream into exactly origLen bytes.
 func lzDecompress(src []byte, origLen int, dist3 bool) ([]byte, error) {
-	out := make([]byte, 0, origLen)
+	if origLen < 0 {
+		return nil, fmt.Errorf("%w: negative length", ErrCorrupt)
+	}
+	// origLen comes from an untrusted header: cap the preallocation and
+	// let append grow toward genuinely large outputs instead of letting
+	// a hostile length drive an OOM up front.
+	capHint := origLen
+	if capHint > 1<<20 {
+		capHint = 1 << 20
+	}
+	out := make([]byte, 0, capHint)
 	pos := 0
 	for pos < len(src) {
 		ctrl := src[pos]
@@ -182,6 +216,11 @@ func lzDecompress(src []byte, origLen int, dist3 bool) ([]byte, error) {
 			}
 			mlen += int(extra)
 			pos += n
+		}
+		// A match can never produce more bytes than the declared output
+		// has left; a hostile extension would otherwise copy unbounded.
+		if mlen < 0 || mlen > origLen-len(out) {
+			return nil, fmt.Errorf("%w: match length %d overruns output", ErrCorrupt, mlen)
 		}
 		dBytes := 2
 		if dist3 {

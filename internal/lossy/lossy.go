@@ -102,6 +102,12 @@ type Compressor interface {
 const (
 	headerVersion = 1
 	magicLen      = 4
+
+	// maxCount bounds the element count a header may declare (2^40
+	// float32s = 4 TiB — far beyond any model update) so untrusted
+	// headers cannot drive integer overflow in downstream size
+	// arithmetic.
+	maxCount = 1 << 40
 )
 
 // ErrCorrupt reports a malformed compressed buffer.
@@ -135,7 +141,19 @@ func ReadHeader(magic string, buf []byte) (count int, absBound float64, rest []b
 	if n <= 0 || len(buf) < n+8 {
 		return 0, 0, nil, fmt.Errorf("%w: truncated header", ErrCorrupt)
 	}
+	// The count drives output allocations in every decompressor; cap it
+	// so a forged header can neither overflow int nor size a giant
+	// allocation before the per-codec structural checks run.
+	if c > maxCount {
+		return 0, 0, nil, fmt.Errorf("%w: element count %d", ErrCorrupt, c)
+	}
 	absBound = math.Float64frombits(binary.LittleEndian.Uint64(buf[n : n+8]))
+	// Resolve never produces a non-positive or non-finite bound, so a
+	// header carrying one is forged; downstream quantizers are entitled
+	// to panic on such bounds, so reject here.
+	if absBound <= 0 || math.IsNaN(absBound) || math.IsInf(absBound, 0) {
+		return 0, 0, nil, fmt.Errorf("%w: bound %v", ErrCorrupt, absBound)
+	}
 	return int(c), absBound, buf[n+8:], nil
 }
 

@@ -25,12 +25,19 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math"
+	"sync"
 
 	"fedsz/internal/huffman"
 	"fedsz/internal/lossless"
 	"fedsz/internal/lossy"
 	"fedsz/internal/quant"
 )
+
+// codesPool recycles the quantization-code scratch slice — one int per
+// input element, the largest transient allocation on the encode path.
+var codesPool = sync.Pool{
+	New: func() interface{} { return new([]int) },
+}
 
 const (
 	magic = "SZ2\x01"
@@ -98,7 +105,8 @@ func (s *Compressor) Compress(data []float32, p lossy.Params) ([]byte, error) {
 	nBlocks := (len(data) + BlockSize - 1) / BlockSize
 	modes := make([]byte, nBlocks)
 	coeffs := make([]float32, 0, 16) // a,b pairs for regression blocks
-	codes := make([]int, 0, len(data))
+	scratch := codesPool.Get().(*[]int)
+	codes := (*scratch)[:0]
 	outliers := make([]float32, 0, 16)
 
 	prevRecon := 0.0 // reconstruction of the last value of the previous block
@@ -155,6 +163,8 @@ func (s *Compressor) Compress(data []float32, p lossy.Params) ([]byte, error) {
 	}
 
 	huff, err := huffman.Encode(codes)
+	*scratch = codes[:0] // Encode does not retain codes
+	codesPool.Put(scratch)
 	if err != nil {
 		return nil, fmt.Errorf("sz2: entropy stage: %w", err)
 	}
@@ -227,7 +237,8 @@ func (s *Compressor) Decompress(buf []byte) ([]float32, error) {
 	payload = payload[modeBytes:]
 
 	nCoeffs, n := binary.Uvarint(payload)
-	if n <= 0 || len(payload) < n+int(nCoeffs)*4 {
+	// Division form: int(nCoeffs)*4 could overflow on a forged count.
+	if n <= 0 || nCoeffs > uint64(len(payload)-n)/4 {
 		return nil, fmt.Errorf("%w: sz2 coefficients", lossy.ErrCorrupt)
 	}
 	payload = payload[n:]
@@ -238,7 +249,7 @@ func (s *Compressor) Decompress(buf []byte) ([]float32, error) {
 	payload = payload[nCoeffs*4:]
 
 	nOut, n := binary.Uvarint(payload)
-	if n <= 0 || len(payload) < n+int(nOut)*4 {
+	if n <= 0 || nOut > uint64(len(payload)-n)/4 {
 		return nil, fmt.Errorf("%w: sz2 outliers", lossy.ErrCorrupt)
 	}
 	payload = payload[n:]

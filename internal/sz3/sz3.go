@@ -164,7 +164,8 @@ func (s *Compressor) Decompress(buf []byte) ([]float32, error) {
 	payload = payload[5:]
 
 	nOut, n := binary.Uvarint(payload)
-	if n <= 0 || len(payload) < n+int(nOut)*4 {
+	// Division form: int(nOut)*4 could overflow on a forged count.
+	if n <= 0 || nOut > uint64(len(payload)-n)/4 {
 		return nil, fmt.Errorf("%w: sz3 outliers", lossy.ErrCorrupt)
 	}
 	payload = payload[n:]

@@ -318,7 +318,7 @@ func compressArtifact(out []byte, data []float32) []byte {
 
 func decompressArtifact(buf []byte, count int) ([]float32, error) {
 	stride := artifactStride(count)
-	if len(buf) < stride*4 {
+	if stride > len(buf)/4 { // division form: stride*4 could overflow
 		return nil, fmt.Errorf("%w: szx artifact payload", lossy.ErrCorrupt)
 	}
 	out := make([]float32, count)

@@ -117,6 +117,12 @@ func (c *Compressor) Decompress(buf []byte) ([]float32, error) {
 	if prec < 1 || prec > intprec {
 		return nil, fmt.Errorf("%w: zfp precision %d", lossy.ErrCorrupt, prec)
 	}
+	// Every encoded block consumes at least one bit, so a count whose
+	// block total exceeds the payload's bit length is corrupt — checked
+	// before the output allocation.
+	if (count+blockSize-1)/blockSize > (len(rest)-1)*8 {
+		return nil, fmt.Errorf("%w: zfp count %d exceeds payload", lossy.ErrCorrupt, count)
+	}
 	r := bitstream.NewReader(rest[1:])
 	out := make([]float32, count)
 	var block [blockSize]float32
