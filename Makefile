@@ -27,12 +27,24 @@ fmt:
 vet:
 	$(GO) vet ./...
 
-# Short fuzz smoke over the pipeline decoder (matches the CI step).
+# Short fuzz smoke over the three decoder fuzz targets (matches CI).
 fuzz:
 	$(GO) test -run=^$$ -fuzz=FuzzDecompress -fuzztime=10s ./internal/core
+	$(GO) test -run=^$$ -fuzz=FuzzHuffmanDecode -fuzztime=10s ./internal/huffman
+	$(GO) test -run=^$$ -fuzz=FuzzLZHDecompress -fuzztime=10s ./internal/lossless
 
 # Regenerate the committed serial-vs-parallel datapoint. Run on a
 # multi-core machine at paper scale: make parallel-bench SCALE=1
 SCALE ?= 8
 parallel-bench:
 	$(GO) run ./cmd/fedszbench -exp parallel -scale $(SCALE) -format json -o BENCH_parallel.json
+
+# Regenerate the committed throughput/allocation datapoint.
+throughput-bench:
+	$(GO) run ./cmd/fedszbench -exp throughput -scale $(SCALE) -format json -o BENCH_throughput.json
+
+# Profile an experiment, e.g.: make profile EXP=throughput
+# then: go tool pprof cpu.pprof
+EXP ?= throughput
+profile:
+	$(GO) run ./cmd/fedszbench -exp $(EXP) -scale $(SCALE) -cpuprofile cpu.pprof -memprofile mem.pprof -o /dev/null

@@ -19,6 +19,7 @@ func benchOpts() bench.Options {
 
 func runBench(b *testing.B, id string) {
 	b.Helper()
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := bench.Run(id, benchOpts()); err != nil {
 			b.Fatal(err)
@@ -69,9 +70,14 @@ func BenchmarkFig10Privacy(b *testing.B) { runBench(b, "fig10") }
 // table (the Eqn. 1 tC scaling experiment).
 func BenchmarkParallelTable(b *testing.B) { runBench(b, "parallel") }
 
+// BenchmarkThroughputTable regenerates the throughput/allocation table
+// (the streaming entropy stage's MB/s and allocs/op datapoint).
+func BenchmarkThroughputTable(b *testing.B) { runBench(b, "throughput") }
+
 // BenchmarkPipelineCompress measures the end-to-end FedSZ compression
 // throughput on a quarter-width MobileNetV2 update.
 func BenchmarkPipelineCompress(b *testing.B) {
+	b.ReportAllocs()
 	sd := BuildStateDict(MobileNetV2(4), 1)
 	b.SetBytes(sd.SizeBytes())
 	b.ResetTimer()
@@ -85,6 +91,7 @@ func BenchmarkPipelineCompress(b *testing.B) {
 // BenchmarkPipelineCompressSerial pins the single-worker baseline the
 // parallel engine is measured against.
 func BenchmarkPipelineCompressSerial(b *testing.B) {
+	b.ReportAllocs()
 	sd := BuildStateDict(MobileNetV2(4), 1)
 	b.SetBytes(sd.SizeBytes())
 	b.ResetTimer()
@@ -98,6 +105,7 @@ func BenchmarkPipelineCompressSerial(b *testing.B) {
 // BenchmarkPipelineDecompress measures the matching decompression
 // throughput.
 func BenchmarkPipelineDecompress(b *testing.B) {
+	b.ReportAllocs()
 	sd := BuildStateDict(MobileNetV2(4), 1)
 	buf, _, err := Compress(sd)
 	if err != nil {

@@ -17,6 +17,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"fedsz/internal/bench"
 )
@@ -37,8 +39,35 @@ func run() error {
 		list   = flag.Bool("list", false, "list experiment ids and exit")
 		format = flag.String("format", "text", "output format: text, csv or json")
 		out    = flag.String("o", "", "write output to a file instead of stdout")
+		cpu    = flag.String("cpuprofile", "", "write a CPU profile of the experiment run to this file")
+		mem    = flag.String("memprofile", "", "write an allocation profile taken after the run to this file")
 	)
 	flag.Parse()
+
+	if *cpu != "" {
+		f, err := os.Create(*cpu)
+		if err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *mem != "" {
+		f, err := os.Create(*mem)
+		if err != nil {
+			return fmt.Errorf("memprofile: %w", err)
+		}
+		defer func() {
+			runtime.GC() // flush recently freed objects out of the profile
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "fedszbench: memprofile:", err)
+			}
+			f.Close()
+		}()
+	}
 
 	if *list {
 		for _, id := range bench.IDs() {

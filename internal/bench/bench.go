@@ -135,21 +135,22 @@ type Runner func(Options) (*Table, error)
 // experiments maps experiment ids to runners.
 func experiments() map[string]Runner {
 	return map[string]Runner{
-		"ablations": Ablations,
-		"parallel":  Parallel,
-		"table1":    Table1,
-		"table2":    Table2,
-		"table3":    Table3,
-		"table5":    Table5,
-		"fig2":      Fig2,
-		"fig3":      Fig3,
-		"fig4":      Fig4,
-		"fig5":      Fig5,
-		"fig6":      Fig6,
-		"fig7":      Fig7,
-		"fig8":      Fig8,
-		"fig9":      Fig9,
-		"fig10":     Fig10,
+		"ablations":  Ablations,
+		"parallel":   Parallel,
+		"throughput": Throughput,
+		"table1":     Table1,
+		"table2":     Table2,
+		"table3":     Table3,
+		"table5":     Table5,
+		"fig2":       Fig2,
+		"fig3":       Fig3,
+		"fig4":       Fig4,
+		"fig5":       Fig5,
+		"fig6":       Fig6,
+		"fig7":       Fig7,
+		"fig8":       Fig8,
+		"fig9":       Fig9,
+		"fig10":      Fig10,
 	}
 }
 

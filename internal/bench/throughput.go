@@ -1,0 +1,150 @@
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"fedsz/internal/core"
+	"fedsz/internal/lossy"
+	"fedsz/internal/model"
+	"fedsz/internal/sz2"
+)
+
+// Throughput measures end-to-end compress and decompress throughput
+// (MB/s of uncompressed bytes) together with heap allocation counts per
+// operation, serial (1 worker) versus parallel (GOMAXPROCS workers).
+// It is the datapoint behind BENCH_throughput.json: the streaming
+// entropy stage is memory-bound, so allocs/op and B/op are the numbers
+// that explain — and guard — the wall-clock, where parallelism alone
+// could not (BENCH_parallel.json showed 1.04× at 4 workers on the
+// allocation-heavy seed).
+func Throughput(opts Options) (*Table, error) {
+	opts = opts.withDefaults()
+	t := &Table{
+		ID:     "throughput",
+		Title:  "Compress/decompress throughput and allocations (REL 1e-2, sz2)",
+		Header: []string{"Model", "Direction", "Workers", "MB/s", "allocs/op", "KB/op"},
+		Notes: []string{
+			fmt.Sprintf("GOMAXPROCS=%d; mean of %d runs; MB/s counts uncompressed bytes", runtime.GOMAXPROCS(0), throughputReps(opts)),
+			"allocs/op and KB/op are process-wide heap deltas around the operation",
+			"the pre-streaming baseline for these numbers is recorded in README.md (Performance) and CHANGES.md (PR 2)",
+		},
+	}
+
+	type workload struct {
+		name string
+		sd   *model.StateDict
+	}
+	workloads := []workload{
+		{"ResNet50", model.BuildStateDict(model.ResNet50(opts.Scale), opts.Seed)},
+	}
+	if !opts.Quick {
+		workloads = append(workloads, workload{"MobileNetV2", model.BuildStateDict(model.MobileNetV2(opts.Scale), opts.Seed)})
+	}
+
+	widths := []int{1}
+	if gmp := runtime.GOMAXPROCS(0); gmp > 1 {
+		widths = append(widths, gmp)
+	}
+	reps := throughputReps(opts)
+
+	for _, w := range workloads {
+		size := float64(w.sd.SizeBytes())
+		for _, workers := range widths {
+			p, err := core.NewPipeline(core.Config{Parallelism: workers})
+			if err != nil {
+				return nil, err
+			}
+			var buf []byte
+			secs, allocs, bytes, err := measureOp(reps, func() error {
+				b, _, cerr := p.Compress(w.sd)
+				buf = b
+				return cerr
+			})
+			if err != nil {
+				return nil, fmt.Errorf("bench: %s compress x%d: %w", w.name, workers, err)
+			}
+			t.Rows = append(t.Rows, throughputRow(w.name, "compress", workers, size, secs, allocs, bytes))
+
+			secs, allocs, bytes, err = measureOp(reps, func() error {
+				_, derr := p.Decompress(buf)
+				return derr
+			})
+			if err != nil {
+				return nil, fmt.Errorf("bench: %s decompress x%d: %w", w.name, workers, err)
+			}
+			t.Rows = append(t.Rows, throughputRow(w.name, "decompress", workers, size, secs, allocs, bytes))
+		}
+
+		// Codec-level rows: raw SZ2 over the model's flattened weights —
+		// the per-tensor hot path itself, without frame or fan-out cost.
+		// allocs/op here is the number the streaming entropy stage is
+		// accountable for (the seed pipeline measured 770 compress / 19
+		// decompress allocs on a 2^21-element tensor).
+		flat := w.sd.FlatWeights()
+		if len(flat) == 0 {
+			continue
+		}
+		c := sz2.New()
+		fsize := float64(len(flat) * 4)
+		var enc []byte
+		secs, allocs, bytes, err := measureOp(reps, func() error {
+			b, cerr := c.Compress(flat, lossy.RelBound(core.DefaultBound))
+			enc = b
+			return cerr
+		})
+		if err != nil {
+			return nil, fmt.Errorf("bench: %s sz2 compress: %w", w.name, err)
+		}
+		t.Rows = append(t.Rows, throughputRow(w.name+"-flat", "sz2-compress", 1, fsize, secs, allocs, bytes))
+		secs, allocs, bytes, err = measureOp(reps, func() error {
+			_, derr := c.Decompress(enc)
+			return derr
+		})
+		if err != nil {
+			return nil, fmt.Errorf("bench: %s sz2 decompress: %w", w.name, err)
+		}
+		t.Rows = append(t.Rows, throughputRow(w.name+"-flat", "sz2-decompress", 1, fsize, secs, allocs, bytes))
+	}
+	return t, nil
+}
+
+func throughputRow(model, dir string, workers int, size, secs float64, allocs, bytes uint64) []string {
+	return []string{
+		model, dir, fmt.Sprintf("%d", workers),
+		f2(size / 1e6 / secs),
+		fmt.Sprintf("%d", allocs),
+		fmt.Sprintf("%d", bytes/1024),
+	}
+}
+
+func throughputReps(opts Options) int {
+	if opts.Quick {
+		return 2
+	}
+	return 5
+}
+
+// measureOp times reps invocations of f and reports the mean seconds
+// per op plus the mean heap allocation count and bytes per op, taken
+// from runtime.MemStats deltas (the same counters testing.B's
+// ReportAllocs reads).
+func measureOp(reps int, f func() error) (secs float64, allocs, bytes uint64, err error) {
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	for i := 0; i < reps; i++ {
+		if err := f(); err != nil {
+			return 0, 0, 0, err
+		}
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&after)
+	r := uint64(reps)
+	return elapsed.Seconds() / float64(reps),
+		(after.Mallocs - before.Mallocs) / r,
+		(after.TotalAlloc - before.TotalAlloc) / r,
+		nil
+}

@@ -1,6 +1,7 @@
 package bitstream
 
 import (
+	"bytes"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -123,6 +124,122 @@ func TestReset(t *testing.T) {
 	b := w.Bytes()
 	if len(b) != 1 || b[0] != 0xa0 {
 		t.Fatalf("after reset got %x", b)
+	}
+}
+
+func TestPeekSkip(t *testing.T) {
+	w := NewWriter(16)
+	w.WriteBits(0xabcd, 16)
+	w.WriteBits(0x3f, 7)
+	w.WriteBits(0x12345, 20)
+	r := NewReader(w.Bytes())
+	if got := r.Peek(12); got != 0xabc {
+		t.Fatalf("Peek(12) = %#x want 0xabc", got)
+	}
+	// Peek must not consume.
+	if got := r.Peek(16); got != 0xabcd {
+		t.Fatalf("Peek(16) = %#x want 0xabcd", got)
+	}
+	if err := r.Skip(16); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Peek(7); got != 0x3f {
+		t.Fatalf("Peek(7) after skip = %#x want 0x3f", got)
+	}
+	if err := r.Skip(7); err != nil {
+		t.Fatal(err)
+	}
+	got, err := r.ReadBits(20)
+	if err != nil || got != 0x12345 {
+		t.Fatalf("ReadBits(20) = %#x, %v", got, err)
+	}
+}
+
+func TestPeekPastEndZeroPads(t *testing.T) {
+	r := NewReader([]byte{0xff})
+	if err := r.Skip(4); err != nil {
+		t.Fatal(err)
+	}
+	// 4 bits remain (1111); a 12-bit peek must zero-pad the tail.
+	if got := r.Peek(12); got != 0xf00 {
+		t.Fatalf("Peek(12) = %#x want 0xf00", got)
+	}
+	if r.BitsRemaining() != 4 {
+		t.Fatalf("BitsRemaining = %d want 4", r.BitsRemaining())
+	}
+}
+
+func TestSkipOverrun(t *testing.T) {
+	r := NewReader([]byte{0xaa, 0xbb})
+	if err := r.Skip(17); err != ErrOverrun {
+		t.Fatalf("Skip past end: got %v want ErrOverrun", err)
+	}
+	r2 := NewReader([]byte{0xaa, 0xbb})
+	if err := r2.Skip(16); err != nil {
+		t.Fatalf("Skip to exact end: %v", err)
+	}
+	if err := r2.Skip(1); err != ErrOverrun {
+		t.Fatalf("Skip after end: got %v want ErrOverrun", err)
+	}
+}
+
+func TestReaderReset(t *testing.T) {
+	r := NewReader([]byte{0xf0})
+	if _, err := r.ReadBits(4); err != nil {
+		t.Fatal(err)
+	}
+	r.Reset([]byte{0x80})
+	b, err := r.ReadBit()
+	if err != nil || b != 1 {
+		t.Fatalf("after Reset: bit %d, %v", b, err)
+	}
+}
+
+func TestWriterResetBuf(t *testing.T) {
+	frame := []byte{0xde, 0xad}
+	var w Writer
+	w.ResetBuf(frame)
+	w.WriteBits(0xbeef, 16)
+	w.WriteBits(0x5, 3)
+	if w.Len() != 19 {
+		t.Fatalf("Len after ResetBuf+19 bits = %d (prefix must not count)", w.Len())
+	}
+	got := w.Bytes()
+	want := []byte{0xde, 0xad, 0xbe, 0xef, 0xa0}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("ResetBuf stream = %x want %x", got, want)
+	}
+}
+
+// TestQuickSkipAgainstRead cross-checks Skip against ReadBits on random
+// streams: skipping k bits and reading must equal reading k bits and
+// discarding.
+func TestQuickSkipAgainstRead(t *testing.T) {
+	f := func(seed int64, count uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(count)%64 + 16
+		buf := make([]byte, n)
+		rng.Read(buf)
+		a := NewReader(buf)
+		b := NewReader(buf)
+		for a.BitsRemaining() > 32 {
+			k := uint(rng.Intn(20))
+			if a.Skip(k) != nil {
+				return false
+			}
+			if _, err := b.ReadBits(k); err != nil {
+				return false
+			}
+			va, ea := a.ReadBits(9)
+			vb, eb := b.ReadBits(9)
+			if ea != nil || eb != nil || va != vb {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
 	}
 }
 

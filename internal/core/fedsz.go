@@ -229,8 +229,19 @@ func (p *Pipeline) Compress(sd *model.StateDict) ([]byte, Stats, error) {
 		return nil, st, err
 	}
 
-	// Header.
-	out := make([]byte, 0, sd.SizeBytes()/4+256)
+	// One exactly pre-sized output buffer: section payloads are known
+	// after the parallel fan, so the frame assembly below never regrows
+	// (and never copies a multi-megabyte section twice).
+	frameSize := 5 + varintLen(uint64(p.cfg.Threshold)) + varintLen(uint64(len(entries))) +
+		len(p.cfg.Lossy) + len(p.cfg.Lossless) + 2*varintMax +
+		(len(entries)+7)/8 + varintLen(uint64(len(lossyEntries))) +
+		varintLen(uint64(len(metaComp))) + len(metaComp)
+	for i, e := range lossyEntries {
+		shape := e.Tensor.Shape()
+		frameSize += varintMax + len(e.Name) + varintLen(uint64(len(shape))) +
+			len(shape)*varintMax + varintLen(uint64(len(comps[i]))) + len(comps[i])
+	}
+	out := make([]byte, 0, frameSize)
 	out = append(out, pipelineMagic...)
 	out = append(out, formatVersion)
 	out = appendString(out, p.cfg.Lossy)
@@ -450,6 +461,20 @@ func DecompressParallel(buf []byte, parallelism int) (*model.StateDict, error) {
 		return nil, fmt.Errorf("%w: section/tag mismatch", ErrCorrupt)
 	}
 	return out, nil
+}
+
+// varintMax is the worst-case uvarint encoding size used when an exact
+// pre-size is not worth computing.
+const varintMax = 10
+
+// varintLen returns the encoded size of v as a uvarint.
+func varintLen(v uint64) int {
+	n := 1
+	for v >= 0x80 {
+		v >>= 7
+		n++
+	}
+	return n
 }
 
 func appendString(dst []byte, s string) []byte {

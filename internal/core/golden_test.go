@@ -1,0 +1,92 @@
+package core
+
+import (
+	"bytes"
+	"flag"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"fedsz/internal/model"
+	"fedsz/internal/tensor"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// goldenStateDict builds a deterministic mini state dict exercising
+// both frame sections: two lossy-path weight tensors, a small weight
+// below threshold, a bias and integer metadata.
+func goldenStateDict(t *testing.T) *model.StateDict {
+	t.Helper()
+	rng := rand.New(rand.NewSource(23))
+	mk := func(shape ...int) *tensor.Tensor {
+		n := 1
+		for _, d := range shape {
+			n *= d
+		}
+		data := make([]float32, n)
+		for i := range data {
+			data[i] = float32(rng.NormFloat64()) * 0.1
+		}
+		tt, err := tensor.FromData(data, shape...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tt
+	}
+	sd := model.NewStateDict()
+	entries := []model.Entry{
+		{Name: "conv1.weight", DType: model.Float32, Tensor: mk(64, 16, 3, 3)},
+		{Name: "conv1.bias", DType: model.Float32, Tensor: mk(64)},
+		{Name: "fc.weight", DType: model.Float32, Tensor: mk(40, 100)},
+		{Name: "norm.weight", DType: model.Float32, Tensor: mk(8)},
+		{Name: "norm.num_batches_tracked", DType: model.Int64, Ints: []int64{12345}},
+	}
+	for _, e := range entries {
+		if err := sd.Add(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return sd
+}
+
+// TestGoldenBitstream pins the end-to-end FedSZ frame format: the full
+// pipeline (frame + sz2 + blosclz metadata) must emit byte-identical
+// streams across refactors, and committed streams must keep decoding.
+func TestGoldenBitstream(t *testing.T) {
+	sd := goldenStateDict(t)
+	p, err := NewPipeline(Config{Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := p.Compress(sd)
+	if err != nil {
+		t.Fatalf("compress: %v", err)
+	}
+	path := filepath.Join("testdata", "frame.golden")
+	if *updateGolden {
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("golden file missing (run with -update): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("pipeline frame diverged from golden wire format (%d vs %d bytes)", len(got), len(want))
+	}
+	out, err := Decompress(want)
+	if err != nil {
+		t.Fatalf("decompress golden: %v", err)
+	}
+	if out.Len() != sd.Len() {
+		t.Fatalf("decoded %d entries, want %d", out.Len(), sd.Len())
+	}
+	for i, e := range out.Entries() {
+		if e.Name != sd.Entries()[i].Name {
+			t.Fatalf("entry %d: name %q want %q", i, e.Name, sd.Entries()[i].Name)
+		}
+	}
+}

@@ -1,0 +1,86 @@
+package huffman
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+// FuzzHuffmanDecode drives the streaming decoder with arbitrary bytes
+// (CI runs it for 10s per PR): it must never panic or over-allocate,
+// and on streams it accepts, the legacy Decode and the streaming
+// DecodeAll must agree symbol-for-symbol.
+func FuzzHuffmanDecode(f *testing.F) {
+	// Seed corpus: valid streams of each encoder shape plus structural
+	// mutations of them.
+	rng := rand.New(rand.NewSource(9))
+	skew := make([]int32, 4000)
+	for i := range skew {
+		skew[i] = int32(rng.NormFloat64()*4) + 32768
+	}
+	valid, err := AppendEncode(nil, skew)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid)
+	tokens := make([]byte, 1000)
+	rng.Read(tokens)
+	f.Add(AppendEncodeBytes(nil, tokens))
+	single, _ := Encode([]int{5, 5, 5})
+	f.Add(single)
+	empty, _ := Encode(nil)
+	f.Add(empty)
+	trunc := append([]byte(nil), valid[:len(valid)/2]...)
+	f.Add(trunc)
+	mangled := append([]byte(nil), valid...)
+	mangled[0] ^= 0xff
+	f.Add(mangled)
+	f.Add([]byte{})
+	f.Add([]byte{0x02, 0x00, 0x01, 0x00})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 1<<16 {
+			return // bound per-exec work; structure, not size, is under test
+		}
+		want, wantErr := Decode(data)
+		d := AcquireDecoder()
+		defer d.Release()
+		if err := d.Open(data); err != nil {
+			if wantErr == nil {
+				t.Fatalf("Open rejected a stream Decode accepted: %v", err)
+			}
+			return
+		}
+		got, gotErr := d.DecodeAll(nil)
+		if (gotErr == nil) != (wantErr == nil) {
+			t.Fatalf("streaming error %v, Decode error %v", gotErr, wantErr)
+		}
+		if gotErr != nil {
+			return
+		}
+		if len(got) != len(want) {
+			t.Fatalf("streaming decoded %d symbols, Decode %d", len(got), len(want))
+		}
+		for i := range got {
+			if int(got[i]) != want[i] {
+				t.Fatalf("symbol %d: streaming %d, Decode %d", i, got[i], want[i])
+			}
+		}
+		// Accepted streams must re-encode losslessly (not byte-identical:
+		// the original may carry a non-canonical but valid table).
+		re, err := AppendEncode(nil, got)
+		if err != nil {
+			t.Fatalf("re-encode of decoded symbols failed: %v", err)
+		}
+		back, err := Decode(re)
+		if err != nil {
+			t.Fatalf("decode of re-encoded stream failed: %v", err)
+		}
+		for i := range back {
+			if back[i] != want[i] {
+				t.Fatalf("re-encode round trip diverged at %d", i)
+			}
+		}
+		_ = bytes.Equal(re, data)
+	})
+}

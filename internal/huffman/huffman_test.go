@@ -1,6 +1,7 @@
 package huffman
 
 import (
+	"encoding/binary"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -134,7 +135,169 @@ func TestQuickRoundTrip(t *testing.T) {
 	}
 }
 
+// TestStreamingDecoderMatchesDecode is the property test for the
+// streaming API: for arbitrary symbol streams, Open/Next and DecodeAll
+// must produce exactly what Decode produces, and a pooled decoder must
+// be reusable across streams.
+func TestStreamingDecoderMatchesDecode(t *testing.T) {
+	d := AcquireDecoder()
+	defer d.Release()
+	f := func(seed int64, count uint16, spread uint16) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(count) % 3000
+		alpha := int(spread)%2000 + 1
+		symbols := make([]int32, n)
+		for i := range symbols {
+			symbols[i] = int32(rng.Intn(alpha))
+		}
+		buf, err := AppendEncode(nil, symbols)
+		if err != nil {
+			return false
+		}
+		want, err := Decode(buf)
+		if err != nil || len(want) != n {
+			return false
+		}
+		// Next, one symbol at a time (decoder reused across iterations).
+		if err := d.Open(buf); err != nil {
+			return false
+		}
+		if d.Count() != n {
+			return false
+		}
+		for i := 0; i < n; i++ {
+			s, err := d.Next()
+			if err != nil || int(s) != want[i] {
+				return false
+			}
+		}
+		if _, err := d.Next(); err == nil {
+			return false // reading past the declared count must fail
+		}
+		// DecodeAll into a reused buffer.
+		if err := d.Open(buf); err != nil {
+			return false
+		}
+		got, err := d.DecodeAll(make([]int32, 0, n))
+		if err != nil || len(got) != n {
+			return false
+		}
+		for i := range got {
+			if int(got[i]) != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAppendEncodeMatchesEncode checks the append-style encoder against
+// the allocating wrapper, including appending after a non-empty prefix.
+func TestAppendEncodeMatchesEncode(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	symbols := make([]int, 5000)
+	s32 := make([]int32, len(symbols))
+	for i := range symbols {
+		symbols[i] = rng.Intn(300)
+		s32[i] = int32(symbols[i])
+	}
+	want, err := Encode(symbols)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prefix := []byte{0xca, 0xfe}
+	got, err := AppendEncode(append([]byte(nil), prefix...), s32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(prefix)+len(want) {
+		t.Fatalf("appended length %d want %d", len(got), len(prefix)+len(want))
+	}
+	for i := range want {
+		if got[len(prefix)+i] != want[i] {
+			t.Fatalf("byte %d differs", i)
+		}
+	}
+}
+
+// TestAppendEncodeBytesMatchesEncode checks the byte-alphabet fast path
+// against the generic encoder.
+func TestAppendEncodeBytesMatchesEncode(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	tokens := make([]byte, 4000)
+	syms := make([]int, len(tokens))
+	for i := range tokens {
+		tokens[i] = byte(rng.Intn(200))
+		syms[i] = int(tokens[i])
+	}
+	want, err := Encode(syms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := AppendEncodeBytes(nil, tokens)
+	if len(got) != len(want) {
+		t.Fatalf("length %d want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("byte %d differs", i)
+		}
+	}
+	back, err := AcquireDecoder(), error(nil)
+	defer back.Release()
+	if err = back.Open(got); err != nil {
+		t.Fatal(err)
+	}
+	dec, err := back.DecodeAllBytes(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dec) != len(tokens) {
+		t.Fatalf("decoded %d tokens want %d", len(dec), len(tokens))
+	}
+	for i := range tokens {
+		if dec[i] != tokens[i] {
+			t.Fatalf("token %d: got %d want %d", i, dec[i], tokens[i])
+		}
+	}
+}
+
+// TestCorruptTableDeltaOverflowRejected crafts a table whose second
+// symbol delta wraps prev around uint64 (5 + (2^64-4) = 1): the decoder
+// must reject it rather than accept an out-of-order table that breaks
+// the canonical counting sort.
+func TestCorruptTableDeltaOverflowRejected(t *testing.T) {
+	var hdr []byte
+	hdr = binary.AppendUvarint(hdr, 2) // symbol count
+	hdr = binary.AppendUvarint(hdr, 2) // table entries
+	hdr = binary.AppendUvarint(hdr, 5) // symbol 5
+	hdr = append(hdr, 1)
+	hdr = binary.AppendUvarint(hdr, ^uint64(3)) // delta wrapping to symbol 1
+	hdr = append(hdr, 1)
+	buf := binary.AppendUvarint(nil, uint64(len(hdr)))
+	buf = append(buf, hdr...)
+	buf = append(buf, 0x40) // body: codes 0,1
+	if _, err := Decode(buf); err == nil {
+		t.Fatal("expected error for delta-overflow table")
+	}
+	d := AcquireDecoder()
+	defer d.Release()
+	if err := d.Open(buf); err == nil {
+		t.Fatal("expected Open error for delta-overflow table")
+	}
+}
+
+func TestSymbolOutOfRangeRejected(t *testing.T) {
+	if _, err := Encode([]int{1, MaxSymbol + 1}); err == nil {
+		t.Fatal("expected error for symbol above MaxSymbol")
+	}
+}
+
 func BenchmarkEncodeSkewed(b *testing.B) {
+	b.ReportAllocs()
 	rng := rand.New(rand.NewSource(1))
 	symbols := make([]int, 1<<16)
 	for i := range symbols {
@@ -150,6 +313,7 @@ func BenchmarkEncodeSkewed(b *testing.B) {
 }
 
 func BenchmarkDecodeSkewed(b *testing.B) {
+	b.ReportAllocs()
 	rng := rand.New(rand.NewSource(1))
 	symbols := make([]int, 1<<16)
 	for i := range symbols {
@@ -163,6 +327,35 @@ func BenchmarkDecodeSkewed(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := Decode(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkStreamingDecodeSkewed measures the pooled streaming decoder
+// on the same workload as BenchmarkDecodeSkewed — the allocation-free
+// path the SZ decompressors use.
+func BenchmarkStreamingDecodeSkewed(b *testing.B) {
+	b.ReportAllocs()
+	rng := rand.New(rand.NewSource(1))
+	symbols := make([]int32, 1<<16)
+	for i := range symbols {
+		symbols[i] = int32(rng.NormFloat64()*4) + 32768
+	}
+	buf, err := AppendEncode(nil, symbols)
+	if err != nil {
+		b.Fatal(err)
+	}
+	d := AcquireDecoder()
+	defer d.Release()
+	dst := make([]int32, 0, len(symbols))
+	b.SetBytes(int64(len(symbols) * 4))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := d.Open(buf); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := d.DecodeAll(dst[:0]); err != nil {
 			b.Fatal(err)
 		}
 	}

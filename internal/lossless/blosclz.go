@@ -28,12 +28,17 @@ func (c *BloscLZ) Name() string { return NameBloscLZ }
 
 // Compress implements Codec.
 func (c *BloscLZ) Compress(src []byte) ([]byte, error) {
+	return c.AppendCompress(make([]byte, 0, len(src)/2+16), src)
+}
+
+// AppendCompress implements Codec.
+func (c *BloscLZ) AppendCompress(dst, src []byte) ([]byte, error) {
 	elem := c.elemSize
 	if len(src)%elem != 0 || len(src) < 2*elem {
 		elem = 1 // shuffle needs whole elements
 	}
 	shuffled := shuffle(src, elem)
-	out := make([]byte, 0, len(src)/2+16)
+	out := dst
 	out = binary.AppendUvarint(out, uint64(len(src)))
 	out = append(out, byte(elem))
 	out = lzCompress(out, shuffled, lzParams{
@@ -61,7 +66,7 @@ func (c *BloscLZ) Decompress(src []byte) ([]byte, error) {
 	if elem < 1 {
 		return nil, fmt.Errorf("%w: blosclz element size", ErrCorrupt)
 	}
-	shuffled, err := lzDecompress(src[n+1:], int(origLen), false)
+	shuffled, err := lzDecompress(nil, src[n+1:], int(origLen), false)
 	if err != nil {
 		return nil, err
 	}

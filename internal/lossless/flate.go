@@ -45,6 +45,17 @@ func (c *flateCodec) Compress(src []byte) ([]byte, error) {
 	return buf.Bytes(), nil
 }
 
+// AppendCompress implements Codec. DEFLATE streams through an internal
+// bytes.Buffer, so this append variant costs one copy — acceptable on
+// the metadata path these codecs serve.
+func (c *flateCodec) AppendCompress(dst, src []byte) ([]byte, error) {
+	out, err := c.Compress(src)
+	if err != nil {
+		return nil, err
+	}
+	return append(dst, out...), nil
+}
+
 // Decompress implements Codec.
 func (c *flateCodec) Decompress(src []byte) ([]byte, error) {
 	var r io.ReadCloser

@@ -1,0 +1,62 @@
+package lossless
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+// FuzzLZHDecompress drives the LZH (zstd-like profile) decoder with
+// arbitrary bytes (CI runs it for 10s per PR): it must never panic or
+// over-allocate, streams it accepts must round-trip through Compress,
+// and the append variant must agree with the plain one.
+func FuzzLZHDecompress(f *testing.F) {
+	c := NewLZH(ProfileZstd)
+	rng := rand.New(rand.NewSource(21))
+	compressible := bytes.Repeat([]byte("abcabcabd0123"), 200)
+	random := make([]byte, 1500)
+	rng.Read(random)
+	for _, src := range [][]byte{compressible, random, []byte("x"), nil} {
+		enc, err := c.Compress(src)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(enc)
+	}
+	enc, _ := c.Compress(compressible)
+	trunc := append([]byte(nil), enc[:len(enc)/2]...)
+	f.Add(trunc)
+	mangled := append([]byte(nil), enc...)
+	mangled[len(mangled)/2] ^= 0x40
+	f.Add(mangled)
+	f.Add([]byte{})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 1<<16 {
+			return // bound per-exec work; structure, not size, is under test
+		}
+		out, err := c.Decompress(data)
+		appended, appErr := c.AppendDecompress([]byte{0xEE}, data)
+		if (err == nil) != (appErr == nil) {
+			t.Fatalf("Decompress err %v, AppendDecompress err %v", err, appErr)
+		}
+		if err != nil {
+			return
+		}
+		if len(appended) != 1+len(out) || appended[0] != 0xEE || !bytes.Equal(appended[1:], out) {
+			t.Fatal("AppendDecompress disagrees with Decompress")
+		}
+		re, err := c.Compress(out)
+		if err != nil {
+			t.Fatalf("re-compress of decoded output failed: %v", err)
+		}
+		back, err := c.Decompress(re)
+		if err != nil {
+			t.Fatalf("round trip decode failed: %v", err)
+		}
+		if !bytes.Equal(back, out) {
+			t.Fatal("round trip diverged")
+		}
+	})
+}

@@ -1,0 +1,115 @@
+package lossless
+
+import (
+	"bytes"
+	"flag"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// goldenInput mimics an SZ payload: varint-ish header bytes, a run of
+// packed float32 outliers and a Huffman body with byte-level repetition.
+func goldenInput(n int) []byte {
+	rng := rand.New(rand.NewSource(17))
+	out := make([]byte, n)
+	for i := range out {
+		switch {
+		case rng.Float64() < 0.6:
+			out[i] = byte(rng.Intn(8))
+		case rng.Float64() < 0.8:
+			out[i] = out[max(0, i-64)]
+		default:
+			out[i] = byte(rng.Intn(256))
+		}
+	}
+	return out
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// TestGoldenBitstream pins the lossless wire formats: every codec's
+// compressed output must stay byte-identical to the committed golden
+// streams, and the golden streams must keep decompressing.
+func TestGoldenBitstream(t *testing.T) {
+	src := goldenInput(60000)
+	for _, name := range Names() {
+		t.Run(name, func(t *testing.T) {
+			c, err := New(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := c.Compress(src)
+			if err != nil {
+				t.Fatalf("compress: %v", err)
+			}
+			path := filepath.Join("testdata", name+".golden")
+			if *updateGolden {
+				if err := os.MkdirAll("testdata", 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, got, 0o644); err != nil {
+					t.Fatal(err)
+				}
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("golden file missing (run with -update): %v", err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Fatalf("%s: compressed stream diverged from golden wire format (%d vs %d bytes)", name, len(got), len(want))
+			}
+			dec, err := c.Decompress(want)
+			if err != nil {
+				t.Fatalf("decompress golden: %v", err)
+			}
+			if !bytes.Equal(dec, src) {
+				t.Fatalf("%s: golden stream did not decode to original input", name)
+			}
+		})
+	}
+}
+
+// TestAppendCompressMatchesCompress checks every codec's append-style
+// variant against Compress, including appending after a live prefix,
+// and (where supported) AppendDecompress against Decompress.
+func TestAppendCompressMatchesCompress(t *testing.T) {
+	src := goldenInput(20000)
+	prefix := []byte{1, 2, 3}
+	for _, name := range Names() {
+		c, err := New(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := c.Compress(src)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		got, err := c.AppendCompress(append([]byte(nil), prefix...), src)
+		if err != nil {
+			t.Fatalf("%s append: %v", name, err)
+		}
+		if !bytes.Equal(got[:len(prefix)], prefix) || !bytes.Equal(got[len(prefix):], want) {
+			t.Fatalf("%s: AppendCompress disagrees with Compress", name)
+		}
+		ad, ok := c.(AppendDecompressor)
+		if !ok {
+			continue
+		}
+		dec, err := ad.AppendDecompress(append([]byte(nil), prefix...), want)
+		if err != nil {
+			t.Fatalf("%s append-decompress: %v", name, err)
+		}
+		if !bytes.Equal(dec[:len(prefix)], prefix) || !bytes.Equal(dec[len(prefix):], src) {
+			t.Fatalf("%s: AppendDecompress disagrees with Decompress", name)
+		}
+	}
+}

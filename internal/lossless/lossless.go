@@ -11,6 +11,7 @@ package lossless
 import (
 	"errors"
 	"fmt"
+	"sync"
 )
 
 // Codec is a lossless byte compressor.
@@ -19,9 +20,56 @@ type Codec interface {
 	Name() string
 	// Compress encodes src into a self-describing buffer.
 	Compress(src []byte) ([]byte, error)
+	// AppendCompress appends the encoding of src to dst and returns the
+	// extended buffer, letting callers assemble frames without an
+	// intermediate copy. dst may be nil; the bytes appended are exactly
+	// what Compress would return.
+	AppendCompress(dst, src []byte) ([]byte, error)
 	// Decompress decodes a buffer produced by Compress.
 	Decompress(src []byte) ([]byte, error)
 }
+
+// AppendDecompressor is implemented by codecs whose Decompress can
+// write into a caller-supplied buffer. Callers that decompress
+// transient payloads (e.g. the SZ lossless stage) probe for it to
+// recycle scratch across calls.
+type AppendDecompressor interface {
+	// AppendDecompress appends the decoded bytes to dst and returns the
+	// extended buffer. dst may be nil.
+	AppendDecompress(dst, src []byte) ([]byte, error)
+}
+
+// payloadScratch recycles the transient buffers handed out by
+// DecompressTransient.
+var payloadScratch = sync.Pool{
+	New: func() interface{} { return new([]byte) },
+}
+
+// DecompressTransient decompresses src through c, writing into pooled
+// scratch when the codec supports append-style decompression — the
+// shared unwrap step of the SZ decompressors, whose payloads are fully
+// consumed before they return. When the returned scratch handle is
+// non-nil, the payload's backing buffer is pooled: pass the handle to
+// ReleaseTransient once the payload is no longer referenced.
+func DecompressTransient(c Codec, src []byte) (payload []byte, scratch *[]byte, err error) {
+	ad, ok := c.(AppendDecompressor)
+	if !ok {
+		payload, err = c.Decompress(src)
+		return payload, nil, err
+	}
+	psc := payloadScratch.Get().(*[]byte)
+	payload, err = ad.AppendDecompress((*psc)[:0], src)
+	if err != nil {
+		payloadScratch.Put(psc)
+		return nil, nil, err
+	}
+	*psc = payload[:0] // keep the (possibly grown) buffer with the handle
+	return payload, psc, nil
+}
+
+// ReleaseTransient returns a scratch handle obtained from
+// DecompressTransient to the pool.
+func ReleaseTransient(scratch *[]byte) { payloadScratch.Put(scratch) }
 
 // ErrCorrupt reports a malformed compressed buffer.
 var ErrCorrupt = errors.New("lossless: corrupt compressed buffer")

@@ -157,15 +157,15 @@ func TestCorruptInputs(t *testing.T) {
 func TestLZTokenStreamCorruption(t *testing.T) {
 	// Match distance pointing before the start of output must error.
 	stream := []byte{0x80, 0x10, 0x00} // match len 4 dist 17 at position 0
-	if _, err := lzDecompress(stream, 4, false); err == nil {
+	if _, err := lzDecompress(nil, stream, 4, false); err == nil {
 		t.Fatal("expected error for out-of-range distance")
 	}
 	// Truncated literal run.
-	if _, err := lzDecompress([]byte{0x05, 'a'}, 6, false); err == nil {
+	if _, err := lzDecompress(nil, []byte{0x05, 'a'}, 6, false); err == nil {
 		t.Fatal("expected error for truncated literals")
 	}
 	// Wrong declared length.
-	if _, err := lzDecompress([]byte{0x00, 'a'}, 2, false); err == nil {
+	if _, err := lzDecompress(nil, []byte{0x00, 'a'}, 2, false); err == nil {
 		t.Fatal("expected error for length mismatch")
 	}
 }
@@ -210,6 +210,7 @@ func TestQuickRoundTripBloscAndLZH(t *testing.T) {
 }
 
 func BenchmarkCodecs(b *testing.B) {
+	b.ReportAllocs()
 	rng := rand.New(rand.NewSource(42))
 	data := make([]byte, 0, 1<<20)
 	for i := 0; i < 1<<18; i++ {

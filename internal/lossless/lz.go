@@ -181,19 +181,25 @@ func appendMatch(dst []byte, mlen, dist int, dist3 bool) []byte {
 	return dst
 }
 
-// lzDecompress decodes a token stream into exactly origLen bytes.
-func lzDecompress(src []byte, origLen int, dist3 bool) ([]byte, error) {
+// lzDecompress appends the decoding of a token stream — exactly
+// origLen bytes — to dst (which may be nil). Matches may only
+// reference bytes produced by this call, never dst's existing prefix.
+func lzDecompress(dst, src []byte, origLen int, dist3 bool) ([]byte, error) {
 	if origLen < 0 {
 		return nil, fmt.Errorf("%w: negative length", ErrCorrupt)
 	}
 	// origLen comes from an untrusted header: cap the preallocation and
 	// let append grow toward genuinely large outputs instead of letting
 	// a hostile length drive an OOM up front.
-	capHint := origLen
-	if capHint > 1<<20 {
-		capHint = 1 << 20
+	if dst == nil {
+		capHint := origLen
+		if capHint > 1<<20 {
+			capHint = 1 << 20
+		}
+		dst = make([]byte, 0, capHint)
 	}
-	out := make([]byte, 0, capHint)
+	out := dst
+	base := len(out)
 	pos := 0
 	for pos < len(src) {
 		ctrl := src[pos]
@@ -219,7 +225,7 @@ func lzDecompress(src []byte, origLen int, dist3 bool) ([]byte, error) {
 		}
 		// A match can never produce more bytes than the declared output
 		// has left; a hostile extension would otherwise copy unbounded.
-		if mlen < 0 || mlen > origLen-len(out) {
+		if mlen < 0 || mlen > origLen-(len(out)-base) {
 			return nil, fmt.Errorf("%w: match length %d overruns output", ErrCorrupt, mlen)
 		}
 		dBytes := 2
@@ -236,15 +242,15 @@ func lzDecompress(src []byte, origLen int, dist3 bool) ([]byte, error) {
 		dist++
 		pos += dBytes
 		start := len(out) - dist
-		if start < 0 {
+		if start < base {
 			return nil, fmt.Errorf("%w: match distance %d before start", ErrCorrupt, dist)
 		}
 		for k := 0; k < mlen; k++ { // byte-wise copy handles overlap
 			out = append(out, out[start+k])
 		}
 	}
-	if len(out) != origLen {
-		return nil, fmt.Errorf("%w: decoded %d bytes, want %d", ErrCorrupt, len(out), origLen)
+	if len(out)-base != origLen {
+		return nil, fmt.Errorf("%w: decoded %d bytes, want %d", ErrCorrupt, len(out)-base, origLen)
 	}
 	return out, nil
 }

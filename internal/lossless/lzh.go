@@ -3,6 +3,7 @@ package lossless
 import (
 	"encoding/binary"
 	"fmt"
+	"sync"
 
 	"fedsz/internal/huffman"
 )
@@ -19,6 +20,13 @@ const (
 	// xz's Table II position.
 	ProfileXz
 )
+
+// tokenPool recycles the LZ token scratch shared by the LZH encode and
+// decode paths — one byte-ish per input byte, the stage's largest
+// transient buffer.
+var tokenPool = sync.Pool{
+	New: func() interface{} { return new([]byte) },
+}
 
 // LZH is an LZ77 + canonical-Huffman codec. Two profiles stand in for
 // zstd and xz (see DESIGN.md §1 for the substitution rationale).
@@ -52,37 +60,48 @@ func (c *LZH) Name() string {
 
 // Compress implements Codec.
 func (c *LZH) Compress(src []byte) ([]byte, error) {
-	tokens := lzCompress(nil, src, c.params)
-	syms := make([]int, len(tokens))
-	for i, b := range tokens {
-		syms[i] = int(b)
-	}
-	enc, err := huffman.Encode(syms)
-	if err != nil {
-		return nil, fmt.Errorf("lossless: %s entropy stage: %w", c.Name(), err)
-	}
-	out := make([]byte, 0, len(enc)+10)
-	out = binary.AppendUvarint(out, uint64(len(src)))
-	out = append(out, enc...)
-	return out, nil
+	return c.AppendCompress(make([]byte, 0, len(src)/2+16), src)
+}
+
+// AppendCompress implements Codec. The LZ token stream goes straight
+// from pooled scratch into the Huffman append encoder, so the only
+// buffer growing is dst itself.
+func (c *LZH) AppendCompress(dst, src []byte) ([]byte, error) {
+	sc := tokenPool.Get().(*[]byte)
+	tokens := lzCompress((*sc)[:0], src, c.params)
+	dst = binary.AppendUvarint(dst, uint64(len(src)))
+	dst = huffman.AppendEncodeBytes(dst, tokens)
+	*sc = tokens[:0]
+	tokenPool.Put(sc)
+	return dst, nil
 }
 
 // Decompress implements Codec.
 func (c *LZH) Decompress(src []byte) ([]byte, error) {
+	return c.AppendDecompress(nil, src)
+}
+
+// AppendDecompress implements AppendDecompressor: the entropy stage
+// streams tokens into pooled scratch and the LZ expansion appends
+// directly to dst, so the call allocates nothing beyond dst's growth.
+func (c *LZH) AppendDecompress(dst, src []byte) ([]byte, error) {
 	origLen, n := binary.Uvarint(src)
 	if n <= 0 {
 		return nil, fmt.Errorf("%w: %s header", ErrCorrupt, c.Name())
 	}
-	syms, err := huffman.Decode(src[n:])
+	d := huffman.AcquireDecoder()
+	defer d.Release()
+	if err := d.Open(src[n:]); err != nil {
+		return nil, fmt.Errorf("%w: %s: %v", ErrCorrupt, c.Name(), err)
+	}
+	sc := tokenPool.Get().(*[]byte)
+	defer func() {
+		tokenPool.Put(sc)
+	}()
+	tokens, err := d.DecodeAllBytes((*sc)[:0])
+	*sc = tokens[:0]
 	if err != nil {
 		return nil, fmt.Errorf("%w: %s: %v", ErrCorrupt, c.Name(), err)
 	}
-	tokens := make([]byte, len(syms))
-	for i, s := range syms {
-		if s < 0 || s > 255 {
-			return nil, fmt.Errorf("%w: %s token %d", ErrCorrupt, c.Name(), s)
-		}
-		tokens[i] = byte(s)
-	}
-	return lzDecompress(tokens, int(origLen), c.params.dist3)
+	return lzDecompress(dst, tokens, int(origLen), c.params.dist3)
 }

@@ -113,18 +113,27 @@ const (
 // ErrCorrupt reports a malformed compressed buffer.
 var ErrCorrupt = errors.New("lossy: corrupt compressed buffer")
 
+// MaxHeaderLen bounds the encoded size of the container header —
+// useful for pre-sizing output buffers before AppendHeader.
+const MaxHeaderLen = magicLen + 1 + 10 + 8
+
 // WriteHeader prepends the standard container header for the given
 // magic (exactly 4 bytes), element count and absolute bound.
 func WriteHeader(magic string, count int, absBound float64) []byte {
+	return AppendHeader(make([]byte, 0, MaxHeaderLen), magic, count, absBound)
+}
+
+// AppendHeader appends the standard container header to dst, letting
+// compressors assemble header and payload in one pre-sized buffer.
+func AppendHeader(dst []byte, magic string, count int, absBound float64) []byte {
 	if len(magic) != magicLen {
 		panic("lossy: magic must be 4 bytes")
 	}
-	out := make([]byte, 0, magicLen+1+10+8)
-	out = append(out, magic...)
-	out = append(out, headerVersion)
-	out = binary.AppendUvarint(out, uint64(count))
-	out = binary.LittleEndian.AppendUint64(out, math.Float64bits(absBound))
-	return out
+	dst = append(dst, magic...)
+	dst = append(dst, headerVersion)
+	dst = binary.AppendUvarint(dst, uint64(count))
+	dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(absBound))
+	return dst
 }
 
 // ReadHeader validates and strips the container header, returning the

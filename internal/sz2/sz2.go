@@ -19,6 +19,12 @@
 //
 // Decompression reproduces every value within the absolute error bound
 // recorded in the header; this is asserted by property-based tests.
+//
+// Both directions run allocation-free beyond their output buffer: all
+// scratch (quantization codes, the payload assembly buffer, block
+// metadata) is pooled, the entropy stage is consumed through the
+// streaming huffman.Decoder fused with the predictor-reconstruction
+// loop, and the lossless wrap appends directly into the output frame.
 package sz2
 
 import (
@@ -33,10 +39,20 @@ import (
 	"fedsz/internal/quant"
 )
 
-// codesPool recycles the quantization-code scratch slice — one int per
-// input element, the largest transient allocation on the encode path.
-var codesPool = sync.Pool{
-	New: func() interface{} { return new([]int) },
+// compScratch bundles the encode-side transients — the quantization
+// codes (one int32 per element, the largest), block modes, regression
+// coefficients, outliers and the assembled payload — recycled across
+// Compress calls.
+type compScratch struct {
+	codes    []int32
+	modes    []byte
+	coeffs   []float32
+	outliers []float32
+	payload  []byte
+}
+
+var compPool = sync.Pool{
+	New: func() interface{} { return new(compScratch) },
 }
 
 const (
@@ -95,19 +111,22 @@ func (s *Compressor) Compress(data []float32, p lossy.Params) ([]byte, error) {
 	if err != nil {
 		return nil, fmt.Errorf("sz2: %w", err)
 	}
-	out := lossy.WriteHeader(magic, len(data), eb)
 	if len(data) == 0 {
-		return out, nil
+		return lossy.WriteHeader(magic, 0, eb), nil
 	}
 	q := quant.New(eb, 0)
 	radius := q.Radius()
 
 	nBlocks := (len(data) + BlockSize - 1) / BlockSize
-	modes := make([]byte, nBlocks)
-	coeffs := make([]float32, 0, 16) // a,b pairs for regression blocks
-	scratch := codesPool.Get().(*[]int)
-	codes := (*scratch)[:0]
-	outliers := make([]float32, 0, 16)
+	sc := compPool.Get().(*compScratch)
+	defer compPool.Put(sc)
+	if cap(sc.modes) < nBlocks {
+		sc.modes = make([]byte, nBlocks)
+	}
+	modes := sc.modes[:nBlocks]
+	coeffs := sc.coeffs[:0] // a,b pairs for regression blocks
+	codes := sc.codes[:0]
+	outliers := sc.outliers[:0]
 
 	prevRecon := 0.0 // reconstruction of the last value of the previous block
 	for b := 0; b < nBlocks; b++ {
@@ -156,22 +175,17 @@ func (s *Compressor) Compress(data []float32, p lossy.Params) ([]byte, error) {
 				recon = float64(v)
 				continue
 			}
-			codes = append(codes, code+radius+1)
+			codes = append(codes, int32(code+radius+1))
 			recon = r
 		}
 		prevRecon = recon
 	}
 
-	huff, err := huffman.Encode(codes)
-	*scratch = codes[:0] // Encode does not retain codes
-	codesPool.Put(scratch)
-	if err != nil {
-		return nil, fmt.Errorf("sz2: entropy stage: %w", err)
-	}
-
-	payload := make([]byte, 0, len(huff)+len(outliers)*4+nBlocks)
+	// Payload: radius, packed modes, coefficients, outliers, then the
+	// entropy stream appended in place.
+	payload := sc.payload[:0]
 	payload = binary.AppendUvarint(payload, uint64(radius))
-	payload = append(payload, packModes(modes)...)
+	payload = appendPackedModes(payload, modes)
 	payload = binary.AppendUvarint(payload, uint64(len(coeffs)))
 	for _, c := range coeffs {
 		payload = binary.LittleEndian.AppendUint32(payload, math.Float32bits(c))
@@ -180,17 +194,28 @@ func (s *Compressor) Compress(data []float32, p lossy.Params) ([]byte, error) {
 	for _, v := range outliers {
 		payload = binary.LittleEndian.AppendUint32(payload, math.Float32bits(v))
 	}
-	payload = append(payload, huff...)
+	payload, err = huffman.AppendEncode(payload, codes)
+	// Return the (possibly grown) scratch slices to the pool entry.
+	sc.codes, sc.coeffs, sc.outliers, sc.payload = codes[:0], coeffs[:0], outliers[:0], payload[:0]
+	if err != nil {
+		return nil, fmt.Errorf("sz2: entropy stage: %w", err)
+	}
 
+	// One pre-sized output buffer: header, stage flag, then either the
+	// lossless wrap appended in place or the raw payload.
+	out := make([]byte, 0, lossy.MaxHeaderLen+1+len(payload))
+	out = lossy.AppendHeader(out, magic, len(data), eb)
 	if s.backend != nil {
-		wrapped, err := s.backend.Compress(payload)
+		mark := len(out)
+		out = append(out, 1)
+		out, err = s.backend.AppendCompress(out, payload)
 		if err != nil {
 			return nil, fmt.Errorf("sz2: lossless stage: %w", err)
 		}
-		if len(wrapped) < len(payload) {
-			out = append(out, 1)
-			return append(out, wrapped...), nil
+		if len(out)-mark-1 < len(payload) {
+			return out, nil
 		}
+		out = out[:mark] // wrap did not shrink: fall back to raw payload
 	}
 	out = append(out, 0)
 	return append(out, payload...), nil
@@ -215,7 +240,15 @@ func (s *Compressor) Decompress(buf []byte) ([]float32, error) {
 		if backend == nil {
 			backend = lossless.NewLZH(lossless.ProfileZstd)
 		}
-		payload, err = backend.Decompress(payload)
+		// The unwrapped payload is transient (fully consumed before
+		// return), so it lives in pooled scratch, recycled only after
+		// the entropy decoder — which reads straight out of payload —
+		// has finished.
+		var psc *[]byte
+		payload, psc, err = lossless.DecompressTransient(backend, payload)
+		if psc != nil {
+			defer lossless.ReleaseTransient(psc)
+		}
 		if err != nil {
 			return nil, fmt.Errorf("%w: sz2 lossless stage: %v", lossy.ErrCorrupt, err)
 		}
@@ -233,7 +266,7 @@ func (s *Compressor) Decompress(buf []byte) ([]float32, error) {
 	if len(payload) < modeBytes {
 		return nil, fmt.Errorf("%w: sz2 block modes", lossy.ErrCorrupt)
 	}
-	modes := unpackModes(payload[:modeBytes], nBlocks)
+	packedModes := payload[:modeBytes]
 	payload = payload[modeBytes:]
 
 	nCoeffs, n := binary.Uvarint(payload)
@@ -242,29 +275,27 @@ func (s *Compressor) Decompress(buf []byte) ([]float32, error) {
 		return nil, fmt.Errorf("%w: sz2 coefficients", lossy.ErrCorrupt)
 	}
 	payload = payload[n:]
-	coeffs := make([]float32, nCoeffs)
-	for i := range coeffs {
-		coeffs[i] = math.Float32frombits(binary.LittleEndian.Uint32(payload[i*4:]))
-	}
-	payload = payload[nCoeffs*4:]
+	coeffBytes := payload[:int(nCoeffs)*4]
+	payload = payload[int(nCoeffs)*4:]
 
 	nOut, n := binary.Uvarint(payload)
 	if n <= 0 || nOut > uint64(len(payload)-n)/4 {
 		return nil, fmt.Errorf("%w: sz2 outliers", lossy.ErrCorrupt)
 	}
 	payload = payload[n:]
-	outliers := make([]float32, nOut)
-	for i := range outliers {
-		outliers[i] = math.Float32frombits(binary.LittleEndian.Uint32(payload[i*4:]))
-	}
-	payload = payload[nOut*4:]
+	outlierBytes := payload[:int(nOut)*4]
+	payload = payload[int(nOut)*4:]
 
-	codes, err := huffman.Decode(payload)
-	if err != nil {
+	// Entropy stage, streamed: the decoder is fused with the
+	// reconstruction loop below, so no code array is materialized — the
+	// output slice is this function's only sizeable allocation.
+	dec := huffman.AcquireDecoder()
+	defer dec.Release()
+	if err := dec.Open(payload); err != nil {
 		return nil, fmt.Errorf("%w: sz2 entropy stage: %v", lossy.ErrCorrupt, err)
 	}
-	if len(codes) != count {
-		return nil, fmt.Errorf("%w: sz2 code count %d != %d", lossy.ErrCorrupt, len(codes), count)
+	if dec.Count() != count {
+		return nil, fmt.Errorf("%w: sz2 code count %d != %d", lossy.ErrCorrupt, dec.Count(), count)
 	}
 
 	q := quant.New(eb, radius)
@@ -277,23 +308,27 @@ func (s *Compressor) Decompress(buf []byte) ([]float32, error) {
 		if hi > count {
 			hi = count
 		}
-		mode := modes[b]
+		mode := packedModes[b/4] >> uint((b%4)*2) & 3
 		var a0, a1 float64
 		if mode == predRegress {
-			if ci+2 > len(coeffs) {
+			if (ci+2)*4 > len(coeffBytes) {
 				return nil, fmt.Errorf("%w: sz2 coefficient underrun", lossy.ErrCorrupt)
 			}
-			a0, a1 = float64(coeffs[ci]), float64(coeffs[ci+1])
+			a0 = float64(math.Float32frombits(binary.LittleEndian.Uint32(coeffBytes[ci*4:])))
+			a1 = float64(math.Float32frombits(binary.LittleEndian.Uint32(coeffBytes[ci*4+4:])))
 			ci += 2
 		}
 		recon := prevRecon
 		for i := 0; i < hi-lo; i++ {
-			code := codes[lo+i]
+			code, err := dec.Next()
+			if err != nil {
+				return nil, fmt.Errorf("%w: sz2 entropy stage: %v", lossy.ErrCorrupt, err)
+			}
 			if code == 0 {
-				if oi >= len(outliers) {
+				if (oi+1)*4 > len(outlierBytes) {
 					return nil, fmt.Errorf("%w: sz2 outlier underrun", lossy.ErrCorrupt)
 				}
-				recon = float64(outliers[oi])
+				recon = float64(math.Float32frombits(binary.LittleEndian.Uint32(outlierBytes[oi*4:])))
 				oi++
 			} else {
 				var pred float64
@@ -302,7 +337,7 @@ func (s *Compressor) Decompress(buf []byte) ([]float32, error) {
 				} else {
 					pred = recon
 				}
-				recon = q.Decode(code-radius-1, pred)
+				recon = q.Decode(int(code)-radius-1, pred)
 			}
 			out[lo+i] = float32(recon)
 			recon = float64(out[lo+i])
@@ -362,20 +397,14 @@ func regressionWins(block []float32, prev float64, a0, a1 float64) bool {
 	return regress < lorenzo*0.8
 }
 
-// packModes packs 2-bit block modes, four per byte.
-func packModes(modes []byte) []byte {
-	out := make([]byte, (len(modes)+3)/4)
-	for i, m := range modes {
-		out[i/4] |= (m & 3) << uint((i%4)*2)
+// appendPackedModes appends the 2-bit block modes, four per byte.
+func appendPackedModes(dst []byte, modes []byte) []byte {
+	for i := 0; i < len(modes); i += 4 {
+		var b byte
+		for j := 0; j < 4 && i+j < len(modes); j++ {
+			b |= (modes[i+j] & 3) << uint(j*2)
+		}
+		dst = append(dst, b)
 	}
-	return out
-}
-
-// unpackModes reverses packModes.
-func unpackModes(packed []byte, n int) []byte {
-	out := make([]byte, n)
-	for i := range out {
-		out[i] = (packed[i/4] >> uint((i%4)*2)) & 3
-	}
-	return out
+	return dst
 }

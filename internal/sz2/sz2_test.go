@@ -106,16 +106,20 @@ func TestFitLine(t *testing.T) {
 
 func TestPackModes(t *testing.T) {
 	modes := []byte{0, 1, 0, 1, 1, 0, 1}
-	packed := packModes(modes)
-	got := unpackModes(packed, len(modes))
+	packed := appendPackedModes(nil, modes)
+	if len(packed) != 2 {
+		t.Fatalf("packed %d bytes, want 2", len(packed))
+	}
 	for i := range modes {
-		if got[i] != modes[i] {
-			t.Fatalf("mode %d: got %d want %d", i, got[i], modes[i])
+		got := packed[i/4] >> uint((i%4)*2) & 3
+		if got != modes[i] {
+			t.Fatalf("mode %d: got %d want %d", i, got, modes[i])
 		}
 	}
 }
 
 func BenchmarkCompress(b *testing.B) {
+	b.ReportAllocs()
 	rng := rand.New(rand.NewSource(1))
 	data := make([]float32, 1<<20)
 	for i := range data {
@@ -132,6 +136,7 @@ func BenchmarkCompress(b *testing.B) {
 }
 
 func BenchmarkDecompress(b *testing.B) {
+	b.ReportAllocs()
 	rng := rand.New(rand.NewSource(1))
 	data := make([]float32, 1<<20)
 	for i := range data {

@@ -1,0 +1,75 @@
+package sz3
+
+import (
+	"bytes"
+	"flag"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"fedsz/internal/lossy"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+func goldenData(n int) []float32 {
+	rng := rand.New(rand.NewSource(13))
+	data := make([]float32, n)
+	for i := range data {
+		data[i] = float32(i%613)*2e-3 + float32(rng.NormFloat64())*0.04
+		if rng.Float64() < 0.002 {
+			data[i] *= 1e4
+		}
+	}
+	return data
+}
+
+// TestGoldenBitstream pins the SZ3 wire format (see the sz2 golden test
+// for the contract: new encoders byte-identical, old streams decode).
+func TestGoldenBitstream(t *testing.T) {
+	data := goldenData(30000)
+	cases := []struct {
+		name string
+		c    *Compressor
+		p    lossy.Params
+	}{
+		{"rel1e2", New(), lossy.RelBound(1e-2)},
+		{"linear_nolossless", New(WithLinearOnly(), WithLosslessStage(nil)), lossy.AbsBound(1e-3)},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got, err := tc.c.Compress(data, tc.p)
+			if err != nil {
+				t.Fatalf("compress: %v", err)
+			}
+			path := filepath.Join("testdata", "sz3_"+tc.name+".golden")
+			if *updateGolden {
+				if err := os.MkdirAll("testdata", 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, got, 0o644); err != nil {
+					t.Fatal(err)
+				}
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("golden file missing (run with -update): %v", err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Fatalf("%s: compressed stream diverged from golden wire format (%d vs %d bytes)", tc.name, len(got), len(want))
+			}
+			dec, err := tc.c.Decompress(want)
+			if err != nil {
+				t.Fatalf("decompress golden: %v", err)
+			}
+			eb, err := tc.p.Resolve(data)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if e := lossy.MaxAbsError(data, dec); e > eb {
+				t.Fatalf("golden decode error %g exceeds bound %g", e, eb)
+			}
+		})
+	}
+}

@@ -11,12 +11,18 @@
 // lossless backend as SZ2. This reproduces the paper's observation that
 // SZ3 reaches similar ratios to SZ2 on spiky 1-D data at lower
 // throughput (the predictor is costlier and level-ordered).
+//
+// Like sz2, the hot paths are pooled and the decode side fuses the
+// streaming entropy decoder with the interpolation walk, reconstructing
+// directly into the output slice (reconstructions are float32-rounded
+// on both sides, so no float64 shadow array is needed).
 package sz3
 
 import (
 	"encoding/binary"
 	"fmt"
 	"math"
+	"sync"
 
 	"fedsz/internal/huffman"
 	"fedsz/internal/lossless"
@@ -25,6 +31,19 @@ import (
 )
 
 const magic = "SZ3\x01"
+
+// compScratch bundles the encode-side transients, recycled across
+// Compress calls.
+type compScratch struct {
+	codes    []int32
+	recon    []float32
+	outliers []float32
+	payload  []byte
+}
+
+var compPool = sync.Pool{
+	New: func() interface{} { return new(compScratch) },
+}
 
 // Option configures the compressor.
 type Option func(*Compressor)
@@ -65,17 +84,21 @@ func (s *Compressor) Compress(data []float32, p lossy.Params) ([]byte, error) {
 	if err != nil {
 		return nil, fmt.Errorf("sz3: %w", err)
 	}
-	out := lossy.WriteHeader(magic, len(data), eb)
 	if len(data) == 0 {
-		return out, nil
+		return lossy.WriteHeader(magic, 0, eb), nil
 	}
 	q := quant.New(eb, 0)
 	radius := q.Radius()
 
-	recon := make([]float64, len(data))
-	recon[0] = float64(data[0]) // anchor stored exactly
-	codes := make([]int, 0, len(data))
-	outliers := make([]float32, 0, 16)
+	sc := compPool.Get().(*compScratch)
+	defer compPool.Put(sc)
+	if cap(sc.recon) < len(data) {
+		sc.recon = make([]float32, len(data))
+	}
+	recon := sc.recon[:len(data)]
+	recon[0] = data[0] // anchor stored exactly
+	codes := sc.codes[:0]
+	outliers := sc.outliers[:0]
 
 	visit(len(data), func(i, s_ int, cubicOK bool) {
 		pred := s.predict(recon, i, s_, cubicOK)
@@ -89,19 +112,14 @@ func (s *Compressor) Compress(data []float32, p lossy.Params) ([]byte, error) {
 		if !ok {
 			codes = append(codes, 0)
 			outliers = append(outliers, data[i])
-			recon[i] = float64(data[i])
+			recon[i] = data[i]
 			return
 		}
-		codes = append(codes, code+radius+1)
-		recon[i] = r
+		codes = append(codes, int32(code+radius+1))
+		recon[i] = float32(r)
 	})
 
-	huff, err := huffman.Encode(codes)
-	if err != nil {
-		return nil, fmt.Errorf("sz3: entropy stage: %w", err)
-	}
-
-	payload := make([]byte, 0, len(huff)+len(outliers)*4+16)
+	payload := sc.payload[:0]
 	payload = binary.AppendUvarint(payload, uint64(radius))
 	var flags byte
 	if s.linearOnly {
@@ -113,17 +131,25 @@ func (s *Compressor) Compress(data []float32, p lossy.Params) ([]byte, error) {
 	for _, v := range outliers {
 		payload = binary.LittleEndian.AppendUint32(payload, math.Float32bits(v))
 	}
-	payload = append(payload, huff...)
+	payload, err = huffman.AppendEncode(payload, codes)
+	sc.codes, sc.outliers, sc.payload = codes[:0], outliers[:0], payload[:0]
+	if err != nil {
+		return nil, fmt.Errorf("sz3: entropy stage: %w", err)
+	}
 
+	out := make([]byte, 0, lossy.MaxHeaderLen+1+len(payload))
+	out = lossy.AppendHeader(out, magic, len(data), eb)
 	if s.backend != nil {
-		wrapped, err := s.backend.Compress(payload)
+		mark := len(out)
+		out = append(out, 1)
+		out, err = s.backend.AppendCompress(out, payload)
 		if err != nil {
 			return nil, fmt.Errorf("sz3: lossless stage: %w", err)
 		}
-		if len(wrapped) < len(payload) {
-			out = append(out, 1)
-			return append(out, wrapped...), nil
+		if len(out)-mark-1 < len(payload) {
+			return out, nil
 		}
+		out = out[:mark] // wrap did not shrink: fall back to raw payload
 	}
 	out = append(out, 0)
 	return append(out, payload...), nil
@@ -147,7 +173,11 @@ func (s *Compressor) Decompress(buf []byte) ([]float32, error) {
 		if backend == nil {
 			backend = lossless.NewLZH(lossless.ProfileZstd)
 		}
-		payload, err = backend.Decompress(payload)
+		var psc *[]byte
+		payload, psc, err = lossless.DecompressTransient(backend, payload)
+		if psc != nil {
+			defer lossless.ReleaseTransient(psc)
+		}
 		if err != nil {
 			return nil, fmt.Errorf("%w: sz3 lossless stage: %v", lossy.ErrCorrupt, err)
 		}
@@ -169,50 +199,49 @@ func (s *Compressor) Decompress(buf []byte) ([]float32, error) {
 		return nil, fmt.Errorf("%w: sz3 outliers", lossy.ErrCorrupt)
 	}
 	payload = payload[n:]
-	outliers := make([]float32, nOut)
-	for i := range outliers {
-		outliers[i] = math.Float32frombits(binary.LittleEndian.Uint32(payload[i*4:]))
-	}
-	payload = payload[nOut*4:]
+	outlierBytes := payload[:int(nOut)*4]
+	payload = payload[int(nOut)*4:]
 
-	codes, err := huffman.Decode(payload)
-	if err != nil {
+	// Entropy stage, streamed and fused with the interpolation walk;
+	// reconstruction happens directly in the output slice.
+	dec := huffman.AcquireDecoder()
+	defer dec.Release()
+	if err := dec.Open(payload); err != nil {
 		return nil, fmt.Errorf("%w: sz3 entropy stage: %v", lossy.ErrCorrupt, err)
 	}
-	if len(codes) != count-1 {
-		return nil, fmt.Errorf("%w: sz3 code count %d != %d", lossy.ErrCorrupt, len(codes), count-1)
+	if dec.Count() != count-1 {
+		return nil, fmt.Errorf("%w: sz3 code count %d != %d", lossy.ErrCorrupt, dec.Count(), count-1)
 	}
 
-	dec := &Compressor{linearOnly: linearOnly}
+	pc := &Compressor{linearOnly: linearOnly}
 	q := quant.New(eb, radius)
-	recon := make([]float64, count)
-	recon[0] = float64(anchor)
-	ci, oi := 0, 0
+	out := make([]float32, count)
+	out[0] = anchor
+	oi := 0
 	var decodeErr error
 	visit(count, func(i, s_ int, cubicOK bool) {
 		if decodeErr != nil {
 			return
 		}
-		code := codes[ci]
-		ci++
+		code, err := dec.Next()
+		if err != nil {
+			decodeErr = fmt.Errorf("%w: sz3 entropy stage: %v", lossy.ErrCorrupt, err)
+			return
+		}
 		if code == 0 {
-			if oi >= len(outliers) {
+			if (oi+1)*4 > len(outlierBytes) {
 				decodeErr = fmt.Errorf("%w: sz3 outlier underrun", lossy.ErrCorrupt)
 				return
 			}
-			recon[i] = float64(outliers[oi])
+			out[i] = math.Float32frombits(binary.LittleEndian.Uint32(outlierBytes[oi*4:]))
 			oi++
 			return
 		}
-		pred := dec.predict(recon, i, s_, cubicOK)
-		recon[i] = float64(float32(q.Decode(code-radius-1, pred)))
+		pred := pc.predict(out, i, s_, cubicOK)
+		out[i] = float32(q.Decode(int(code)-radius-1, pred))
 	})
 	if decodeErr != nil {
 		return nil, decodeErr
-	}
-	out := make([]float32, count)
-	for i, v := range recon {
-		out[i] = float32(v)
 	}
 	return out, nil
 }
@@ -238,17 +267,19 @@ func visit(n int, fn func(i, stride int, cubicOK bool)) {
 }
 
 // predict computes the interpolation prediction for index i at the
-// given stride using already-reconstructed dyadic neighbors.
-func (s *Compressor) predict(recon []float64, i, stride int, cubicOK bool) float64 {
+// given stride using already-reconstructed dyadic neighbors. The
+// neighbors are float32-rounded on both encode and decode, so float32
+// storage loses nothing; the arithmetic itself stays in float64.
+func (s *Compressor) predict(recon []float32, i, stride int, cubicOK bool) float64 {
 	n := len(recon)
-	left := recon[i-stride]
+	left := float64(recon[i-stride])
 	if i+stride >= n {
 		return left // boundary: Lorenzo fallback
 	}
-	right := recon[i+stride]
+	right := float64(recon[i+stride])
 	if cubicOK && !s.linearOnly {
-		l2 := recon[i-3*stride]
-		r2 := recon[i+3*stride]
+		l2 := float64(recon[i-3*stride])
+		r2 := float64(recon[i+3*stride])
 		return (-l2 + 9*left + 9*right - r2) / 16
 	}
 	return (left + right) / 2

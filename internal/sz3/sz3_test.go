@@ -126,6 +126,7 @@ func TestSZ3BeatsSZ2OnSmoothHighBound(t *testing.T) {
 }
 
 func BenchmarkCompress(b *testing.B) {
+	b.ReportAllocs()
 	rng := rand.New(rand.NewSource(1))
 	data := make([]float32, 1<<20)
 	for i := range data {
@@ -142,6 +143,7 @@ func BenchmarkCompress(b *testing.B) {
 }
 
 func BenchmarkDecompress(b *testing.B) {
+	b.ReportAllocs()
 	rng := rand.New(rand.NewSource(1))
 	data := make([]float32, 1<<20)
 	for i := range data {

@@ -160,6 +160,7 @@ func TestCorruptModeByte(t *testing.T) {
 }
 
 func BenchmarkCompress(b *testing.B) {
+	b.ReportAllocs()
 	rng := rand.New(rand.NewSource(1))
 	data := make([]float32, 1<<20)
 	for i := range data {
@@ -176,6 +177,7 @@ func BenchmarkCompress(b *testing.B) {
 }
 
 func BenchmarkCompressArtifact(b *testing.B) {
+	b.ReportAllocs()
 	rng := rand.New(rand.NewSource(1))
 	data := make([]float32, 1<<20)
 	for i := range data {

@@ -182,6 +182,7 @@ func TestLowerRatioThanSZ2Shape(t *testing.T) {
 }
 
 func BenchmarkCompress(b *testing.B) {
+	b.ReportAllocs()
 	rng := rand.New(rand.NewSource(1))
 	data := make([]float32, 1<<20)
 	for i := range data {
@@ -198,6 +199,7 @@ func BenchmarkCompress(b *testing.B) {
 }
 
 func BenchmarkDecompress(b *testing.B) {
+	b.ReportAllocs()
 	rng := rand.New(rand.NewSource(1))
 	data := make([]float32, 1<<20)
 	for i := range data {
