@@ -27,9 +27,10 @@ fmt:
 vet:
 	$(GO) vet ./...
 
-# Short fuzz smoke over the three decoder fuzz targets (matches CI).
+# Short fuzz smoke over the four decoder fuzz targets (matches CI).
 fuzz:
 	$(GO) test -run=^$$ -fuzz=FuzzDecompress -fuzztime=10s ./internal/core
+	$(GO) test -run=^$$ -fuzz=FuzzDecoderStream -fuzztime=10s ./internal/core
 	$(GO) test -run=^$$ -fuzz=FuzzHuffmanDecode -fuzztime=10s ./internal/huffman
 	$(GO) test -run=^$$ -fuzz=FuzzLZHDecompress -fuzztime=10s ./internal/lossless
 
@@ -42,6 +43,10 @@ parallel-bench:
 # Regenerate the committed throughput/allocation datapoint.
 throughput-bench:
 	$(GO) run ./cmd/fedszbench -exp throughput -scale $(SCALE) -format json -o BENCH_throughput.json
+
+# Regenerate the committed whole-buffer vs pipelined-transfer datapoint.
+stream-bench:
+	$(GO) run ./cmd/fedszbench -exp stream -scale $(SCALE) -format json -o BENCH_stream.json
 
 # Profile an experiment, e.g.: make profile EXP=throughput
 # then: go tool pprof cpu.pprof

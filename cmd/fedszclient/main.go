@@ -1,6 +1,9 @@
 // Command fedszclient joins a fedszserver federation over TCP, trains
 // locally on its shard of the synthetic dataset, and uploads
 // FedSZ-compressed updates until the server signals completion.
+// Uploads stream through the pipelined codec path: each tensor's
+// compressed section goes onto the socket while the next tensor is
+// still compressing, hiding compression time behind transmission.
 package main
 
 import (

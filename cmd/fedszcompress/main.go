@@ -7,11 +7,24 @@
 //
 //	fedszcompress -model alexnet -scale 8 -compressor sz2 -bound 1e-2
 //	fedszcompress -model mobilenetv2 -scale 1 -bandwidth 10
+//
+// Three streaming modes built on the fedsz Encoder/Decoder compose in
+// shell pipelines, gzip-style, with `-in`/`-out` defaulting to `-`
+// (stdin/stdout): -emit writes a synthetic update in the uncompressed
+// wire format, -z compresses that format into a FedSZ frame, and -d
+// decompresses a frame back. Every stage streams — no mode holds a
+// full wire image in memory.
+//
+//	fedszcompress -emit -scale 4 | fedszcompress -z | fedszcompress -d | wc -c
+//	fedszcompress -emit | fedszcompress -z -compressor sz3 -out update.fsz
+//	fedszcompress -d -in update.fsz -out update.fsd
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
+	"io"
 	"math"
 	"os"
 	"time"
@@ -34,8 +47,23 @@ func run() error {
 		bound      = flag.Float64("bound", 1e-2, "relative error bound")
 		bandwidth  = flag.Float64("bandwidth", 10, "link bandwidth in Mbps for the Eqn. 1 report")
 		seed       = flag.Int64("seed", 42, "weight seed")
+		zMode      = flag.Bool("z", false, "stream mode: compress a state-dict stream into a FedSZ frame")
+		dMode      = flag.Bool("d", false, "stream mode: decompress a FedSZ frame into a state-dict stream")
+		emitMode   = flag.Bool("emit", false, "stream mode: write the synthetic model's state-dict stream")
+		in         = flag.String("in", "-", "stream-mode input path ('-' = stdin)")
+		out        = flag.String("out", "-", "stream-mode output path ('-' = stdout)")
 	)
 	flag.Parse()
+
+	modes := 0
+	for _, m := range []bool{*zMode, *dMode, *emitMode} {
+		if m {
+			modes++
+		}
+	}
+	if modes > 1 {
+		return fmt.Errorf("-z, -d and -emit are mutually exclusive")
+	}
 
 	var arch fedsz.Arch
 	switch *modelName {
@@ -47,6 +75,10 @@ func run() error {
 		arch = fedsz.MobileNetV2(*scale)
 	default:
 		return fmt.Errorf("unknown model %q", *modelName)
+	}
+
+	if modes == 1 {
+		return runStream(*zMode, *dMode, arch, *seed, *compressor, *bound, *in, *out)
 	}
 
 	sd := fedsz.BuildStateDict(arch, *seed)
@@ -96,6 +128,82 @@ func run() error {
 		verdict,
 		d.CrossoverBandwidthBps()/1e6)
 	return nil
+}
+
+// runStream executes one of the shell-pipeline modes: -emit (synthetic
+// state dict out), -z (state dict in, FedSZ frame out) or -d (frame
+// in, state dict out). Both sides stream: the frame side goes through
+// the fedsz Encoder/Decoder, the plain side through the streaming
+// state-dict marshal.
+func runStream(zMode, dMode bool, arch fedsz.Arch, seed int64, compressor string, bound float64, in, out string) error {
+	r, closeIn, err := openStream(in, os.Stdin, func(p string) (io.ReadWriteCloser, error) {
+		f, err := os.Open(p)
+		return f, err
+	})
+	if err != nil {
+		return err
+	}
+	defer closeIn()
+	w, closeOut, err := openStream(out, os.Stdout, func(p string) (io.ReadWriteCloser, error) {
+		f, err := os.Create(p)
+		return f, err
+	})
+	if err != nil {
+		return err
+	}
+	defer closeOut()
+
+	bw := bufio.NewWriterSize(w, 64<<10)
+	switch {
+	case zMode:
+		sd, err := fedsz.UnmarshalStateDictFrom(bufio.NewReaderSize(r, 64<<10))
+		if err != nil {
+			return fmt.Errorf("read state dict: %w", err)
+		}
+		enc, err := fedsz.NewEncoder(bw,
+			fedsz.WithCompressor(compressor), fedsz.WithRelBound(bound))
+		if err != nil {
+			return err
+		}
+		stats, err := enc.Encode(sd)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "fedszcompress: %s %.1f MB -> %.1f MB (ratio %.2fx) in %v\n",
+			compressor, float64(stats.OriginalBytes)/1e6, float64(stats.CompressedBytes)/1e6,
+			stats.Ratio(), stats.CompressTime.Round(time.Millisecond))
+	case dMode:
+		sd, err := fedsz.NewDecoder(bufio.NewReaderSize(r, 64<<10)).Decode()
+		if err != nil {
+			return fmt.Errorf("decode frame: %w", err)
+		}
+		if err := fedsz.MarshalStateDictTo(bw, sd); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "fedszcompress: restored %d entries, %.1f MB\n",
+			sd.Len(), float64(sd.SizeBytes())/1e6)
+	default: // emit
+		sd := fedsz.BuildStateDict(arch, seed)
+		if err := fedsz.MarshalStateDictTo(bw, sd); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "fedszcompress: emitted %s (%d entries, %.1f MB)\n",
+			arch.Name, sd.Len(), float64(sd.SizeBytes())/1e6)
+	}
+	return bw.Flush()
+}
+
+// openStream resolves '-' to the standard stream (never closed) or
+// opens path via open.
+func openStream(path string, std *os.File, open func(string) (io.ReadWriteCloser, error)) (io.ReadWriter, func() error, error) {
+	if path == "-" {
+		return std, func() error { return nil }, nil
+	}
+	f, err := open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	return f, f.Close, nil
 }
 
 // maxRelError returns the largest per-tensor range-relative error of

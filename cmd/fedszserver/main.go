@@ -3,6 +3,12 @@
 // with FedSZ-compressed uplinks, reports per-round test accuracy on a
 // held-out synthetic set, and prints the final model summary.
 //
+// Transfers are pipelined end to end: the global model broadcast
+// streams entry by entry, and each client's uplink decompresses tensor
+// sections as they arrive — no side ever holds a full wire image, and
+// with -bandwidth emulating a constrained WAN, decode time hides
+// behind reception.
+//
 // Pair with cmd/fedszclient:
 //
 //	fedszserver -addr :9000 -clients 2 -rounds 5 &

@@ -57,4 +57,26 @@ func main() {
 		float64(plain.TotalCommTime())/float64(fsz.TotalCommTime()))
 	fmt.Printf("final accuracy: uncompressed %.3f, FedSZ %.3f\n",
 		plain.FinalAccuracy(), fsz.FinalAccuracy())
+
+	// The streaming uplink (Encoder / Codec.EncodeTo, what the TCP
+	// transport uses) goes further: each tensor's frame section hits
+	// the wire while the next is still compressing, so the client's
+	// upload takes max(tC, tT) instead of tC + tT. Quantify Eqn. 1
+	// under both transfer models for one update on this link.
+	sd := fedsz.BuildStateDict(fedsz.MobileNetV2(4), 42)
+	_, stats, err := fedsz.Compress(sd, fedsz.WithRelBound(1e-2))
+	if err != nil {
+		log.Fatal(err)
+	}
+	d := fedsz.Decision{
+		CompressTime:    stats.CompressTime,
+		OriginalBytes:   stats.OriginalBytes,
+		CompressedBytes: stats.CompressedBytes,
+		BandwidthBps:    link.BandwidthBps,
+	}
+	sections := stats.NumLossyTensors + 1 // one frame section per tensor + metadata
+	fmt.Printf("\nper-update upload @ 10 Mbps: whole-buffer %v, pipelined (%d sections) %v, raw %v\n",
+		d.CompressedPathTime().Round(1e6), sections,
+		d.PipelinedTime(sections).Round(1e6),
+		d.UncompressedPathTime().Round(1e6))
 }

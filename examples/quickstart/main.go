@@ -1,11 +1,15 @@
-// Quickstart: compress one federated-learning client update with FedSZ
-// and verify the round trip.
+// Quickstart: compress one federated-learning client update with
+// FedSZ — once through the one-shot buffer API, once streamed through
+// an io.Pipe the way a client uploads over a socket — and verify both
+// paths produce identical bytes and a round trip within the bound.
 //
 //	go run ./examples/quickstart
 package main
 
 import (
+	"bytes"
 	"fmt"
+	"io"
 	"log"
 	"math"
 
@@ -19,8 +23,8 @@ func main() {
 	update := fedsz.BuildStateDict(fedsz.MobileNetV2(4), 42)
 	fmt.Printf("update: %d entries, %.1f MB\n", update.Len(), float64(update.SizeBytes())/1e6)
 
-	// Compress with the paper's recommended setting: SZ2 under a
-	// relative error bound of 1e-2, blosc-lz for the metadata.
+	// One-shot API: compress with the paper's recommended setting (SZ2
+	// under a relative error bound of 1e-2, blosc-lz for metadata).
 	buf, stats, err := fedsz.Compress(update, fedsz.WithRelBound(1e-2))
 	if err != nil {
 		log.Fatal(err)
@@ -28,11 +32,32 @@ func main() {
 	fmt.Printf("compressed to %.1f MB — ratio %.2fx (lossy path carried %.1f%% of the bytes)\n",
 		float64(stats.CompressedBytes)/1e6, stats.Ratio(), stats.LossyFraction()*100)
 
-	// The bitstream is self-describing; the receiver needs no config.
-	restored, err := fedsz.Decompress(buf)
+	// Streaming API: the Encoder pushes each tensor's frame section
+	// into the pipe while the next tensor is still compressing, and the
+	// Decoder decompresses sections as they arrive — over a real socket
+	// this hides compression time behind transmission (Eqn. 1's tC
+	// behind tT). The bytes are identical to Compress, so either end
+	// may use either API.
+	pr, pw := io.Pipe()
+	go func() {
+		enc, err := fedsz.NewEncoder(pw, fedsz.WithRelBound(1e-2))
+		if err != nil {
+			pw.CloseWithError(err)
+			return
+		}
+		_, err = enc.Encode(update)
+		pw.CloseWithError(err)
+	}()
+	var streamed bytes.Buffer
+	restored, err := fedsz.NewDecoder(io.TeeReader(pr, &streamed)).Decode()
 	if err != nil {
 		log.Fatal(err)
 	}
+	if !bytes.Equal(streamed.Bytes(), buf) {
+		log.Fatal("streamed frame is not byte-identical to Compress output")
+	}
+	fmt.Printf("streamed %.1f MB through a pipe — byte-identical to the one-shot frame\n",
+		float64(streamed.Len())/1e6)
 
 	// Every tensor is back, in order, within the error bound.
 	worst := 0.0

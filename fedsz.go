@@ -13,6 +13,32 @@
 //	...
 //	restored, err := fedsz.Decompress(buf)
 //
+// # Streaming
+//
+// Encoder and Decoder are the streaming counterparts of Compress and
+// Decompress: an Encoder pushes each tensor's frame section onto its
+// io.Writer while the next tensor is still compressing, and a Decoder
+// decompresses sections as they arrive, so over a network compression
+// time hides behind transmission time instead of preceding it (the
+// system-level composition of the paper's Eqn. 1). Frames are
+// self-delimiting — several may share a stream — and an Encoder
+// writing to a buffer emits bytes identical to Compress, so the two
+// APIs mix freely:
+//
+//	enc, err := fedsz.NewEncoder(conn, fedsz.WithRelBound(1e-2))
+//	stats, err := enc.Encode(update)
+//	...
+//	restored, err := fedsz.NewDecoder(conn).Decode()
+//
+// # Registry
+//
+// Lossy compressors and lossless codecs resolve by name through a
+// typed registry. The built-in suites self-register; RegisterLossy
+// and RegisterLossless plug additional implementations of
+// LossyCompressor/LosslessCodec in, after which WithCompressor and
+// WithLossless select them and frames recording their names decode
+// anywhere the registration ran.
+//
 // # Concurrency
 //
 // Per-tensor compression is embarrassingly parallel, and the pipeline
@@ -39,6 +65,8 @@
 package fedsz
 
 import (
+	"bufio"
+	"io"
 	"time"
 
 	"fedsz/internal/baseline"
@@ -178,17 +206,116 @@ func Decompress(buf []byte) (*StateDict, error) {
 	return core.Decompress(buf)
 }
 
+// An Encoder streams FedSZ frames to an io.Writer. Each Encode call
+// emits one self-describing frame incrementally: the header goes out
+// immediately and every tensor's section follows as soon as that
+// tensor finishes compressing, so when w is a network connection,
+// compression time (the paper's tC in Eqn. 1) hides behind
+// transmission time instead of preceding it. The bytes written are
+// exactly what Compress would return for the same options, so either
+// end of a connection may mix the buffer and streaming APIs freely.
+//
+// An Encoder is safe for use from one goroutine at a time (frames
+// would interleave otherwise); construct one Encoder per stream.
+type Encoder struct {
+	p *core.Pipeline
+	w io.Writer
+}
+
+// NewEncoder returns an Encoder writing frames to w, configured with
+// the same options Compress accepts.
+func NewEncoder(w io.Writer, opts ...Option) (*Encoder, error) {
+	p, err := core.NewPipeline(buildConfig(opts))
+	if err != nil {
+		return nil, err
+	}
+	return &Encoder{p: p, w: w}, nil
+}
+
+// Encode compresses sd and streams its frame to the writer. The
+// caller must not mutate sd while the call is in flight.
+func (e *Encoder) Encode(sd *StateDict) (Stats, error) {
+	return e.p.CompressTo(e.w, sd)
+}
+
+// A Decoder reads FedSZ frames from an io.Reader, decompressing each
+// tensor as its section arrives so decode work overlaps reception. No
+// configuration is needed: frames are self-describing, and compressors
+// plugged in through RegisterLossy/RegisterLossless resolve by the
+// name recorded in the frame.
+//
+// The Decoder reads exactly one frame per Decode call (no readahead
+// beyond its own buffering), so successive frames — or other protocol
+// traffic parsed through the same Decoder-owned reader — may follow on
+// one stream. Decode returns io.EOF once the stream is exhausted.
+type Decoder struct {
+	r io.Reader
+}
+
+// NewDecoder returns a Decoder reading frames from r. If r does not
+// implement io.ByteReader it is wrapped in a buffered reader, which
+// may read ahead of the current frame; pass a *bufio.Reader you own to
+// interleave other reads on the same stream.
+func NewDecoder(r io.Reader) *Decoder {
+	if _, ok := r.(io.ByteReader); !ok {
+		r = bufio.NewReader(r)
+	}
+	return &Decoder{r: r}
+}
+
+// Decode reads and decompresses the next frame from the stream.
+func (d *Decoder) Decode() (*StateDict, error) {
+	return core.DecompressFrom(d.r, 0)
+}
+
 // NewCodec returns a federated-learning update codec backed by the
 // FedSZ pipeline, for use with RunSim or the transport server.
 func NewCodec(opts ...Option) (Codec, error) {
 	return fl.NewFedSZCodec(buildConfig(opts))
 }
 
-// Compressors lists the available lossy compressor names.
+// Compressors lists the available lossy compressor names: the
+// built-in suite plus anything plugged in through RegisterLossy.
 func Compressors() []string { return core.LossyNames() }
 
-// LosslessCodecs lists the available lossless codec names.
+// LosslessCodecs lists the available lossless codec names: the
+// built-in suite plus anything plugged in through RegisterLossless.
 func LosslessCodecs() []string { return lossless.Names() }
+
+// The codec registry. The five lossless codecs and four error-bounded
+// compressors of the paper's Tables I-II self-register at init; the
+// two Register functions let downstream code plug additional
+// implementations in — e.g. a gradient-aware error-bounded compressor
+// — without touching internal packages. A registered name works
+// everywhere a built-in name does: WithCompressor/WithLossless select
+// it, and Decompress/Decoder resolve it from the name recorded in the
+// self-describing frame.
+
+// LossyCompressor is the error-bounded lossy compressor contract: 1-D
+// float32 in, self-describing buffer out, every value reproduced
+// within the absolute bound resolved from LossyParams.
+type LossyCompressor = lossy.Compressor
+
+// LossyParams is the error-bound specification passed to a
+// LossyCompressor (absolute or range-relative mode).
+type LossyParams = lossy.Params
+
+// LosslessCodec is the lossless byte-compressor contract used for the
+// metadata section.
+type LosslessCodec = lossless.Codec
+
+// RegisterLossy makes factory available under name to WithCompressor
+// and to frame decoding. Registering a duplicate or empty name is an
+// error; register once, typically from init.
+func RegisterLossy(name string, factory func() LossyCompressor) error {
+	return lossy.Register(name, factory)
+}
+
+// RegisterLossless is RegisterLossy's counterpart for metadata codecs,
+// feeding WithLossless and frame decoding.
+func RegisterLossless(name string, factory func() LosslessCodec) error {
+	return lossless.Register(name, factory)
+}
 
 // Architecture builders (torchvision-shape-exact; div > 1 shrinks
 // widths for fast experiments).
@@ -220,6 +347,20 @@ func MarshalStateDict(sd *StateDict) ([]byte, error) {
 // UnmarshalStateDict reverses MarshalStateDict.
 func UnmarshalStateDict(buf []byte) (*StateDict, error) {
 	return core.UnmarshalStateDict(buf)
+}
+
+// MarshalStateDictTo streams the uncompressed-update wire format to w
+// entry by entry, never materializing the full image; the bytes are
+// exactly what MarshalStateDict returns.
+func MarshalStateDictTo(w io.Writer, sd *StateDict) error {
+	return core.MarshalStateDictTo(w, sd)
+}
+
+// UnmarshalStateDictFrom reads one streamed state dict from r (no
+// readahead beyond r's own buffering) with bounded allocation on
+// untrusted length fields. An empty stream returns io.EOF.
+func UnmarshalStateDictFrom(r io.Reader) (*StateDict, error) {
+	return core.UnmarshalStateDictFrom(r)
 }
 
 // RunSim executes an in-process federated simulation (FedAvg, local

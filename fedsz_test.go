@@ -1,8 +1,14 @@
 package fedsz
 
 import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
 	"math"
+	"sync"
 	"testing"
+	"time"
 
 	"fedsz/internal/model"
 )
@@ -115,15 +121,33 @@ func TestPublicMarshal(t *testing.T) {
 }
 
 func TestPublicListings(t *testing.T) {
-	if len(Compressors()) != 4 {
-		t.Fatalf("compressors: %v", Compressors())
+	// The registry may carry test-registered extras; the built-in
+	// suites must always be present.
+	for _, want := range []string{"sz2", "sz3", "szx", "zfp"} {
+		if !contains(Compressors(), want) {
+			t.Fatalf("compressors missing %q: %v", want, Compressors())
+		}
 	}
-	if len(LosslessCodecs()) != 5 {
-		t.Fatalf("lossless: %v", LosslessCodecs())
+	if contains(Compressors(), "szx-artifact") {
+		t.Fatalf("variant leaked into listing: %v", Compressors())
+	}
+	for _, want := range []string{"blosclz", "gzip", "xzlike", "zlib", "zstdlike"} {
+		if !contains(LosslessCodecs(), want) {
+			t.Fatalf("lossless missing %q: %v", want, LosslessCodecs())
+		}
 	}
 	if len(Datasets()) != 3 {
 		t.Fatalf("datasets: %v", Datasets())
 	}
+}
+
+func contains(xs []string, want string) bool {
+	for _, x := range xs {
+		if x == want {
+			return true
+		}
+	}
+	return false
 }
 
 func TestPublicArchBuilders(t *testing.T) {
@@ -209,5 +233,216 @@ func TestPublicBaselineAndDeltaCodecs(t *testing.T) {
 	}
 	if len(res.Rounds) != 2 {
 		t.Fatal("delta sim rounds")
+	}
+}
+
+// TestPublicEncoderDecoder checks the streaming API end to end: the
+// Encoder's buffer output is byte-identical to Compress with the same
+// options, multiple frames share one stream, and the Decoder returns
+// io.EOF at exhaustion.
+func TestPublicEncoderDecoder(t *testing.T) {
+	sd := BuildStateDict(MobileNetV2(16), 6)
+	opts := []Option{WithCompressor("sz3"), WithRelBound(1e-2), WithLossless("zstdlike")}
+	want, _, err := Compress(sd, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var stream bytes.Buffer
+	enc, err := NewEncoder(&stream, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := enc.Encode(sd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(stream.Bytes(), want) {
+		t.Fatalf("encoder output diverges from Compress (%d vs %d bytes)", stream.Len(), len(want))
+	}
+	if stats.CompressedBytes != int64(len(want)) {
+		t.Fatalf("stats.CompressedBytes %d != %d", stats.CompressedBytes, len(want))
+	}
+	if _, err := enc.Encode(sd); err != nil { // second frame on the same stream
+		t.Fatal(err)
+	}
+
+	dec := NewDecoder(&stream)
+	for frame := 0; frame < 2; frame++ {
+		got, err := dec.Decode()
+		if err != nil {
+			t.Fatalf("frame %d: %v", frame, err)
+		}
+		if got.Len() != sd.Len() {
+			t.Fatalf("frame %d: %d entries, want %d", frame, got.Len(), sd.Len())
+		}
+	}
+	if _, err := dec.Decode(); err != io.EOF {
+		t.Fatalf("exhausted stream: got %v, want io.EOF", err)
+	}
+}
+
+// rawLossy is a registry-test compressor built purely on the public
+// surface: varint count + raw little-endian floats (zero error).
+type rawLossy struct{}
+
+func (rawLossy) Name() string { return "test-raw" }
+
+func (rawLossy) Compress(data []float32, p LossyParams) ([]byte, error) {
+	out := binary.AppendUvarint([]byte("TRAW"), uint64(len(data)))
+	for _, v := range data {
+		out = binary.LittleEndian.AppendUint32(out, math.Float32bits(v))
+	}
+	return out, nil
+}
+
+func (rawLossy) Decompress(buf []byte) ([]float32, error) {
+	if len(buf) < 4 || string(buf[:4]) != "TRAW" {
+		return nil, errors.New("test-raw: bad magic")
+	}
+	buf = buf[4:]
+	n, k := binary.Uvarint(buf)
+	if k <= 0 || n > uint64(len(buf[k:]))/4 {
+		return nil, errors.New("test-raw: truncated")
+	}
+	buf = buf[k:]
+	out := make([]float32, n)
+	for i := range out {
+		out[i] = math.Float32frombits(binary.LittleEndian.Uint32(buf[i*4:]))
+	}
+	return out, nil
+}
+
+// storeLossless is a passthrough lossless codec for the registry test.
+type storeLossless struct{}
+
+func (storeLossless) Name() string { return "test-store" }
+
+func (s storeLossless) Compress(src []byte) ([]byte, error) { return s.AppendCompress(nil, src) }
+
+func (storeLossless) AppendCompress(dst, src []byte) ([]byte, error) {
+	dst = binary.AppendUvarint(dst, uint64(len(src)))
+	return append(dst, src...), nil
+}
+
+func (storeLossless) Decompress(src []byte) ([]byte, error) {
+	n, k := binary.Uvarint(src)
+	if k <= 0 || uint64(len(src[k:])) < n {
+		return nil, errors.New("test-store: truncated")
+	}
+	return append([]byte(nil), src[k:k+int(n)]...), nil
+}
+
+// The registry is process-global, so register the test codecs exactly
+// once even when the test re-runs in-process (go test -count=2).
+var (
+	registerTestCodecs sync.Once
+	testLossyErr       error
+	testLosslessErr    error
+)
+
+// TestPublicRegistry plugs a custom lossy compressor and lossless
+// codec in through the public registry and runs them through the full
+// pipeline — including decode, which resolves them from the names
+// recorded in the self-describing frame.
+func TestPublicRegistry(t *testing.T) {
+	registerTestCodecs.Do(func() {
+		testLossyErr = RegisterLossy("test-raw", func() LossyCompressor { return rawLossy{} })
+		testLosslessErr = RegisterLossless("test-store", func() LosslessCodec { return storeLossless{} })
+	})
+	if testLossyErr != nil {
+		t.Fatal(testLossyErr)
+	}
+	if testLosslessErr != nil {
+		t.Fatal(testLosslessErr)
+	}
+	// Duplicates are rejected.
+	if err := RegisterLossy("test-raw", func() LossyCompressor { return rawLossy{} }); err == nil {
+		t.Fatal("duplicate lossy registration accepted")
+	}
+	if err := RegisterLossless("test-store", func() LosslessCodec { return storeLossless{} }); err == nil {
+		t.Fatal("duplicate lossless registration accepted")
+	}
+	if !contains(Compressors(), "test-raw") || !contains(LosslessCodecs(), "test-store") {
+		t.Fatalf("registered names missing from listings: %v / %v", Compressors(), LosslessCodecs())
+	}
+
+	sd := BuildStateDict(MobileNetV2(16), 2)
+	var stream bytes.Buffer
+	enc, err := NewEncoder(&stream, WithCompressor("test-raw"), WithLossless("test-store"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := enc.Encode(sd); err != nil {
+		t.Fatal(err)
+	}
+	got, err := NewDecoder(&stream).Decode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The raw test codec is exact: the round trip must be bit-perfect.
+	gotEntries := got.Entries()
+	for i, e := range sd.Entries() {
+		g := gotEntries[i]
+		if g.Name != e.Name {
+			t.Fatalf("entry %d: %q != %q", i, g.Name, e.Name)
+		}
+		if e.DType != model.Float32 {
+			continue
+		}
+		for j, v := range e.Tensor.Data() {
+			if g.Tensor.Data()[j] != v {
+				t.Fatalf("entry %q[%d] not exact through custom codecs", e.Name, j)
+			}
+		}
+	}
+}
+
+// TestPublicStreamingMarshal round-trips the streaming state-dict
+// serializer through the public API.
+func TestPublicStreamingMarshal(t *testing.T) {
+	sd := BuildStateDict(MobileNetV2(16), 12)
+	want, err := MarshalStateDict(sd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := MarshalStateDictTo(&buf, sd); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatal("streamed marshal diverges from MarshalStateDict")
+	}
+	got, err := UnmarshalStateDictFrom(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumElements() != sd.NumElements() {
+		t.Fatal("streaming marshal round trip")
+	}
+}
+
+// TestPublicPipelinedDecision sanity-checks the Eqn. 1 pipelined
+// extension: overlap can only help, and with many chunks the
+// compressed path approaches max(tC, tT) + tD.
+func TestPublicPipelinedDecision(t *testing.T) {
+	d := Decision{
+		CompressTime:    2 * time.Second,
+		OriginalBytes:   100e6,
+		CompressedBytes: 25e6,
+		BandwidthBps:    Mbps(100),
+	}
+	whole := d.CompressedPathTime()
+	piped := d.PipelinedTime(100)
+	if piped >= whole {
+		t.Fatalf("pipelined %v should beat whole-buffer %v", piped, whole)
+	}
+	if d.PipelinedTime(1) != whole {
+		t.Fatal("single chunk must degenerate to the whole-buffer path")
+	}
+	// 25e6 bytes at 100 Mbps = 2s transfer; overlapped with 2s of tC
+	// the 100-chunk path sits just above 2s — and far below the 4s sum.
+	if piped > 2*time.Second+3*whole/100 {
+		t.Fatalf("pipelined %v not close to bottleneck stage", piped)
 	}
 }

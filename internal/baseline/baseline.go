@@ -16,6 +16,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"io"
 	"math"
 	"sort"
 	"time"
@@ -203,6 +204,28 @@ func (c *Codec) Decode(buf []byte) (*model.StateDict, error) {
 	return c.inner.Decode(buf)
 }
 
+// EncodeTo implements fl.Codec: the transformed dict streams through
+// the inner codec's streaming path.
+func (c *Codec) EncodeTo(w io.Writer, sd *model.StateDict) (fl.UpdateStats, error) {
+	start := time.Now()
+	transformed, err := c.transform.Apply(sd)
+	if err != nil {
+		return fl.UpdateStats{}, err
+	}
+	st, err := c.inner.EncodeTo(w, transformed)
+	if err != nil {
+		return fl.UpdateStats{}, err
+	}
+	st.EncodeTime = time.Since(start)
+	st.OriginalBytes = sd.SizeBytes()
+	return st, nil
+}
+
+// DecodeFrom implements fl.Codec.
+func (c *Codec) DecodeFrom(r io.Reader) (*model.StateDict, error) {
+	return c.inner.DecodeFrom(r)
+}
+
 // SparseCodec serializes updates with run-length-skipped sparse tensor
 // payloads — the natural wire format after Top-K sparsification. Dense
 // tensors survive too (at a small overhead), so the codec is safe as a
@@ -245,6 +268,18 @@ func (SparseCodec) Encode(sd *model.StateDict) ([]byte, fl.UpdateStats, error) {
 		CompressedBytes: int64(len(out)),
 		EncodeTime:      time.Since(start),
 	}, nil
+}
+
+// EncodeTo implements fl.Codec. The sparse wire format is not
+// self-delimiting, so the streaming pair rides the length-prefixed
+// buffered adapter.
+func (s SparseCodec) EncodeTo(w io.Writer, sd *model.StateDict) (fl.UpdateStats, error) {
+	return fl.EncodeToBuffered(s, w, sd)
+}
+
+// DecodeFrom implements fl.Codec, reversing EncodeTo.
+func (s SparseCodec) DecodeFrom(r io.Reader) (*model.StateDict, error) {
+	return fl.DecodeFromBuffered(s, r)
 }
 
 // Decode implements fl.Codec.

@@ -137,6 +137,7 @@ func experiments() map[string]Runner {
 	return map[string]Runner{
 		"ablations":  Ablations,
 		"parallel":   Parallel,
+		"stream":     Stream,
 		"throughput": Throughput,
 		"table1":     Table1,
 		"table2":     Table2,

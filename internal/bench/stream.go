@@ -1,0 +1,121 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"fedsz/internal/core"
+	"fedsz/internal/lossless"
+	"fedsz/internal/lossy"
+	"fedsz/internal/model"
+	"fedsz/internal/netsim"
+)
+
+// Stream quantifies the streaming-encoder win behind BENCH_stream.json:
+// whole-buffer upload (compress everything, then transmit — the seed
+// API's only option) versus pipelined upload (each tensor's frame
+// section hits the wire while the next tensor is still compressing —
+// what Encoder/EncodeTo do). Per-section compute times and wire sizes
+// are measured on the real compressor, then both schedules are
+// evaluated on the analytic link model at 10/100/500 Mbps, so the
+// datapoint is deterministic across machines up to compressor speed.
+func Stream(opts Options) (*Table, error) {
+	opts = opts.withDefaults()
+	sd := model.BuildStateDict(model.ResNet50(opts.Scale), opts.Seed)
+
+	reps := 3
+	if opts.Quick {
+		reps = 1
+	}
+	chunks, err := measureChunks(sd, reps)
+	if err != nil {
+		return nil, err
+	}
+	var totalCompute time.Duration
+	var totalBytes int64
+	for _, c := range chunks {
+		totalCompute += c.Compute
+		totalBytes += c.Bytes
+	}
+
+	t := &Table{
+		ID:     "stream",
+		Title:  "Whole-buffer vs pipelined upload of one FedSZ update (ResNet50, sz2 @ REL 1e-2)",
+		Header: []string{"Link", "Sections", "Compress", "Whole-buffer", "Pipelined", "Speedup"},
+		Notes: []string{
+			fmt.Sprintf("scale %d: %d frame sections, %.2f MB compressed, tC %.1f ms (serial, mean of %d runs)",
+				opts.Scale, len(chunks), float64(totalBytes)/1e6, totalCompute.Seconds()*1e3, reps),
+			"whole-buffer = tC + S'/B (seed API); pipelined = netsim.Link.PipelinedTime over the measured per-section schedule (Encoder/EncodeTo)",
+			"the pipelined column is the sender-side half of Eqn. 1 with compression hidden behind transmission",
+		},
+	}
+	for _, mbps := range []float64{10, 100, 500} {
+		link := netsim.Link{BandwidthBps: netsim.Mbps(mbps)}
+		whole := totalCompute + link.TransferTime(totalBytes)
+		piped := link.PipelinedTime(chunks)
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%.0f Mbps", mbps),
+			fmt.Sprintf("%d", len(chunks)),
+			fmt.Sprintf("%.1fms", totalCompute.Seconds()*1e3),
+			fmt.Sprintf("%.1fms", whole.Seconds()*1e3),
+			fmt.Sprintf("%.1fms", piped.Seconds()*1e3),
+			f2(float64(whole) / float64(piped)),
+		})
+	}
+	return t, nil
+}
+
+// measureChunks times each frame section the streaming encoder emits
+// for sd — one per lossy tensor, in entry order, plus the lossless
+// metadata section — returning the per-section compute/bytes schedule.
+// Compute is the mean of reps serial compressions.
+func measureChunks(sd *model.StateDict, reps int) ([]netsim.Chunk, error) {
+	lc, err := core.LossyByName(core.LossySZ2)
+	if err != nil {
+		return nil, err
+	}
+	ll, err := lossless.New(lossless.NameBloscLZ)
+	if err != nil {
+		return nil, err
+	}
+	bound := lossy.RelBound(core.DefaultBound)
+
+	var chunks []netsim.Chunk
+	meta := model.NewStateDict()
+	for _, e := range sd.Entries() {
+		if e.DType == model.Float32 && e.IsWeightNamed() && e.NumElements() > core.DefaultThreshold {
+			var elapsed time.Duration
+			var size int64
+			for r := 0; r < reps; r++ {
+				start := time.Now()
+				comp, err := lc.Compress(e.Tensor.Data(), bound)
+				if err != nil {
+					return nil, fmt.Errorf("bench: stream compress %q: %w", e.Name, err)
+				}
+				elapsed += time.Since(start)
+				size = int64(len(comp))
+			}
+			chunks = append(chunks, netsim.Chunk{Compute: elapsed / time.Duration(reps), Bytes: size})
+			continue
+		}
+		if err := meta.Add(e); err != nil {
+			return nil, err
+		}
+	}
+	var elapsed time.Duration
+	var size int64
+	for r := 0; r < reps; r++ {
+		start := time.Now()
+		blob, err := core.MarshalStateDict(meta)
+		if err != nil {
+			return nil, err
+		}
+		mc, err := ll.Compress(blob)
+		if err != nil {
+			return nil, err
+		}
+		elapsed += time.Since(start)
+		size = int64(len(mc))
+	}
+	return append(chunks, netsim.Chunk{Compute: elapsed / time.Duration(reps), Bytes: size}), nil
+}

@@ -37,6 +37,40 @@ func (d Decision) ShouldCompress() bool {
 	return d.CompressedPathTime() < d.UncompressedPathTime()
 }
 
+// PipelinedTime extends Eqn. 1's compressed path with the streaming
+// encoder's overlap: when the update is emitted in chunks (one frame
+// section per tensor), compressing chunk i+1 overlaps transmitting
+// chunk i, so the sender-side cost drops from tC + S′/B to
+//
+//	max(tC, S′/B) + min(tC, S′/B)/chunks
+//
+// (the non-bottleneck stage survives only through its first-chunk
+// pipeline-fill bubble; with uniform chunks that bubble is 1/n of the
+// stage). tD is added unchanged — the receiver's decode overlaps
+// reception the same way, but Decision keeps the paper's conservative
+// accounting on that side. chunks ≤ 1 degenerates to
+// CompressedPathTime. For exact per-chunk modeling use
+// netsim.Link.PipelinedTime.
+func (d Decision) PipelinedTime(chunks int) time.Duration {
+	if chunks <= 1 {
+		return d.CompressedPathTime()
+	}
+	tC := d.CompressTime
+	tT := TransferTime(d.CompressedBytes, d.BandwidthBps)
+	longer, shorter := tC, tT
+	if shorter > longer {
+		longer, shorter = shorter, longer
+	}
+	return longer + shorter/time.Duration(chunks) + d.DecompressTime
+}
+
+// PipelinedShouldCompress is ShouldCompress under the pipelined
+// transfer model: compression pays off at higher bandwidths once tC
+// hides behind transmission.
+func (d Decision) PipelinedShouldCompress(chunks int) bool {
+	return d.PipelinedTime(chunks) < d.UncompressedPathTime()
+}
+
 // CrossoverBandwidthBps returns the bandwidth above which compression
 // stops paying off: B* = 8(S − S′)/(tC + tD). Returns 0 when the
 // overheads are non-positive (compression always wins) or when the

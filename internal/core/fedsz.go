@@ -36,7 +36,6 @@ import (
 	"fedsz/internal/lossless"
 	"fedsz/internal/lossy"
 	"fedsz/internal/model"
-	"fedsz/internal/tensor"
 )
 
 // ErrCorrupt reports a malformed FedSZ bitstream.
@@ -168,34 +167,18 @@ func (p *Pipeline) shouldLossy(e model.Entry) bool {
 }
 
 // Compress encodes sd into a FedSZ bitstream, fanning per-tensor work
-// across cfg.Parallelism workers. The caller must not mutate sd while
-// the call is in flight.
+// across cfg.Parallelism workers. It is the whole-buffer wrapper over
+// the same section writer the streaming CompressTo uses: the parallel
+// fan completes first, the exact frame size is computed, and the frame
+// is assembled into one pre-sized buffer that never regrows. The
+// caller must not mutate sd while the call is in flight.
 func (p *Pipeline) Compress(sd *model.StateDict) ([]byte, Stats, error) {
 	start := time.Now()
 	var st Stats
-	entries := sd.Entries()
-
-	// Partition (Algorithm 1 lines 2-9).
-	tags := make([]bool, len(entries))
-	meta := model.NewStateDict()
-	var lossyEntries []model.Entry
-	for i, e := range entries {
-		st.TotalElems += int64(e.NumElements())
-		if p.shouldLossy(e) {
-			tags[i] = true
-			lossyEntries = append(lossyEntries, e)
-			st.LossyElems += int64(e.NumElements())
-			st.LossyInBytes += int64(e.SizeBytes())
-			continue
-		}
-		if err := meta.Add(e); err != nil {
-			return nil, st, fmt.Errorf("core: partition: %w", err)
-		}
-		st.MetaInBytes += int64(e.SizeBytes())
+	tags, lossyEntries, meta, err := p.partition(sd, &st)
+	if err != nil {
+		return nil, st, err
 	}
-	st.NumLossyTensors = len(lossyEntries)
-	st.NumMetaEntries = meta.Len()
-	st.OriginalBytes = st.LossyInBytes + st.MetaInBytes
 
 	// Fan the per-tensor lossy compressions (Algorithm 1 compresses each
 	// state-dict entry independently) and the independent lossless
@@ -214,13 +197,9 @@ func (p *Pipeline) Compress(sd *model.StateDict) ([]byte, Stats, error) {
 			comps[i] = comp
 			return nil
 		}
-		blob, err := MarshalStateDict(meta)
+		mc, err := p.compressMeta(meta)
 		if err != nil {
 			return err
-		}
-		mc, err := p.lossless.Compress(blob)
-		if err != nil {
-			return fmt.Errorf("core: lossless compress metadata: %w", err)
 		}
 		metaComp = mc
 		return nil
@@ -232,47 +211,31 @@ func (p *Pipeline) Compress(sd *model.StateDict) ([]byte, Stats, error) {
 	// One exactly pre-sized output buffer: section payloads are known
 	// after the parallel fan, so the frame assembly below never regrows
 	// (and never copies a multi-megabyte section twice).
-	frameSize := 5 + varintLen(uint64(p.cfg.Threshold)) + varintLen(uint64(len(entries))) +
+	frameSize := 5 + varintLen(uint64(p.cfg.Threshold)) + varintLen(uint64(len(tags))) +
 		len(p.cfg.Lossy) + len(p.cfg.Lossless) + 2*varintMax +
-		(len(entries)+7)/8 + varintLen(uint64(len(lossyEntries))) +
+		(len(tags)+7)/8 + varintLen(uint64(len(lossyEntries))) +
 		varintLen(uint64(len(metaComp))) + len(metaComp)
 	for i, e := range lossyEntries {
 		shape := e.Tensor.Shape()
 		frameSize += varintMax + len(e.Name) + varintLen(uint64(len(shape))) +
 			len(shape)*varintMax + varintLen(uint64(len(comps[i]))) + len(comps[i])
 	}
-	out := make([]byte, 0, frameSize)
-	out = append(out, pipelineMagic...)
-	out = append(out, formatVersion)
-	out = appendString(out, p.cfg.Lossy)
-	out = appendString(out, p.cfg.Lossless)
-	out = binary.AppendUvarint(out, uint64(p.cfg.Threshold))
-	out = binary.AppendUvarint(out, uint64(len(entries)))
-	out = append(out, packBools(tags)...)
-
-	// Lossy section, in entry order.
-	out = binary.AppendUvarint(out, uint64(len(lossyEntries)))
+	sw := &sliceWriter{buf: make([]byte, 0, frameSize)}
+	fw := newFrameWriter(sw)
+	fw.header(p.cfg, len(tags), tags, len(lossyEntries))
 	for i, e := range lossyEntries {
-		comp := comps[i]
-		st.LossyOutBytes += int64(len(comp))
-		out = appendString(out, e.Name)
-		shape := e.Tensor.Shape()
-		out = binary.AppendUvarint(out, uint64(len(shape)))
-		for _, d := range shape {
-			out = binary.AppendUvarint(out, uint64(d))
-		}
-		out = binary.AppendUvarint(out, uint64(len(comp)))
-		out = append(out, comp...)
+		st.LossyOutBytes += int64(len(comps[i]))
+		fw.lossySection(e.Name, e.Tensor.Shape(), comps[i])
+	}
+	st.MetaOutBytes = int64(len(metaComp))
+	fw.metaSection(metaComp)
+	if fw.err != nil {
+		return nil, st, fw.err
 	}
 
-	// Lossless section.
-	st.MetaOutBytes = int64(len(metaComp))
-	out = binary.AppendUvarint(out, uint64(len(metaComp)))
-	out = append(out, metaComp...)
-
-	st.CompressedBytes = int64(len(out))
+	st.CompressedBytes = int64(len(sw.buf))
 	st.CompressTime = time.Since(start)
-	return out, st, nil
+	return sw.buf, st, nil
 }
 
 // Decompress decodes a FedSZ bitstream back into a state dict with the
@@ -291,176 +254,12 @@ func (p *Pipeline) Decompress(buf []byte) (*model.StateDict, error) {
 
 // DecompressParallel decodes a FedSZ bitstream with an explicit worker
 // count (0 selects runtime.GOMAXPROCS(0), 1 forces the serial path).
-// The frame is parsed sequentially — payload slicing is cheap — and the
-// per-tensor lossy decodes plus the lossless metadata pass fan across
-// the pool, mirroring Compress.
+// It is the whole-buffer wrapper over the shared section reader: the
+// frame is parsed sequentially — payload slicing is zero-copy — and
+// the per-tensor lossy decodes plus the lossless metadata pass fan
+// across the pool, mirroring Compress.
 func DecompressParallel(buf []byte, parallelism int) (*model.StateDict, error) {
-	if parallelism <= 0 {
-		parallelism = runtime.GOMAXPROCS(0)
-	}
-	if len(buf) < 5 || string(buf[:4]) != pipelineMagic {
-		return nil, fmt.Errorf("%w: bad magic", ErrCorrupt)
-	}
-	if buf[4] != formatVersion {
-		return nil, fmt.Errorf("%w: version %d", ErrCorrupt, buf[4])
-	}
-	buf = buf[5:]
-
-	lossyName, buf, err := readString(buf)
-	if err != nil {
-		return nil, err
-	}
-	losslessName, buf, err := readString(buf)
-	if err != nil {
-		return nil, err
-	}
-	_, n := binary.Uvarint(buf) // threshold (informational)
-	if n <= 0 {
-		return nil, fmt.Errorf("%w: threshold", ErrCorrupt)
-	}
-	buf = buf[n:]
-
-	nEntries64, n := binary.Uvarint(buf)
-	if n <= 0 {
-		return nil, fmt.Errorf("%w: entry count", ErrCorrupt)
-	}
-	buf = buf[n:]
-	// Each entry needs at least one tag bit; rejecting larger claims
-	// here also keeps the int conversion below from wrapping negative.
-	if nEntries64 > uint64(len(buf))*8 {
-		return nil, fmt.Errorf("%w: entry count %d exceeds buffer", ErrCorrupt, nEntries64)
-	}
-	nEntries := int(nEntries64)
-	tagBytes := (nEntries + 7) / 8
-	if len(buf) < tagBytes {
-		return nil, fmt.Errorf("%w: tags", ErrCorrupt)
-	}
-	tags := unpackBools(buf[:tagBytes], nEntries)
-	buf = buf[tagBytes:]
-
-	lc, err := LossyByName(lossyName)
-	if err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
-	}
-	ll, err := lossless.New(losslessName)
-	if err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
-	}
-
-	// Lossy section: slice out every framed payload first, then decode
-	// them concurrently.
-	nLossy64, n := binary.Uvarint(buf)
-	if n <= 0 {
-		return nil, fmt.Errorf("%w: lossy count", ErrCorrupt)
-	}
-	buf = buf[n:]
-	// Each framed tensor costs at least 3 bytes (name-length, ndims and
-	// payload-length varints), so a count beyond len(buf)/3 is corrupt —
-	// reject it before sizing the slice by an attacker-controlled value.
-	if nLossy64 > uint64(len(buf))/3 {
-		return nil, fmt.Errorf("%w: lossy count %d exceeds buffer", ErrCorrupt, nLossy64)
-	}
-	type lossyTensor struct {
-		name    string
-		shape   []int
-		payload []byte
-		t       *tensor.Tensor
-	}
-	lossyTensors := make([]lossyTensor, 0, nLossy64)
-	for i := uint64(0); i < nLossy64; i++ {
-		name, rest, err := readString(buf)
-		if err != nil {
-			return nil, err
-		}
-		buf = rest
-		ndims, n := binary.Uvarint(buf)
-		if n <= 0 || ndims > 16 {
-			return nil, fmt.Errorf("%w: tensor %q dims", ErrCorrupt, name)
-		}
-		buf = buf[n:]
-		shape := make([]int, ndims)
-		for d := range shape {
-			v, n := binary.Uvarint(buf)
-			if n <= 0 {
-				return nil, fmt.Errorf("%w: tensor %q dim", ErrCorrupt, name)
-			}
-			shape[d] = int(v)
-			buf = buf[n:]
-		}
-		payloadLen, n := binary.Uvarint(buf)
-		if n <= 0 || uint64(len(buf)-n) < payloadLen {
-			return nil, fmt.Errorf("%w: tensor %q payload", ErrCorrupt, name)
-		}
-		payload := buf[n : n+int(payloadLen)]
-		buf = buf[n+int(payloadLen):]
-		lossyTensors = append(lossyTensors, lossyTensor{name: name, shape: shape, payload: payload})
-	}
-
-	// Lossless section boundary.
-	metaLen, n := binary.Uvarint(buf)
-	if n <= 0 || uint64(len(buf)-n) < metaLen {
-		return nil, fmt.Errorf("%w: metadata section", ErrCorrupt)
-	}
-	metaPayload := buf[n : n+int(metaLen)]
-
-	var meta *model.StateDict
-	errs := runTasks(len(lossyTensors)+1, parallelism, func(i int) error {
-		if i < len(lossyTensors) {
-			lt := &lossyTensors[i]
-			data, err := lc.Decompress(lt.payload)
-			if err != nil {
-				return fmt.Errorf("%w: tensor %q: %v", ErrCorrupt, lt.name, err)
-			}
-			t, err := tensor.FromData(data, lt.shape...)
-			if err != nil {
-				return fmt.Errorf("%w: tensor %q reshape: %v", ErrCorrupt, lt.name, err)
-			}
-			lt.t = t
-			return nil
-		}
-		blob, err := ll.Decompress(metaPayload)
-		if err != nil {
-			return fmt.Errorf("%w: metadata: %v", ErrCorrupt, err)
-		}
-		m, err := UnmarshalStateDict(blob)
-		if err != nil {
-			return err
-		}
-		meta = m
-		return nil
-	})
-	if err := firstError(errs); err != nil {
-		return nil, err
-	}
-
-	// Reassemble in original order.
-	metaEntries := meta.Entries()
-	out := model.NewStateDict()
-	li, mi := 0, 0
-	for _, isLossy := range tags {
-		if isLossy {
-			if li >= len(lossyTensors) {
-				return nil, fmt.Errorf("%w: lossy tensor underrun", ErrCorrupt)
-			}
-			lt := lossyTensors[li]
-			li++
-			if err := out.Add(model.Entry{Name: lt.name, DType: model.Float32, Tensor: lt.t}); err != nil {
-				return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
-			}
-			continue
-		}
-		if mi >= len(metaEntries) {
-			return nil, fmt.Errorf("%w: metadata entry underrun", ErrCorrupt)
-		}
-		if err := out.Add(metaEntries[mi]); err != nil {
-			return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
-		}
-		mi++
-	}
-	if li != len(lossyTensors) || mi != len(metaEntries) {
-		return nil, fmt.Errorf("%w: section/tag mismatch", ErrCorrupt)
-	}
-	return out, nil
+	return decodeFrame(&bufSource{buf: buf}, parallelism)
 }
 
 // varintMax is the worst-case uvarint encoding size used when an exact
@@ -480,24 +279,6 @@ func varintLen(v uint64) int {
 func appendString(dst []byte, s string) []byte {
 	dst = binary.AppendUvarint(dst, uint64(len(s)))
 	return append(dst, s...)
-}
-
-func readString(buf []byte) (string, []byte, error) {
-	l, n := binary.Uvarint(buf)
-	if n <= 0 || uint64(len(buf)-n) < l {
-		return "", nil, fmt.Errorf("%w: string field", ErrCorrupt)
-	}
-	return string(buf[n : n+int(l)]), buf[n+int(l):], nil
-}
-
-func packBools(bs []bool) []byte {
-	out := make([]byte, (len(bs)+7)/8)
-	for i, b := range bs {
-		if b {
-			out[i/8] |= 1 << uint(i%8)
-		}
-	}
-	return out
 }
 
 func unpackBools(packed []byte, n int) []bool {

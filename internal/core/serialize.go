@@ -3,6 +3,7 @@ package core
 import (
 	"encoding/binary"
 	"fmt"
+	"io"
 	"math"
 
 	"fedsz/internal/model"
@@ -25,31 +26,166 @@ func MarshalStateDict(sd *model.StateDict) ([]byte, error) {
 	out := make([]byte, 0, sd.SizeBytes()+int64(sd.Len()*16)+8)
 	out = append(out, serializeMagic...)
 	out = binary.AppendUvarint(out, uint64(sd.Len()))
+	var err error
 	for _, e := range sd.Entries() {
-		out = binary.AppendUvarint(out, uint64(len(e.Name)))
-		out = append(out, e.Name...)
-		out = append(out, byte(e.DType))
-		switch e.DType {
-		case model.Float32:
-			shape := e.Tensor.Shape()
-			out = binary.AppendUvarint(out, uint64(len(shape)))
-			for _, d := range shape {
-				out = binary.AppendUvarint(out, uint64(d))
-			}
-			for _, v := range e.Tensor.Data() {
-				out = binary.LittleEndian.AppendUint32(out, math.Float32bits(v))
-			}
-		case model.Int64:
-			out = binary.AppendUvarint(out, 1)
-			out = binary.AppendUvarint(out, uint64(len(e.Ints)))
-			for _, v := range e.Ints {
-				out = binary.LittleEndian.AppendUint64(out, uint64(v))
-			}
-		default:
-			return nil, fmt.Errorf("core: entry %q has unsupported dtype %d", e.Name, e.DType)
+		if out, err = appendStateDictEntry(out, e); err != nil {
+			return nil, err
 		}
 	}
 	return out, nil
+}
+
+// appendStateDictEntry appends one entry's encoding to out — the unit
+// both the whole-buffer marshal and the streaming MarshalStateDictTo
+// share.
+func appendStateDictEntry(out []byte, e model.Entry) ([]byte, error) {
+	out = binary.AppendUvarint(out, uint64(len(e.Name)))
+	out = append(out, e.Name...)
+	out = append(out, byte(e.DType))
+	switch e.DType {
+	case model.Float32:
+		shape := e.Tensor.Shape()
+		out = binary.AppendUvarint(out, uint64(len(shape)))
+		for _, d := range shape {
+			out = binary.AppendUvarint(out, uint64(d))
+		}
+		for _, v := range e.Tensor.Data() {
+			out = binary.LittleEndian.AppendUint32(out, math.Float32bits(v))
+		}
+	case model.Int64:
+		out = binary.AppendUvarint(out, 1)
+		out = binary.AppendUvarint(out, uint64(len(e.Ints)))
+		for _, v := range e.Ints {
+			out = binary.LittleEndian.AppendUint64(out, uint64(v))
+		}
+	default:
+		return nil, fmt.Errorf("core: entry %q has unsupported dtype %d", e.Name, e.DType)
+	}
+	return out, nil
+}
+
+// MarshalStateDictTo streams the binary state-dict encoding of sd to w
+// entry by entry: only one entry's encoding is held in memory at a
+// time, so a multi-hundred-MB model broadcasts without materializing
+// the full wire image. The bytes written are exactly what
+// MarshalStateDict returns.
+func MarshalStateDictTo(w io.Writer, sd *model.StateDict) error {
+	hdr := append(make([]byte, 0, len(serializeMagic)+varintMax), serializeMagic...)
+	hdr = binary.AppendUvarint(hdr, uint64(sd.Len()))
+	if _, err := w.Write(hdr); err != nil {
+		return fmt.Errorf("core: write state dict: %w", err)
+	}
+	var scratch []byte
+	for _, e := range sd.Entries() {
+		out, err := appendStateDictEntry(scratch[:0], e)
+		if err != nil {
+			return err
+		}
+		scratch = out
+		if _, err := w.Write(out); err != nil {
+			return fmt.Errorf("core: write state dict: %w", err)
+		}
+	}
+	return nil
+}
+
+// UnmarshalStateDictFrom decodes one streamed state dict from r,
+// reading exactly the encoded bytes (no readahead beyond r's own
+// buffering; pass an io.ByteReader-capable reader such as
+// *bufio.Reader when more data follows on the stream). Declared
+// lengths are checked against absolute caps and payloads are read with
+// bounded incremental allocation, so a forged header cannot force a
+// giant allocation. A stream with no bytes at all returns io.EOF.
+func UnmarshalStateDictFrom(r io.Reader) (*model.StateDict, error) {
+	src := &streamSource{r: asByteReader(r)}
+	magic, err := src.payload(uint64(len(serializeMagic)))
+	if err != nil {
+		if err == io.EOF {
+			return nil, io.EOF
+		}
+		return nil, fmt.Errorf("%w: bad state-dict magic", ErrCorrupt)
+	}
+	if string(magic) != serializeMagic {
+		return nil, fmt.Errorf("%w: bad state-dict magic", ErrCorrupt)
+	}
+	count, err := src.uvarint()
+	if err != nil {
+		return nil, fmt.Errorf("%w: state-dict count", ErrCorrupt)
+	}
+	if count > maxStreamEntries {
+		return nil, fmt.Errorf("%w: state-dict count %d exceeds bound", ErrCorrupt, count)
+	}
+	sd := model.NewStateDict()
+	for i := uint64(0); i < count; i++ {
+		name, err := src.readString()
+		if err != nil {
+			return nil, fmt.Errorf("%w: entry %d name", ErrCorrupt, i)
+		}
+		dt, err := src.r.ReadByte()
+		if err != nil {
+			return nil, fmt.Errorf("%w: entry %q dtype", ErrCorrupt, name)
+		}
+		dtype := model.DType(dt)
+
+		ndims, err := src.uvarint()
+		if err != nil || ndims > 16 {
+			return nil, fmt.Errorf("%w: entry %q dims", ErrCorrupt, name)
+		}
+		// Bound each dimension and the running product so a forged
+		// shape can neither wrap the int conversion nor wrap the
+		// product back into plausible range (tensor.FromData recomputes
+		// the same product and would accept the wrap).
+		shape := make([]int, ndims)
+		elems64 := uint64(1)
+		for d := range shape {
+			v, err := src.uvarint()
+			if err != nil || v > maxStreamElems {
+				return nil, fmt.Errorf("%w: entry %q dim %d", ErrCorrupt, name, d)
+			}
+			if elems64 *= v; elems64 > maxStreamElems {
+				return nil, fmt.Errorf("%w: entry %q element overflow", ErrCorrupt, name)
+			}
+			shape[d] = int(v)
+		}
+		elems := int(elems64)
+
+		switch dtype {
+		case model.Float32:
+			payload, err := src.payload(uint64(elems) * 4)
+			if err != nil {
+				return nil, fmt.Errorf("%w: entry %q payload", ErrCorrupt, name)
+			}
+			data := make([]float32, elems)
+			for j := range data {
+				data[j] = math.Float32frombits(binary.LittleEndian.Uint32(payload[j*4:]))
+			}
+			t, err := tensor.FromData(data, shape...)
+			if err != nil {
+				return nil, fmt.Errorf("%w: entry %q: %v", ErrCorrupt, name, err)
+			}
+			if err := sd.Add(model.Entry{Name: name, DType: model.Float32, Tensor: t}); err != nil {
+				return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+			}
+		case model.Int64:
+			if uint64(elems) > maxStreamSection/8 {
+				return nil, fmt.Errorf("%w: entry %q payload", ErrCorrupt, name)
+			}
+			payload, err := src.payload(uint64(elems) * 8)
+			if err != nil {
+				return nil, fmt.Errorf("%w: entry %q payload", ErrCorrupt, name)
+			}
+			ints := make([]int64, elems)
+			for j := range ints {
+				ints[j] = int64(binary.LittleEndian.Uint64(payload[j*8:]))
+			}
+			if err := sd.Add(model.Entry{Name: name, DType: model.Int64, Ints: ints}); err != nil {
+				return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+			}
+		default:
+			return nil, fmt.Errorf("%w: entry %q dtype %d", ErrCorrupt, name, dtype)
+		}
+	}
+	return sd, nil
 }
 
 // UnmarshalStateDict decodes a buffer produced by MarshalStateDict.

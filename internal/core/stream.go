@@ -1,0 +1,677 @@
+package core
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"fedsz/internal/lossless"
+	"fedsz/internal/model"
+	"fedsz/internal/tensor"
+)
+
+// This file implements the streaming halves of the frame format: a
+// section writer that emits the FedSZ frame incrementally to an
+// io.Writer (header first, then each lossy section as its tensor
+// finishes compressing, then the lossless section) and a section
+// reader that consumes it from an io.Reader with bounded allocation.
+// The whole-buffer Compress/Decompress entry points in fedsz.go are
+// thin wrappers over the same writer/reader pair, so both paths share
+// one frame-assembly implementation and stay byte-identical.
+
+// Streaming read limits. A buffer-backed source can validate every
+// declared count against the bytes that are actually present; a
+// stream cannot, so the streaming reader enforces absolute caps
+// instead. They are far above any real model update while keeping the
+// allocation a forged header can force small.
+const (
+	// maxStreamEntries caps entry and lossy-tensor counts (a 2M-entry
+	// state dict is ~3 orders beyond ResNet50's 320 entries).
+	maxStreamEntries = 1 << 21
+	// maxStreamSection caps one section payload (1 GiB, matching the
+	// transport's MaxFrameSize).
+	maxStreamSection = 1 << 30
+	// maxStreamString caps name fields.
+	maxStreamString = 1 << 16
+	// maxStreamElems caps a declared tensor shape: each dimension and
+	// the running product (2^28 elements = 1 GiB of float32, matching
+	// maxStreamSection). Checking the product as it accumulates keeps
+	// int overflow from wrapping a forged shape back into plausible
+	// range — tensor.FromData would recompute the same wrapped product
+	// and wave it through.
+	maxStreamElems = maxStreamSection / 4
+	// streamChunk is the incremental-allocation step for section
+	// payloads: a truncated stream claiming a huge section fails after
+	// allocating at most the bytes actually present plus one chunk.
+	streamChunk = 1 << 20
+)
+
+// frameWriter emits the FedSZ frame section by section. Field bytes
+// are staged in a scratch buffer and flushed per section; payloads are
+// written through directly. The first write error sticks and turns
+// subsequent calls into no-ops, so callers check err once at the end.
+type frameWriter struct {
+	w   io.Writer
+	tmp []byte
+	err error
+}
+
+func newFrameWriter(w io.Writer) *frameWriter { return &frameWriter{w: w} }
+
+func (fw *frameWriter) write(p []byte) {
+	if fw.err != nil {
+		return
+	}
+	if _, err := fw.w.Write(p); err != nil {
+		fw.err = fmt.Errorf("core: write frame: %w", err)
+	}
+}
+
+func (fw *frameWriter) flushTmp() {
+	fw.write(fw.tmp)
+	fw.tmp = fw.tmp[:0]
+}
+
+// header writes everything up to and including the lossy-section entry
+// count; all of it is known before any tensor finishes compressing, so
+// the streaming encoder emits it immediately.
+func (fw *frameWriter) header(cfg Config, nEntries int, tags []bool, nLossy int) {
+	fw.tmp = append(fw.tmp[:0], pipelineMagic...)
+	fw.tmp = append(fw.tmp, formatVersion)
+	fw.tmp = appendString(fw.tmp, cfg.Lossy)
+	fw.tmp = appendString(fw.tmp, cfg.Lossless)
+	fw.tmp = binary.AppendUvarint(fw.tmp, uint64(cfg.Threshold))
+	fw.tmp = binary.AppendUvarint(fw.tmp, uint64(nEntries))
+	fw.tmp = appendPackedBools(fw.tmp, tags)
+	fw.tmp = binary.AppendUvarint(fw.tmp, uint64(nLossy))
+	fw.flushTmp()
+}
+
+// lossySection writes one framed tensor: name, shape, payload.
+func (fw *frameWriter) lossySection(name string, shape []int, payload []byte) {
+	fw.tmp = appendString(fw.tmp[:0], name)
+	fw.tmp = binary.AppendUvarint(fw.tmp, uint64(len(shape)))
+	for _, d := range shape {
+		fw.tmp = binary.AppendUvarint(fw.tmp, uint64(d))
+	}
+	fw.tmp = binary.AppendUvarint(fw.tmp, uint64(len(payload)))
+	fw.flushTmp()
+	fw.write(payload)
+}
+
+// metaSection writes the lossless metadata section that closes the
+// frame.
+func (fw *frameWriter) metaSection(payload []byte) {
+	fw.tmp = binary.AppendUvarint(fw.tmp[:0], uint64(len(payload)))
+	fw.flushTmp()
+	fw.write(payload)
+}
+
+// sliceWriter adapts an append-style buffer to io.Writer; Compress
+// pre-sizes it exactly, so frame assembly never regrows.
+type sliceWriter struct{ buf []byte }
+
+func (s *sliceWriter) Write(p []byte) (int, error) {
+	s.buf = append(s.buf, p...)
+	return len(p), nil
+}
+
+// countingWriter counts bytes on their way to w (the streaming
+// encoder's CompressedBytes accounting).
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
+}
+
+// partition implements Algorithm 1 lines 2-9, splitting sd into the
+// lossy-path tensors and the lossless metadata dict and accounting the
+// input sizes into st.
+func (p *Pipeline) partition(sd *model.StateDict, st *Stats) (tags []bool, lossyEntries []model.Entry, meta *model.StateDict, err error) {
+	entries := sd.Entries()
+	tags = make([]bool, len(entries))
+	meta = model.NewStateDict()
+	for i, e := range entries {
+		st.TotalElems += int64(e.NumElements())
+		if p.shouldLossy(e) {
+			tags[i] = true
+			lossyEntries = append(lossyEntries, e)
+			st.LossyElems += int64(e.NumElements())
+			st.LossyInBytes += int64(e.SizeBytes())
+			continue
+		}
+		if err := meta.Add(e); err != nil {
+			return nil, nil, nil, fmt.Errorf("core: partition: %w", err)
+		}
+		st.MetaInBytes += int64(e.SizeBytes())
+	}
+	st.NumLossyTensors = len(lossyEntries)
+	st.NumMetaEntries = meta.Len()
+	st.OriginalBytes = st.LossyInBytes + st.MetaInBytes
+	return tags, lossyEntries, meta, nil
+}
+
+// compressMeta serializes and losslessly compresses the metadata dict.
+func (p *Pipeline) compressMeta(meta *model.StateDict) ([]byte, error) {
+	blob, err := MarshalStateDict(meta)
+	if err != nil {
+		return nil, err
+	}
+	mc, err := p.lossless.Compress(blob)
+	if err != nil {
+		return nil, fmt.Errorf("core: lossless compress metadata: %w", err)
+	}
+	return mc, nil
+}
+
+// CompressTo encodes sd as a FedSZ frame streamed to w: the header is
+// written immediately, and each tensor's section follows as soon as
+// that tensor finishes compressing, so on a network writer compression
+// time hides behind transmission time (the paper's tC behind tT).
+// Per-tensor compression fans across cfg.Parallelism workers; sections
+// are still written in deterministic entry order, so the bytes passing
+// through w are exactly what Compress would have returned. The caller
+// must not mutate sd while the call is in flight.
+func (p *Pipeline) CompressTo(w io.Writer, sd *model.StateDict) (Stats, error) {
+	start := time.Now()
+	var st Stats
+	tags, lossyEntries, meta, err := p.partition(sd, &st)
+	if err != nil {
+		return st, err
+	}
+
+	// One task per lossy tensor plus the independent metadata pass.
+	// Each task reports on its own buffered channel, so the writer
+	// below can await them in entry order while later tensors are
+	// still compressing — and an abandoned task never blocks.
+	nTasks := len(lossyEntries) + 1
+	comps := make([][]byte, len(lossyEntries))
+	var metaComp []byte
+	done := make([]chan error, nTasks)
+	for i := range done {
+		done[i] = make(chan error, 1)
+	}
+	task := func(i int) error {
+		if i < len(lossyEntries) {
+			e := lossyEntries[i]
+			comp, err := p.lossyC.Compress(e.Tensor.Data(), p.cfg.Bound)
+			if err != nil {
+				return fmt.Errorf("core: lossy compress %q: %w", e.Name, err)
+			}
+			comps[i] = comp
+			return nil
+		}
+		mc, err := p.compressMeta(meta)
+		if err != nil {
+			return err
+		}
+		metaComp = mc
+		return nil
+	}
+	workers := p.cfg.Parallelism
+	if workers > nTasks {
+		workers = nTasks
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	var next atomic.Int64
+	var abort atomic.Bool
+	for g := 0; g < workers; g++ {
+		go func() {
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= nTasks || abort.Load() {
+					return
+				}
+				done[i] <- task(i)
+			}
+		}()
+	}
+
+	cw := &countingWriter{w: w}
+	fw := newFrameWriter(cw)
+	fw.header(p.cfg, len(tags), tags, len(lossyEntries))
+	for i, e := range lossyEntries {
+		if err := <-done[i]; err != nil {
+			abort.Store(true)
+			return st, err
+		}
+		st.LossyOutBytes += int64(len(comps[i]))
+		fw.lossySection(e.Name, e.Tensor.Shape(), comps[i])
+		comps[i] = nil // the section is on the wire; release it
+		if fw.err != nil {
+			abort.Store(true)
+			return st, fw.err
+		}
+	}
+	if err := <-done[nTasks-1]; err != nil {
+		return st, err
+	}
+	st.MetaOutBytes = int64(len(metaComp))
+	fw.metaSection(metaComp)
+	if fw.err != nil {
+		return st, fw.err
+	}
+	st.CompressedBytes = cw.n
+	st.CompressTime = time.Since(start)
+	return st, nil
+}
+
+// frameSource abstracts where frame bytes come from, so one decode
+// loop serves both the whole-buffer and the streaming path. A
+// buffer-backed source validates counts against the bytes actually
+// present and hands out zero-copy payload slices; a stream-backed
+// source enforces absolute caps and reads payloads with bounded
+// incremental allocation.
+type frameSource interface {
+	// uvarint reads one varint field.
+	uvarint() (uint64, error)
+	// readString reads one length-prefixed string field.
+	readString() (string, error)
+	// payload returns the next n bytes. The returned slice may alias
+	// the source's backing buffer and is only valid until the source
+	// is advanced by the caller's owner (decodeFrame hands payloads
+	// straight to decoders, which never outlive the call).
+	payload(n uint64) ([]byte, error)
+	// entryLimit bounds a plausible state-dict entry count (one tag
+	// bit per entry must follow).
+	entryLimit() uint64
+	// lossyLimit bounds a plausible lossy-tensor count (at least three
+	// bytes of framing per tensor must follow).
+	lossyLimit() uint64
+}
+
+// bufSource parses a frame held fully in memory.
+type bufSource struct{ buf []byte }
+
+func (s *bufSource) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(s.buf)
+	if n <= 0 {
+		return 0, ErrCorrupt
+	}
+	s.buf = s.buf[n:]
+	return v, nil
+}
+
+func (s *bufSource) readString() (string, error) {
+	l, err := s.uvarint()
+	if err != nil || l > uint64(len(s.buf)) {
+		return "", ErrCorrupt
+	}
+	out := string(s.buf[:l])
+	s.buf = s.buf[l:]
+	return out, nil
+}
+
+func (s *bufSource) payload(n uint64) ([]byte, error) {
+	if n > uint64(len(s.buf)) {
+		return nil, ErrCorrupt
+	}
+	p := s.buf[:n]
+	s.buf = s.buf[n:]
+	return p, nil
+}
+
+func (s *bufSource) entryLimit() uint64 { return uint64(len(s.buf)) * 8 }
+func (s *bufSource) lossyLimit() uint64 { return uint64(len(s.buf)) / 3 }
+
+// byteReader is what the streaming reader needs from its source:
+// buffered byte-at-a-time access for varints plus bulk reads.
+type byteReader interface {
+	io.Reader
+	io.ByteReader
+}
+
+// asByteReader returns r itself when it can serve varint reads
+// directly (e.g. *bufio.Reader, *bytes.Reader), else wraps it. The
+// wrapper may read ahead; callers interleaving other reads on r
+// should pass a *bufio.Reader they own.
+func asByteReader(r io.Reader) byteReader {
+	if br, ok := r.(byteReader); ok {
+		return br
+	}
+	return bufio.NewReader(r)
+}
+
+// streamSource parses a frame incrementally from a reader.
+type streamSource struct{ r byteReader }
+
+func (s *streamSource) uvarint() (uint64, error) {
+	v, err := binary.ReadUvarint(s.r)
+	if err != nil {
+		return 0, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	return v, nil
+}
+
+func (s *streamSource) readString() (string, error) {
+	l, err := s.uvarint()
+	if err != nil {
+		return "", err
+	}
+	if l > maxStreamString {
+		return "", fmt.Errorf("%w: string field length %d", ErrCorrupt, l)
+	}
+	p, err := s.payload(l)
+	if err != nil {
+		return "", err
+	}
+	return string(p), nil
+}
+
+func (s *streamSource) payload(n uint64) ([]byte, error) {
+	if n > maxStreamSection {
+		return nil, fmt.Errorf("%w: section length %d exceeds %d", ErrCorrupt, n, maxStreamSection)
+	}
+	// Grow in chunks: a forged length costs at most the bytes actually
+	// present plus one chunk of allocation before ReadFull fails.
+	buf := make([]byte, 0, min64(n, streamChunk))
+	for remaining := n; remaining > 0; {
+		k := min64(remaining, streamChunk)
+		off := len(buf)
+		buf = append(buf, make([]byte, k)...)
+		if _, err := io.ReadFull(s.r, buf[off:]); err != nil {
+			if err == io.EOF && off == 0 {
+				// Nothing of this field was present: clean end of
+				// stream, which callers at a frame boundary surface
+				// as io.EOF.
+				return nil, io.EOF
+			}
+			if err == io.EOF {
+				err = io.ErrUnexpectedEOF
+			}
+			return nil, fmt.Errorf("%w: truncated section: %v", ErrCorrupt, err)
+		}
+		remaining -= k
+	}
+	return buf, nil
+}
+
+func (s *streamSource) entryLimit() uint64 { return maxStreamEntries }
+func (s *streamSource) lossyLimit() uint64 { return maxStreamEntries }
+
+// decodePool fans section decodes across a bounded worker pool as the
+// frame reader produces them, recording the first failure. With
+// parallelism 1 it degenerates to inline calls.
+type decodePool struct {
+	sem chan struct{}
+	wg  sync.WaitGroup
+
+	mu  sync.Mutex
+	err error
+}
+
+func newDecodePool(parallelism int) *decodePool {
+	if parallelism <= 1 {
+		return &decodePool{}
+	}
+	return &decodePool{sem: make(chan struct{}, parallelism)}
+}
+
+func (dp *decodePool) setErr(err error) {
+	dp.mu.Lock()
+	if dp.err == nil {
+		dp.err = err
+	}
+	dp.mu.Unlock()
+}
+
+func (dp *decodePool) failed() bool {
+	dp.mu.Lock()
+	defer dp.mu.Unlock()
+	return dp.err != nil
+}
+
+// run schedules f, blocking while all workers are busy — backpressure
+// that keeps a fast reader from buffering unbounded decode work.
+func (dp *decodePool) run(f func() error) {
+	if dp.failed() {
+		return
+	}
+	if dp.sem == nil {
+		if err := f(); err != nil {
+			dp.setErr(err)
+		}
+		return
+	}
+	dp.wg.Add(1)
+	dp.sem <- struct{}{}
+	go func() {
+		defer dp.wg.Done()
+		err := f()
+		<-dp.sem
+		if err != nil {
+			dp.setErr(err)
+		}
+	}()
+}
+
+func (dp *decodePool) wait() error {
+	dp.wg.Wait()
+	return dp.err
+}
+
+// decodeFrame is the shared frame reader: it parses the header,
+// dispatches each lossy section to the decode pool as it is read (so
+// on a network reader decompression overlaps reception), parses the
+// lossless section, and reassembles the state dict in original entry
+// order.
+func decodeFrame(src frameSource, parallelism int) (*model.StateDict, error) {
+	if parallelism <= 0 {
+		parallelism = runtime.GOMAXPROCS(0)
+	}
+
+	hdr, err := src.payload(5)
+	if err != nil {
+		if err == io.EOF {
+			return nil, io.EOF // clean end of a multi-frame stream
+		}
+		return nil, fmt.Errorf("%w: bad magic", ErrCorrupt)
+	}
+	if string(hdr[:4]) != pipelineMagic {
+		return nil, fmt.Errorf("%w: bad magic", ErrCorrupt)
+	}
+	if hdr[4] != formatVersion {
+		return nil, fmt.Errorf("%w: version %d", ErrCorrupt, hdr[4])
+	}
+
+	lossyName, err := src.readString()
+	if err != nil {
+		return nil, fmt.Errorf("%w: string field", ErrCorrupt)
+	}
+	losslessName, err := src.readString()
+	if err != nil {
+		return nil, fmt.Errorf("%w: string field", ErrCorrupt)
+	}
+	if _, err := src.uvarint(); err != nil { // threshold (informational)
+		return nil, fmt.Errorf("%w: threshold", ErrCorrupt)
+	}
+
+	nEntries64, err := src.uvarint()
+	if err != nil {
+		return nil, fmt.Errorf("%w: entry count", ErrCorrupt)
+	}
+	// Rejecting implausible claims here also keeps the int conversion
+	// below from wrapping negative.
+	if nEntries64 > src.entryLimit() {
+		return nil, fmt.Errorf("%w: entry count %d exceeds bound", ErrCorrupt, nEntries64)
+	}
+	nEntries := int(nEntries64)
+	tagBytes, err := src.payload(uint64((nEntries + 7) / 8))
+	if err != nil {
+		return nil, fmt.Errorf("%w: tags", ErrCorrupt)
+	}
+	tags := unpackBools(tagBytes, nEntries)
+
+	lc, err := LossyByName(lossyName)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	ll, err := lossless.New(losslessName)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+
+	nLossy64, err := src.uvarint()
+	if err != nil {
+		return nil, fmt.Errorf("%w: lossy count", ErrCorrupt)
+	}
+	// Each framed tensor costs at least 3 bytes (name-length, ndims and
+	// payload-length varints), so a count beyond that is corrupt —
+	// reject it before sizing the slice by an attacker-controlled value.
+	if nLossy64 > src.lossyLimit() {
+		return nil, fmt.Errorf("%w: lossy count %d exceeds bound", ErrCorrupt, nLossy64)
+	}
+
+	type lossyTensor struct {
+		name  string
+		shape []int
+		t     *tensor.Tensor
+	}
+	// Grown per parsed section (each costs ≥3 real bytes), never sized
+	// by the claimed count in one shot; pointer elements stay stable
+	// for the decode goroutines across regrows.
+	lossyTensors := make([]*lossyTensor, 0, min64(nLossy64, 1024))
+	pool := newDecodePool(parallelism)
+	for i := uint64(0); i < nLossy64; i++ {
+		name, err := src.readString()
+		if err != nil {
+			return nil, fmt.Errorf("%w: tensor name", ErrCorrupt)
+		}
+		ndims, err := src.uvarint()
+		if err != nil || ndims > 16 {
+			return nil, fmt.Errorf("%w: tensor %q dims", ErrCorrupt, name)
+		}
+		shape := make([]int, ndims)
+		elems := uint64(1)
+		for d := range shape {
+			v, err := src.uvarint()
+			if err != nil || v > maxStreamElems {
+				return nil, fmt.Errorf("%w: tensor %q dim", ErrCorrupt, name)
+			}
+			if elems *= v; elems > maxStreamElems {
+				return nil, fmt.Errorf("%w: tensor %q shape overflow", ErrCorrupt, name)
+			}
+			shape[d] = int(v)
+		}
+		payloadLen, err := src.uvarint()
+		if err != nil {
+			return nil, fmt.Errorf("%w: tensor %q payload", ErrCorrupt, name)
+		}
+		payload, err := src.payload(payloadLen)
+		if err != nil {
+			return nil, fmt.Errorf("%w: tensor %q payload", ErrCorrupt, name)
+		}
+		lt := &lossyTensor{name: name, shape: shape}
+		lossyTensors = append(lossyTensors, lt)
+		pool.run(func() error {
+			data, err := lc.Decompress(payload)
+			if err != nil {
+				return fmt.Errorf("%w: tensor %q: %v", ErrCorrupt, lt.name, err)
+			}
+			t, err := tensor.FromData(data, lt.shape...)
+			if err != nil {
+				return fmt.Errorf("%w: tensor %q reshape: %v", ErrCorrupt, lt.name, err)
+			}
+			lt.t = t
+			return nil
+		})
+	}
+
+	metaLen, err := src.uvarint()
+	if err != nil {
+		return nil, fmt.Errorf("%w: metadata section", ErrCorrupt)
+	}
+	metaPayload, err := src.payload(metaLen)
+	if err != nil {
+		return nil, fmt.Errorf("%w: metadata section", ErrCorrupt)
+	}
+	var meta *model.StateDict
+	pool.run(func() error {
+		blob, err := ll.Decompress(metaPayload)
+		if err != nil {
+			return fmt.Errorf("%w: metadata: %v", ErrCorrupt, err)
+		}
+		m, err := UnmarshalStateDict(blob)
+		if err != nil {
+			return err
+		}
+		meta = m
+		return nil
+	})
+	if err := pool.wait(); err != nil {
+		return nil, err
+	}
+
+	// Reassemble in original order.
+	metaEntries := meta.Entries()
+	out := model.NewStateDict()
+	li, mi := 0, 0
+	for _, isLossy := range tags {
+		if isLossy {
+			if li >= len(lossyTensors) {
+				return nil, fmt.Errorf("%w: lossy tensor underrun", ErrCorrupt)
+			}
+			lt := lossyTensors[li]
+			li++
+			if err := out.Add(model.Entry{Name: lt.name, DType: model.Float32, Tensor: lt.t}); err != nil {
+				return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+			}
+			continue
+		}
+		if mi >= len(metaEntries) {
+			return nil, fmt.Errorf("%w: metadata entry underrun", ErrCorrupt)
+		}
+		if err := out.Add(metaEntries[mi]); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+		}
+		mi++
+	}
+	if li != len(lossyTensors) || mi != len(metaEntries) {
+		return nil, fmt.Errorf("%w: section/tag mismatch", ErrCorrupt)
+	}
+	return out, nil
+}
+
+// DecompressFrom decodes one FedSZ frame from r, dispatching each
+// tensor's decode as soon as its section arrives so decompression
+// overlaps reception. It reads exactly one frame — no readahead beyond
+// r's own buffering — so frames and other messages can follow on the
+// same stream; pass a reader that implements io.ByteReader (e.g.
+// *bufio.Reader) to guarantee that, as a bare io.Reader gets wrapped
+// in a buffered reader that may read past the frame. A stream with no
+// bytes at all returns io.EOF. Parallelism ≤ 0 selects
+// runtime.GOMAXPROCS(0); 1 forces serial decoding.
+func DecompressFrom(r io.Reader, parallelism int) (*model.StateDict, error) {
+	return decodeFrame(&streamSource{r: asByteReader(r)}, parallelism)
+}
+
+func min64(a, b uint64) uint64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// appendPackedBools appends bs packed LSB-first into dst.
+func appendPackedBools(dst []byte, bs []bool) []byte {
+	off := len(dst)
+	dst = append(dst, make([]byte, (len(bs)+7)/8)...)
+	for i, b := range bs {
+		if b {
+			dst[off+i/8] |= 1 << uint(i%8)
+		}
+	}
+	return dst
+}

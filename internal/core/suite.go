@@ -4,13 +4,17 @@ import (
 	"fmt"
 
 	"fedsz/internal/lossy"
-	"fedsz/internal/sz2"
-	"fedsz/internal/sz3"
-	"fedsz/internal/szx"
-	"fedsz/internal/zfp"
+
+	// The built-in error-bounded compressors self-register with the
+	// lossy registry from their init functions; importing them here
+	// guarantees every pipeline binary links the full Table I suite.
+	_ "fedsz/internal/sz2"
+	_ "fedsz/internal/sz3"
+	_ "fedsz/internal/szx"
+	_ "fedsz/internal/zfp"
 )
 
-// Lossy compressor names accepted by the pipeline.
+// Lossy compressor names registered by the built-in suite.
 const (
 	LossySZ2         = "sz2"
 	LossySZ3         = "sz3"
@@ -19,26 +23,19 @@ const (
 	LossyZFP         = "zfp"
 )
 
-// LossyByName constructs the EBLC registered under name.
-// "szx-artifact" selects the paper-artifact SZx mode (see package szx).
+// LossyByName constructs the EBLC registered under name — built-in or
+// plugged in through lossy.Register. "szx-artifact" selects the
+// paper-artifact SZx mode (see package szx).
 func LossyByName(name string) (lossy.Compressor, error) {
-	switch name {
-	case LossySZ2:
-		return sz2.New(), nil
-	case LossySZ3:
-		return sz3.New(), nil
-	case LossySZx:
-		return szx.New(), nil
-	case LossySZxArtifact:
-		return szx.New(szx.WithMode(szx.ModePaperArtifact)), nil
-	case LossyZFP:
-		return zfp.New(), nil
-	default:
+	c, err := lossy.New(name)
+	if err != nil {
 		return nil, fmt.Errorf("core: unknown lossy compressor %q", name)
 	}
+	return c, nil
 }
 
-// LossyNames lists the suite in the paper's Table I order.
+// LossyNames lists the canonical registered compressors; for the
+// built-in suite that is the paper's Table I order.
 func LossyNames() []string {
-	return []string{LossySZ2, LossySZ3, LossySZx, LossyZFP}
+	return lossy.Names()
 }

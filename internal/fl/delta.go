@@ -2,6 +2,7 @@ package fl
 
 import (
 	"fmt"
+	"io"
 	"sync"
 	"time"
 
@@ -88,6 +89,43 @@ func (c *DeltaCodec) Decode(buf []byte) (*model.StateDict, error) {
 		return nil, fmt.Errorf("fl: delta codec has no reference")
 	}
 	delta, err := c.inner.Decode(buf)
+	if err != nil {
+		return nil, err
+	}
+	return AddDelta(ref, delta)
+}
+
+// EncodeTo implements Codec: the delta streams through the inner
+// codec's streaming path.
+func (c *DeltaCodec) EncodeTo(w io.Writer, sd *model.StateDict) (UpdateStats, error) {
+	c.mu.RLock()
+	ref := c.ref
+	c.mu.RUnlock()
+	if ref == nil {
+		return UpdateStats{}, fmt.Errorf("fl: delta codec has no reference")
+	}
+	start := time.Now()
+	delta, err := Diff(sd, ref)
+	if err != nil {
+		return UpdateStats{}, err
+	}
+	st, err := c.inner.EncodeTo(w, delta)
+	if err != nil {
+		return UpdateStats{}, err
+	}
+	st.EncodeTime = time.Since(start)
+	return st, nil
+}
+
+// DecodeFrom implements Codec.
+func (c *DeltaCodec) DecodeFrom(r io.Reader) (*model.StateDict, error) {
+	c.mu.RLock()
+	ref := c.ref
+	c.mu.RUnlock()
+	if ref == nil {
+		return nil, fmt.Errorf("fl: delta codec has no reference")
+	}
+	delta, err := c.inner.DecodeFrom(r)
 	if err != nil {
 		return nil, err
 	}

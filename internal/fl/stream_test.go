@@ -1,0 +1,105 @@
+package fl
+
+import (
+	"bytes"
+	"testing"
+
+	"fedsz/internal/core"
+	"fedsz/internal/lossy"
+	"fedsz/internal/model"
+	"fedsz/internal/nn"
+)
+
+// TestCodecStreamingParity pins the Codec contract: EncodeTo writes
+// exactly the bytes Encode returns, and DecodeFrom decodes them to the
+// same dict — for every codec in the suite, including the
+// reference-aware delta composition.
+func TestCodecStreamingParity(t *testing.T) {
+	sd := nn.MobileNetV2Mini(48, 4, 3).StateDict()
+	ref := nn.MobileNetV2Mini(48, 4, 4).StateDict()
+
+	fedsz, err := NewFedSZCodec(core.Config{Bound: lossy.RelBound(1e-2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	delta := NewDeltaCodec(fedsz)
+	delta.SetReference(ref)
+	deltaPlain := NewDeltaCodec(nil)
+	deltaPlain.SetReference(ref)
+
+	for _, codec := range []Codec{PlainCodec{}, fedsz, delta, deltaPlain} {
+		wantBuf, wantSt, err := codec.Encode(sd)
+		if err != nil {
+			t.Fatalf("%s: encode: %v", codec.Name(), err)
+		}
+		var stream bytes.Buffer
+		gotSt, err := codec.EncodeTo(&stream, sd)
+		if err != nil {
+			t.Fatalf("%s: encodeTo: %v", codec.Name(), err)
+		}
+		if !bytes.Equal(stream.Bytes(), wantBuf) {
+			t.Fatalf("%s: streamed bytes diverge from Encode (%d vs %d)",
+				codec.Name(), stream.Len(), len(wantBuf))
+		}
+		if gotSt.CompressedBytes != wantSt.CompressedBytes {
+			t.Fatalf("%s: CompressedBytes %d != %d", codec.Name(), gotSt.CompressedBytes, wantSt.CompressedBytes)
+		}
+
+		fromBuf, err := codec.Decode(wantBuf)
+		if err != nil {
+			t.Fatalf("%s: decode: %v", codec.Name(), err)
+		}
+		fromStream, err := codec.DecodeFrom(bytes.NewReader(stream.Bytes()))
+		if err != nil {
+			t.Fatalf("%s: decodeFrom: %v", codec.Name(), err)
+		}
+		if fromBuf.Len() != fromStream.Len() {
+			t.Fatalf("%s: decode paths disagree on entry count", codec.Name())
+		}
+		bufEntries := fromBuf.Entries()
+		streamEntries := fromStream.Entries()
+		for i := range bufEntries {
+			a, b := bufEntries[i], streamEntries[i]
+			if a.Name != b.Name || a.DType != b.DType {
+				t.Fatalf("%s: entry %d structure mismatch", codec.Name(), i)
+			}
+			if a.DType != model.Float32 {
+				continue
+			}
+			ad, bd := a.Tensor.Data(), b.Tensor.Data()
+			for j := range ad {
+				if ad[j] != bd[j] {
+					t.Fatalf("%s: entry %q[%d]: %v != %v", codec.Name(), a.Name, j, ad[j], bd[j])
+				}
+			}
+		}
+	}
+}
+
+// TestBufferedStreamAdapters checks the length-prefixed fallback used
+// by codecs without a self-delimiting wire format, including that
+// trailing stream bytes survive.
+func TestBufferedStreamAdapters(t *testing.T) {
+	sd := nn.MobileNetV2Mini(32, 4, 1).StateDict()
+	codec := PlainCodec{}
+	var stream bytes.Buffer
+	if _, err := EncodeToBuffered(codec, &stream, sd); err != nil {
+		t.Fatal(err)
+	}
+	stream.WriteByte(0x7F)
+	r := bytes.NewReader(stream.Bytes())
+	got, err := DecodeFromBuffered(codec, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != sd.Len() {
+		t.Fatalf("entries %d != %d", got.Len(), sd.Len())
+	}
+	if b, err := r.ReadByte(); err != nil || b != 0x7F {
+		t.Fatalf("trailing byte consumed: %v %v", b, err)
+	}
+	// A forged length prefix on a truncated stream must fail bounded.
+	if _, err := DecodeFromBuffered(codec, bytes.NewReader([]byte{0xFF, 0xFF, 0xFF, 0x7F})); err == nil {
+		t.Fatal("forged length accepted")
+	}
+}

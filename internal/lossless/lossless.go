@@ -11,6 +11,7 @@ package lossless
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 )
 
@@ -83,25 +84,69 @@ const (
 	NameXzLike   = "xzlike"
 )
 
-// New returns the codec registered under name.
-func New(name string) (Codec, error) {
-	switch name {
-	case NameBloscLZ:
-		return NewBloscLZ(4), nil
-	case NameZlib:
-		return newFlateCodec(NameZlib), nil
-	case NameGzip:
-		return newFlateCodec(NameGzip), nil
-	case NameZstdLike:
-		return NewLZH(ProfileZstd), nil
-	case NameXzLike:
-		return NewLZH(ProfileXz), nil
-	default:
-		return nil, fmt.Errorf("lossless: unknown codec %q", name)
+// The codec registry maps names to constructors. The five built-ins
+// register below; downstream code can plug additional lossless codecs
+// in through Register, and frames recording the registered name
+// decompress through the same lookup.
+var (
+	registryMu sync.RWMutex
+	registry   = map[string]func() Codec{}
+)
+
+func init() {
+	for name, factory := range map[string]func() Codec{
+		NameBloscLZ:  func() Codec { return NewBloscLZ(4) },
+		NameZlib:     func() Codec { return newFlateCodec(NameZlib) },
+		NameGzip:     func() Codec { return newFlateCodec(NameGzip) },
+		NameZstdLike: func() Codec { return NewLZH(ProfileZstd) },
+		NameXzLike:   func() Codec { return NewLZH(ProfileXz) },
+	} {
+		if err := Register(name, factory); err != nil {
+			panic(err)
+		}
 	}
 }
 
-// Names lists all available codec names in Table II order.
+// Register makes factory available to New under name. Registering an
+// empty name, a nil factory or a name that is already taken is an
+// error; a process registers each codec exactly once (typically from
+// init).
+func Register(name string, factory func() Codec) error {
+	if name == "" {
+		return fmt.Errorf("lossless: register: empty name")
+	}
+	if factory == nil {
+		return fmt.Errorf("lossless: register %q: nil factory", name)
+	}
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	if _, dup := registry[name]; dup {
+		return fmt.Errorf("lossless: register %q: already registered", name)
+	}
+	registry[name] = factory
+	return nil
+}
+
+// New returns the codec registered under name.
+func New(name string) (Codec, error) {
+	registryMu.RLock()
+	factory, ok := registry[name]
+	registryMu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("lossless: unknown codec %q", name)
+	}
+	return factory(), nil
+}
+
+// Names lists the registered codec names in sorted order — for the
+// built-ins that is the paper's Table II order.
 func Names() []string {
-	return []string{NameBloscLZ, NameGzip, NameXzLike, NameZlib, NameZstdLike}
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	out := make([]string, 0, len(registry))
+	for name := range registry {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
 }

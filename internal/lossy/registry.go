@@ -1,0 +1,97 @@
+package lossy
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// The compressor registry maps names to constructors. Built-in
+// compressors self-register from their packages' init functions
+// (sz2, sz3, szx, zfp), and downstream code can plug additional
+// error-bounded compressors in through Register without touching any
+// internal package: a frame recording the registered name decompresses
+// through the same lookup the built-ins use.
+var (
+	registryMu sync.RWMutex
+	registry   = map[string]func() Compressor{}
+	variants   = map[string]bool{}
+)
+
+// Register makes factory available to New under name. Registering an
+// empty name, a nil factory or a name that is already taken is an
+// error; a process registers each compressor exactly once (typically
+// from init).
+func Register(name string, factory func() Compressor) error {
+	return register(name, factory, false)
+}
+
+// RegisterVariant registers a non-canonical configuration of an
+// existing compressor (e.g. "szx-artifact"): it resolves through New
+// like any other name but is excluded from Names, so suite sweeps
+// iterate only canonical compressors.
+func RegisterVariant(name string, factory func() Compressor) error {
+	return register(name, factory, true)
+}
+
+func register(name string, factory func() Compressor, variant bool) error {
+	if name == "" {
+		return fmt.Errorf("lossy: register: empty name")
+	}
+	if factory == nil {
+		return fmt.Errorf("lossy: register %q: nil factory", name)
+	}
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	if _, dup := registry[name]; dup {
+		return fmt.Errorf("lossy: register %q: already registered", name)
+	}
+	registry[name] = factory
+	variants[name] = variant
+	return nil
+}
+
+// mustRegister is the init-time form of Register/RegisterVariant.
+func mustRegister(name string, factory func() Compressor, variant bool) {
+	if err := register(name, factory, variant); err != nil {
+		panic(err)
+	}
+}
+
+// MustRegister registers name or panics — the init-time form of
+// Register for built-in compressor packages.
+func MustRegister(name string, factory func() Compressor) {
+	mustRegister(name, factory, false)
+}
+
+// MustRegisterVariant is the init-time form of RegisterVariant.
+func MustRegisterVariant(name string, factory func() Compressor) {
+	mustRegister(name, factory, true)
+}
+
+// New constructs the compressor registered under name.
+func New(name string) (Compressor, error) {
+	registryMu.RLock()
+	factory, ok := registry[name]
+	registryMu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("lossy: unknown compressor %q", name)
+	}
+	return factory(), nil
+}
+
+// Names lists the canonical registered compressor names in sorted
+// order (for the built-ins that is the paper's Table I order: sz2,
+// sz3, szx, zfp). Variant registrations are omitted.
+func Names() []string {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	out := make([]string, 0, len(registry))
+	for name := range registry {
+		if !variants[name] {
+			out = append(out, name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}

@@ -40,6 +40,49 @@ func (l Link) TransferTime(bytes int64) time.Duration {
 	return d
 }
 
+// serializeTime is the pure wire-occupancy time for bytes, without
+// the per-message latency.
+func (l Link) serializeTime(bytes int64) time.Duration {
+	if l.BandwidthBps <= 0 {
+		return 0
+	}
+	return time.Duration(float64(bytes*8) / l.BandwidthBps * float64(time.Second))
+}
+
+// Chunk is one stage of a pipelined transfer: Compute is the time to
+// produce the chunk (e.g. compressing one tensor), Bytes its wire
+// size.
+type Chunk struct {
+	Compute time.Duration
+	Bytes   int64
+}
+
+// PipelinedTime models a chunked transfer where producing chunk i+1
+// overlaps transmitting chunk i — the streaming-encoder transfer
+// model. Chunks are produced serially in order (matching the
+// deterministic section order of a FedSZ frame on a single-core
+// sender) and the wire is a serial resource:
+//
+//	ready(i)  = Σ Compute(0..i)
+//	start(i)  = max(ready(i), finish(i-1))
+//	finish(i) = start(i) + Bytes(i)·8/Bandwidth
+//
+// The result includes the link latency once (first-byte delay). It
+// never exceeds the whole-buffer time ΣCompute + TransferTime(ΣBytes),
+// and approaches max(ΣCompute, ΣTransfer) as chunks shrink.
+func (l Link) PipelinedTime(chunks []Chunk) time.Duration {
+	var ready, wireFree time.Duration
+	for _, c := range chunks {
+		ready += c.Compute
+		start := ready
+		if wireFree > start {
+			start = wireFree
+		}
+		wireFree = start + l.serializeTime(c.Bytes)
+	}
+	return wireFree + l.Latency
+}
+
 // VirtualClock is a monotonically advancing simulated clock. It lets
 // the harness account for hours of simulated transfer time in
 // microseconds of wall time.

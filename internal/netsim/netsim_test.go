@@ -111,3 +111,51 @@ func TestRateLimitedConnPaces(t *testing.T) {
 		t.Fatalf("pacing slept only %v, want ≥1s modeled", slept)
 	}
 }
+
+func TestPipelinedTimeBounds(t *testing.T) {
+	link := Link{BandwidthBps: Mbps(100), Latency: 10 * time.Millisecond}
+	chunks := []Chunk{
+		{Compute: 5 * time.Millisecond, Bytes: 200_000},
+		{Compute: 8 * time.Millisecond, Bytes: 500_000},
+		{Compute: 3 * time.Millisecond, Bytes: 100_000},
+		{Compute: 6 * time.Millisecond, Bytes: 300_000},
+	}
+	var totalCompute time.Duration
+	var totalBytes int64
+	for _, c := range chunks {
+		totalCompute += c.Compute
+		totalBytes += c.Bytes
+	}
+	whole := totalCompute + link.TransferTime(totalBytes)
+	pipelined := link.PipelinedTime(chunks)
+	if pipelined >= whole {
+		t.Fatalf("pipelined %v should beat whole-buffer %v", pipelined, whole)
+	}
+	// Lower bound: neither stage can finish before its own serial work
+	// plus latency.
+	if lb := totalCompute + link.Latency; pipelined < lb {
+		t.Fatalf("pipelined %v below compute bound %v", pipelined, lb)
+	}
+	if lb := link.TransferTime(totalBytes); pipelined < lb {
+		t.Fatalf("pipelined %v below transfer bound %v", pipelined, lb)
+	}
+}
+
+func TestPipelinedTimeDegenerate(t *testing.T) {
+	link := Link{BandwidthBps: Mbps(10), Latency: time.Millisecond}
+	// One chunk: no overlap possible — exactly compute + transfer.
+	one := []Chunk{{Compute: 7 * time.Millisecond, Bytes: 125_000}}
+	want := 7*time.Millisecond + link.TransferTime(125_000)
+	if got := link.PipelinedTime(one); got != want {
+		t.Fatalf("single chunk: got %v want %v", got, want)
+	}
+	// No chunks: only the latency term.
+	if got := link.PipelinedTime(nil); got != link.Latency {
+		t.Fatalf("empty: got %v want %v", got, link.Latency)
+	}
+	// Infinite bandwidth: transfer free, result is compute + latency.
+	fast := Link{}
+	if got := fast.PipelinedTime(one); got != 7*time.Millisecond {
+		t.Fatalf("infinite bandwidth: got %v", got)
+	}
+}

@@ -69,6 +69,10 @@ const (
 	predRegress = 1
 )
 
+func init() {
+	lossy.MustRegister("sz2", func() lossy.Compressor { return New() })
+}
+
 // Option configures the compressor.
 type Option func(*Compressor)
 

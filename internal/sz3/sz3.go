@@ -45,6 +45,10 @@ var compPool = sync.Pool{
 	New: func() interface{} { return new(compScratch) },
 }
 
+func init() {
+	lossy.MustRegister("sz3", func() lossy.Compressor { return New() })
+}
+
 // Option configures the compressor.
 type Option func(*Compressor)
 

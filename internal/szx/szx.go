@@ -52,6 +52,13 @@ const (
 	ModePaperArtifact
 )
 
+func init() {
+	lossy.MustRegister("szx", func() lossy.Compressor { return New() })
+	lossy.MustRegisterVariant("szx-artifact", func() lossy.Compressor {
+		return New(WithMode(ModePaperArtifact))
+	})
+}
+
 // Option configures the compressor.
 type Option func(*Compressor)
 

@@ -1,13 +1,25 @@
 // Package transport runs federated rounds over real TCP sockets with a
-// length-prefixed framing protocol, optionally rate-limited to emulate
+// pipelined streaming protocol, optionally rate-limited to emulate
 // constrained WANs. It is the wire-level counterpart of the in-process
 // simulation in package fl: the server broadcasts the global model,
 // clients return codec-encoded updates, the server aggregates with
-// FedAvg. The paper's APPFL deployment used gRPC; the framing here is a
-// minimal stdlib-only equivalent.
+// FedAvg. The paper's APPFL deployment used gRPC; the protocol here is
+// a minimal stdlib-only equivalent.
+//
+// Messages are a type byte followed by a self-delimiting streamed
+// body: the global model streams out entry by entry, and client
+// updates stream through the codec's EncodeTo/DecodeFrom pair, so a
+// FedSZ uplink pushes each tensor's section onto the wire while the
+// next tensor is still compressing (and the server decompresses
+// sections as they arrive). Neither side ever materializes the full
+// wire image of an update, and compression time hides behind
+// transmission time — the system-level payoff of the paper's Eqn. 1.
+// The legacy length-prefixed framing (WriteFrame/ReadFrame) remains
+// for whole-buffer tooling.
 package transport
 
 import (
+	"bufio"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -21,16 +33,61 @@ import (
 	"fedsz/internal/netsim"
 )
 
-// MsgType identifies a frame.
+// MsgType identifies a message.
 type MsgType uint8
 
-// Protocol frames.
+// Protocol messages.
 const (
 	MsgJoin        MsgType = iota + 1 // client → server: hello
-	MsgGlobalModel                    // server → client: serialized global state
-	MsgUpdate                         // client → server: sample count + encoded update
+	MsgGlobalModel                    // server → client: streamed global state
+	MsgUpdate                         // client → server: sample count + streamed update
 	MsgShutdown                       // server → client: training complete
 )
+
+// connStream bundles the buffered halves of one connection. The
+// reader is shared by every streaming decode on the connection, so
+// readahead stays coherent across messages; the writer batches the
+// many small section writes of a streamed frame into few syscalls and
+// is flushed once per message.
+type connStream struct {
+	conn net.Conn
+	r    *bufio.Reader
+	w    *bufio.Writer
+}
+
+func newConnStream(conn net.Conn) *connStream {
+	return &connStream{
+		conn: conn,
+		r:    bufio.NewReaderSize(conn, 64<<10),
+		w:    bufio.NewWriterSize(conn, 64<<10),
+	}
+}
+
+// writeMsg writes the type byte, streams the body (nil for bodyless
+// messages) and flushes.
+func (cs *connStream) writeMsg(t MsgType, body func(w io.Writer) error) error {
+	if err := cs.w.WriteByte(byte(t)); err != nil {
+		return fmt.Errorf("transport: write message type: %w", err)
+	}
+	if body != nil {
+		if err := body(cs.w); err != nil {
+			return err
+		}
+	}
+	if err := cs.w.Flush(); err != nil {
+		return fmt.Errorf("transport: flush message: %w", err)
+	}
+	return nil
+}
+
+// readMsgType reads the next message's type byte.
+func (cs *connStream) readMsgType() (MsgType, error) {
+	b, err := cs.r.ReadByte()
+	if err != nil {
+		return 0, fmt.Errorf("transport: read message type: %w", err)
+	}
+	return MsgType(b), nil
+}
 
 // MaxFrameSize bounds a frame payload (1 GiB) to fail fast on
 // corruption.
@@ -102,24 +159,29 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 // Serve accepts cfg.Clients connections on ln, runs cfg.Rounds
 // federated rounds starting from initial, and returns the final global
 // model. It owns the accepted connections and closes them on return.
+// Each client's uplink decodes as it arrives (one goroutine per
+// connection, each tensor decompressed as its section is received), so
+// decode work across clients overlaps both reception and other
+// clients' training.
 func (s *Server) Serve(ln net.Listener, initial *model.StateDict) (*model.StateDict, error) {
-	conns := make([]net.Conn, 0, s.cfg.Clients)
+	streams := make([]*connStream, 0, s.cfg.Clients)
 	defer func() {
-		for _, c := range conns {
-			_ = c.Close()
+		for _, cs := range streams {
+			_ = cs.conn.Close()
 		}
 	}()
-	for len(conns) < s.cfg.Clients {
+	for len(streams) < s.cfg.Clients {
 		conn, err := ln.Accept()
 		if err != nil {
 			return nil, fmt.Errorf("transport: accept: %w", err)
 		}
-		t, _, err := ReadFrame(conn)
+		cs := newConnStream(netsim.Limit(conn, s.cfg.BandwidthBps))
+		t, err := cs.readMsgType()
 		if err != nil || t != MsgJoin {
 			_ = conn.Close()
 			return nil, fmt.Errorf("%w: expected join, got %v (err %v)", ErrProtocol, t, err)
 		}
-		conns = append(conns, netsim.Limit(conn, s.cfg.BandwidthBps))
+		streams = append(streams, cs)
 	}
 
 	global := initial
@@ -127,25 +189,26 @@ func (s *Server) Serve(ln net.Listener, initial *model.StateDict) (*model.StateD
 		if ra, ok := s.cfg.Codec.(fl.ReferenceAware); ok {
 			ra.SetReference(global)
 		}
-		blob, err := core.MarshalStateDict(global)
-		if err != nil {
-			return nil, err
-		}
-		for _, c := range conns {
-			if err := WriteFrame(c, MsgGlobalModel, blob); err != nil {
+		// Broadcast the global model, streamed entry by entry — the wire
+		// image is never materialized on either side.
+		for _, cs := range streams {
+			err := cs.writeMsg(MsgGlobalModel, func(w io.Writer) error {
+				return core.MarshalStateDictTo(w, global)
+			})
+			if err != nil {
 				return nil, err
 			}
 		}
 
-		updates := make([]*model.StateDict, len(conns))
-		counts := make([]int, len(conns))
-		errs := make([]error, len(conns))
+		updates := make([]*model.StateDict, len(streams))
+		counts := make([]int, len(streams))
+		errs := make([]error, len(streams))
 		var wg sync.WaitGroup
-		for i, c := range conns {
+		for i, cs := range streams {
 			wg.Add(1)
-			go func(i int, c net.Conn) {
+			go func(i int, cs *connStream) {
 				defer wg.Done()
-				t, payload, err := ReadFrame(c)
+				t, err := cs.readMsgType()
 				if err != nil {
 					errs[i] = err
 					return
@@ -154,19 +217,19 @@ func (s *Server) Serve(ln net.Listener, initial *model.StateDict) (*model.StateD
 					errs[i] = fmt.Errorf("%w: expected update, got %v", ErrProtocol, t)
 					return
 				}
-				samples, n := binary.Uvarint(payload)
-				if n <= 0 {
+				samples, err := binary.ReadUvarint(cs.r)
+				if err != nil {
 					errs[i] = fmt.Errorf("%w: update sample count", ErrProtocol)
 					return
 				}
-				sd, err := s.cfg.Codec.Decode(payload[n:])
+				sd, err := s.cfg.Codec.DecodeFrom(cs.r)
 				if err != nil {
 					errs[i] = err
 					return
 				}
 				updates[i] = sd
 				counts[i] = int(samples)
-			}(i, c)
+			}(i, cs)
 		}
 		wg.Wait()
 		for i, err := range errs {
@@ -174,6 +237,7 @@ func (s *Server) Serve(ln net.Listener, initial *model.StateDict) (*model.StateD
 				return nil, fmt.Errorf("transport: round %d client %d: %w", round, i, err)
 			}
 		}
+		var err error
 		global, err = fl.FedAvg(updates, counts)
 		if err != nil {
 			return nil, fmt.Errorf("transport: round %d: %w", round, err)
@@ -182,8 +246,8 @@ func (s *Server) Serve(ln net.Listener, initial *model.StateDict) (*model.StateD
 			s.cfg.OnRound(round, global)
 		}
 	}
-	for _, c := range conns {
-		if err := WriteFrame(c, MsgShutdown, nil); err != nil {
+	for _, cs := range streams {
+		if err := cs.writeMsg(MsgShutdown, nil); err != nil {
 			return nil, err
 		}
 	}
@@ -195,16 +259,19 @@ func (s *Server) Serve(ln net.Listener, initial *model.StateDict) (*model.StateD
 type TrainFunc func(round int, global *model.StateDict) (*model.StateDict, int, error)
 
 // RunClient participates in federated rounds over conn until the
-// server sends MsgShutdown. Updates are encoded with codec.
+// server sends MsgShutdown. Updates stream through codec.EncodeTo:
+// each tensor's compressed section leaves as soon as it is ready, so
+// on a slow uplink compression time hides behind transmission time.
 func RunClient(conn net.Conn, codec fl.Codec, train TrainFunc) error {
 	if codec == nil {
 		codec = fl.PlainCodec{}
 	}
-	if err := WriteFrame(conn, MsgJoin, nil); err != nil {
+	cs := newConnStream(conn)
+	if err := cs.writeMsg(MsgJoin, nil); err != nil {
 		return err
 	}
 	for round := 0; ; round++ {
-		t, payload, err := ReadFrame(conn)
+		t, err := cs.readMsgType()
 		if err != nil {
 			return err
 		}
@@ -212,7 +279,7 @@ func RunClient(conn net.Conn, codec fl.Codec, train TrainFunc) error {
 		case MsgShutdown:
 			return nil
 		case MsgGlobalModel:
-			global, err := core.UnmarshalStateDict(payload)
+			global, err := core.UnmarshalStateDictFrom(cs.r)
 			if err != nil {
 				return err
 			}
@@ -223,17 +290,20 @@ func RunClient(conn net.Conn, codec fl.Codec, train TrainFunc) error {
 			if err != nil {
 				return fmt.Errorf("transport: client train: %w", err)
 			}
-			enc, _, err := codec.Encode(update)
+			err = cs.writeMsg(MsgUpdate, func(w io.Writer) error {
+				var hdr [binary.MaxVarintLen64]byte
+				n := binary.PutUvarint(hdr[:], uint64(samples))
+				if _, err := w.Write(hdr[:n]); err != nil {
+					return fmt.Errorf("transport: write sample count: %w", err)
+				}
+				_, err := codec.EncodeTo(w, update)
+				return err
+			})
 			if err != nil {
 				return err
 			}
-			msg := binary.AppendUvarint(nil, uint64(samples))
-			msg = append(msg, enc...)
-			if err := WriteFrame(conn, MsgUpdate, msg); err != nil {
-				return err
-			}
 		default:
-			return fmt.Errorf("%w: unexpected frame %v", ErrProtocol, t)
+			return fmt.Errorf("%w: unexpected message %v", ErrProtocol, t)
 		}
 	}
 }

@@ -38,6 +38,10 @@ const (
 	precisionMargin = 3
 )
 
+func init() {
+	lossy.MustRegister("zfp", func() lossy.Compressor { return New() })
+}
+
 // Compressor is the ZFP codec.
 type Compressor struct{}
 
