@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench fmt vet fuzz parallel-bench
+.PHONY: all build test race bench fmt vet fuzz parallel-bench scale-bench
 
 all: build test
 
@@ -47,6 +47,11 @@ throughput-bench:
 # Regenerate the committed whole-buffer vs pipelined-transfer datapoint.
 stream-bench:
 	$(GO) run ./cmd/fedszbench -exp stream -scale $(SCALE) -format json -o BENCH_stream.json
+
+# Regenerate the committed 1000-client orchestration datapoint (sync vs
+# async, sequential vs streaming sharded aggregation).
+scale-bench:
+	$(GO) run ./cmd/fedszbench -exp scale -scale $(SCALE) -format json -o BENCH_scale.json
 
 # Profile an experiment, e.g.: make profile EXP=throughput
 # then: go tool pprof cpu.pprof

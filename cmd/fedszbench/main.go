@@ -42,6 +42,7 @@ func run() error {
 		cpu    = flag.String("cpuprofile", "", "write a CPU profile of the experiment run to this file")
 		mem    = flag.String("memprofile", "", "write an allocation profile taken after the run to this file")
 	)
+	flag.StringVar(exp, "experiment", *exp, "alias for -exp")
 	flag.Parse()
 
 	if *cpu != "" {

@@ -1,17 +1,19 @@
 // Command fedszserver runs a FedSZ federated-learning server over real
-// TCP. It waits for -clients connections, runs -rounds FedAvg rounds
-// with FedSZ-compressed uplinks, reports per-round test accuracy on a
-// held-out synthetic set, and prints the final model summary.
+// TCP on the orchestration subsystem: clients join and leave
+// dynamically, every round samples the currently connected population
+// (optionally over-provisioned), stragglers past -deadline are cut,
+// and a client that disconnects mid-round is dropped while the round
+// commits with the remaining updates — one dead uplink no longer
+// aborts the run.
 //
 // Transfers are pipelined end to end: the global model broadcast
-// streams entry by entry, and each client's uplink decompresses tensor
-// sections as they arrive — no side ever holds a full wire image, and
-// with -bandwidth emulating a constrained WAN, decode time hides
-// behind reception.
+// streams entry by entry, and each client's uplink folds into the
+// streaming sharded aggregator as its tensor sections decompress — the
+// server never materializes a client's full state dict.
 //
 // Pair with cmd/fedszclient:
 //
-//	fedszserver -addr :9000 -clients 2 -rounds 5 &
+//	fedszserver -addr :9000 -min-clients 2 -rounds 5 &
 //	fedszclient -addr localhost:9000 -shard 0 -shards 2 &
 //	fedszclient -addr localhost:9000 -shard 1 -shards 2
 package main
@@ -21,11 +23,13 @@ import (
 	"fmt"
 	"net"
 	"os"
+	"time"
 
 	"fedsz"
 	"fedsz/internal/dataset"
 	"fedsz/internal/model"
 	"fedsz/internal/nn"
+	"fedsz/internal/orchestrator"
 	"fedsz/internal/transport"
 )
 
@@ -39,12 +43,17 @@ func main() {
 func run() error {
 	var (
 		addr      = flag.String("addr", ":9000", "listen address")
-		clients   = flag.Int("clients", 2, "clients to wait for")
+		minCli    = flag.Int("min-clients", 2, "clients required before the first round starts")
+		perRound  = flag.Int("clients-per-round", 0, "participants sampled per round (0 = all joined)")
+		overProv  = flag.Float64("over-provision", 1, "sampling over-provisioning factor (≥1)")
 		rounds    = flag.Int("rounds", 5, "federated rounds")
+		deadline  = flag.Duration("deadline", 0, "per-round straggler cutoff (0 = wait for everyone)")
 		bound     = flag.Float64("bound", 1e-2, "relative error bound")
 		comp      = flag.String("compressor", "sz2", "lossy compressor")
 		bandwidth = flag.Float64("bandwidth", 0, "per-connection rate limit in Mbps (0 = unlimited)")
+		shards    = flag.Int("shards", 0, "aggregator shard count (0 = auto)")
 		seed      = flag.Int64("seed", 42, "seed (must match clients)")
+		verbose   = flag.Bool("v", false, "log joins, leaves and drops")
 	)
 	flag.Parse()
 
@@ -54,24 +63,39 @@ func run() error {
 	}
 
 	// Server and clients carve one shared dataset (same spec + seed, so
-	// identical class templates): clients shard the first 200×clients
-	// samples, the server evaluates on the 400 samples after them.
+	// identical class templates): clients shard the leading samples,
+	// the server evaluates on the 400 samples after them. The client
+	// count only shapes the dataset split, so -min-clients stands in
+	// for the expected population here.
 	spec := dataset.FashionMNIST()
-	full := spec.Generate(200*(*clients)+400, *seed)
+	full := spec.Generate(200*(*minCli)+400, *seed)
 	evalNet := nn.MobileNetV2Mini(spec.Dim, spec.Classes, *seed)
-	x, y := full.Batch(200*(*clients), full.N)
+	x, y := full.Batch(200*(*minCli), full.N)
 
-	srv, err := transport.NewServer(transport.ServerConfig{
-		Clients:      *clients,
-		Rounds:       *rounds,
-		Codec:        codec,
-		BandwidthBps: fedsz.Mbps(*bandwidth),
-		OnRound: func(round int, global *model.StateDict) {
+	var logf func(string, ...interface{}) // nil = silent (transport default)
+	if *verbose {
+		logf = func(format string, args ...interface{}) {
+			fmt.Printf(format+"\n", args...)
+		}
+	}
+	srv, err := transport.NewOrchestrated(transport.OrchestratedConfig{
+		Codec:           codec,
+		MinClients:      *minCli,
+		ClientsPerRound: *perRound,
+		OverProvision:   *overProv,
+		Rounds:          *rounds,
+		RoundDeadline:   *deadline,
+		BandwidthBps:    fedsz.Mbps(*bandwidth),
+		Shards:          *shards,
+		Logf:            logf,
+		OnRound: func(round int, global *model.StateDict, st orchestrator.RoundStats) {
 			if err := evalNet.LoadStateDict(global); err != nil {
 				fmt.Printf("round %d: eval error: %v\n", round, err)
 				return
 			}
-			fmt.Printf("round %d: test accuracy %.3f\n", round, evalNet.Accuracy(x, y))
+			fmt.Printf("round %d: test accuracy %.3f (%d/%d updates, %d dropped, agg %.1f KB)\n",
+				round, evalNet.Accuracy(x, y), st.Committed, st.Sampled, st.Dropped,
+				float64(st.AggMemory)/1e3)
 		},
 	})
 	if err != nil {
@@ -83,8 +107,8 @@ func run() error {
 		return err
 	}
 	defer ln.Close()
-	fmt.Printf("listening on %s for %d clients (%d rounds, %s @ %.0e)\n",
-		ln.Addr(), *clients, *rounds, *comp, *bound)
+	fmt.Printf("listening on %s (min %d clients, %d rounds, %s @ %.0e, deadline %v)\n",
+		ln.Addr(), *minCli, *rounds, *comp, *bound, time.Duration(*deadline))
 
 	initial := nn.MobileNetV2Mini(spec.Dim, spec.Classes, *seed).StateDict()
 	final, err := srv.Serve(ln, initial)

@@ -56,12 +56,25 @@
 // (StateDict, Tensor) are not synchronized — do not mutate them during
 // a concurrent encode.
 //
+// # Orchestration
+//
+// The orchestration layer scales the federation past the paper's
+// four lock-step clients: NewCoordinator coordinates dynamic
+// join/leave, per-round sampling with over-provisioning, straggler
+// deadlines, and two aggregation modes (ModeSync FedAvg rounds,
+// ModeAsync FedBuff-style buffering), all folding decoded tensor
+// entries into the streaming sharded Aggregator as they come off each
+// connection — byte-identical to sequential FedAvg, without holding
+// every client's decoded update. RunOrchestratedSim drives it on a
+// virtual clock over heterogeneous client populations (PaperMix);
+// cmd/fedszserver runs it over TCP.
+//
 // The packages under internal/ implement the full system: the four
 // error-bounded compressors (SZ2, SZ3, SZx, ZFP), the lossless suite,
 // the model and training substrates, the FedAvg runtime with simulated
-// and real (TCP) transports, and the benchmark harness that regenerates
-// every table and figure of the paper (see DESIGN.md and
-// cmd/fedszbench).
+// and real (TCP) transports plus the orchestration subsystem, and the
+// benchmark harness that regenerates every table and figure of the
+// paper (see DESIGN.md and cmd/fedszbench).
 package fedsz
 
 import (
@@ -77,6 +90,7 @@ import (
 	"fedsz/internal/lossy"
 	"fedsz/internal/model"
 	"fedsz/internal/netsim"
+	"fedsz/internal/orchestrator"
 	"fedsz/internal/tensor"
 )
 
@@ -366,6 +380,74 @@ func UnmarshalStateDictFrom(r io.Reader) (*StateDict, error) {
 // RunSim executes an in-process federated simulation (FedAvg, local
 // SGD clients, analytic network model).
 func RunSim(cfg SimConfig) (*SimResult, error) { return fl.RunSim(cfg) }
+
+// Orchestration re-exports: the event-driven federated coordination
+// subsystem (client registry, per-round sampling with
+// over-provisioning, straggler deadlines, sync FedAvg rounds and
+// FedBuff-style async buffering, all aggregating through the
+// streaming sharded accumulator).
+type (
+	// Coordinator is the orchestration core: registry, sampler and
+	// round/buffer state machines.
+	Coordinator = orchestrator.Coordinator
+	// OrchestratorConfig parameterizes a Coordinator.
+	OrchestratorConfig = orchestrator.Config
+	// OrchestratorMode selects sync rounds or the async buffer.
+	OrchestratorMode = orchestrator.Mode
+	// Round is one open synchronous aggregation round.
+	Round = orchestrator.Round
+	// Contributor is one in-flight streaming client contribution.
+	Contributor = orchestrator.Contributor
+	// RoundStats accounts one committed aggregation step.
+	RoundStats = orchestrator.RoundStats
+	// Aggregator is the streaming sharded FedAvg accumulator.
+	Aggregator = orchestrator.Aggregator
+	// AsyncCommit reports what an async contribution's commit did to
+	// the global model.
+	AsyncCommit = orchestrator.AsyncCommit
+	// OrchSimConfig parameterizes the orchestrator-backed simulation.
+	OrchSimConfig = fl.OrchSimConfig
+	// ClientProfile is one simulated client's link/compute profile.
+	ClientProfile = netsim.ClientProfile
+	// Population samples heterogeneous client profiles.
+	Population = netsim.Profile
+	// PopulationChoice is one stratum of a heterogeneous Population.
+	PopulationChoice = netsim.ProfileChoice
+)
+
+// Orchestration modes.
+const (
+	// ModeSync runs synchronous FedAvg rounds.
+	ModeSync = orchestrator.ModeSync
+	// ModeAsync runs FedBuff-style buffered asynchronous aggregation.
+	ModeAsync = orchestrator.ModeAsync
+)
+
+// NewCoordinator builds an orchestration coordinator seeded with the
+// initial global model.
+func NewCoordinator(cfg OrchestratorConfig, initial *StateDict) (*Coordinator, error) {
+	return orchestrator.NewCoordinator(cfg, initial)
+}
+
+// NewAggregator builds a streaming sharded accumulator shaped like
+// ref (shards ≤ 0 selects an automatic shard count). Folding the same
+// updates in the same order is byte-identical to sequential FedAvg.
+func NewAggregator(ref *StateDict, shards int) *Aggregator {
+	return orchestrator.NewAggregator(ref, shards)
+}
+
+// RunOrchestratedSim executes a federated simulation on the
+// orchestrator: sampled sync rounds with straggler deadlines or
+// FedBuff-style async buffering, over a heterogeneous client
+// population, on a virtual clock.
+func RunOrchestratedSim(cfg OrchSimConfig) (*SimResult, error) {
+	return fl.RunOrchestratedSim(cfg)
+}
+
+// PaperMix is the heterogeneous client population used by the scale
+// experiment: the paper's 10/100/500 Mbps bandwidths as deployment
+// strata plus a slow-device straggler tail.
+func PaperMix() Population { return netsim.PaperMix() }
 
 // Datasets returns the synthetic dataset specs mirroring the paper's
 // CIFAR-10 / Fashion-MNIST / Caltech101 tasks.

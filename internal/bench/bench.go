@@ -137,6 +137,7 @@ func experiments() map[string]Runner {
 	return map[string]Runner{
 		"ablations":  Ablations,
 		"parallel":   Parallel,
+		"scale":      Scale,
 		"stream":     Stream,
 		"throughput": Throughput,
 		"table1":     Table1,

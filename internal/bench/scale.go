@@ -1,0 +1,362 @@
+package bench
+
+import (
+	"bytes"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"fedsz/internal/core"
+	"fedsz/internal/fl"
+	"fedsz/internal/lossy"
+	"fedsz/internal/model"
+	"fedsz/internal/netsim"
+	"fedsz/internal/orchestrator"
+	"fedsz/internal/stats"
+)
+
+// Scale is the 1000-client orchestration experiment behind
+// BENCH_scale.json: it drives the real coordinator/aggregator data
+// path — one thousand clients join, every uplink decodes through the
+// codec wire format and folds into the streaming sharded aggregator —
+// over a virtual timeline drawn from the heterogeneous PaperMix
+// population (10/100/500 Mbps strata plus a slow-device tail).
+//
+// Compared configurations:
+//
+//   - sync+sequential: the seed architecture — wait for every update,
+//     hold all decoded state dicts, FedAvg at round end;
+//   - sync+streaming: the orchestrator round — same barrier, but
+//     updates fold into the sharded accumulator and are released;
+//   - sync+streaming with a p90 deadline — stragglers dropped;
+//   - async+streaming: FedBuff-style commits every BufferSize updates,
+//     no barrier at all;
+//
+// each with plain and FedSZ uplinks. Round time, commit throughput
+// and drop counts come from the virtual clock (deterministic under
+// the seed up to compressor output sizes); peak aggregation memory is
+// the modeled server footprint of each data path (formulas in the
+// notes).
+func Scale(opts Options) (*Table, error) {
+	opts = opts.withDefaults()
+	clients := 1000
+	bufferSize := 64
+	if opts.Quick {
+		clients = 96
+		bufferSize = 16
+	}
+	// The fold path runs a deliberately narrow model (MobileNetV2 has
+	// the deepest entry list, exercising sharding) while the virtual
+	// wire model scales its bytes up to paper-size updates, so transfer
+	// times are deployment-shaped without folding gigabytes.
+	const wireScale = 100
+	const nominalCompute = 500 * time.Millisecond
+
+	base := model.BuildStateDict(model.MobileNetV2(opts.Scale*4), opts.Seed)
+	decodedBytes := base.SizeBytes()
+
+	fedszCodec, err := fl.NewFedSZCodec(core.Config{
+		Lossy: core.LossySZ2,
+		Bound: lossy.RelBound(core.DefaultBound),
+	})
+	if err != nil {
+		return nil, err
+	}
+	codecs := []fl.Codec{fl.PlainCodec{}, fedszCodec}
+
+	// A pool of distinct perturbed updates stands in for per-client
+	// training output; clients cycle through it so encode cost stays
+	// bounded while every fold still moves real float data.
+	nVariants := 16
+	if nVariants > clients {
+		nVariants = clients
+	}
+	rng := stats.NewRNG(opts.Seed)
+	variants := make([]*model.StateDict, nVariants)
+	for v := range variants {
+		variants[v] = perturbDict(base, rng, 1e-2)
+	}
+	payloads := make(map[string][][]byte, len(codecs)) // codec name → per-variant wire bytes
+	for _, c := range codecs {
+		ps := make([][]byte, nVariants)
+		for v, sd := range variants {
+			buf, _, err := c.Encode(sd)
+			if err != nil {
+				return nil, fmt.Errorf("bench: scale encode %s: %w", c.Name(), err)
+			}
+			ps[v] = buf
+		}
+		payloads[c.Name()] = ps
+	}
+
+	// The client population: per-client heterogeneity profile, weight
+	// and update variant, fixed across configurations so rows differ
+	// only in codec and aggregation discipline.
+	popRNG := stats.NewRNG(opts.Seed + 1)
+	profiles := make([]netsim.ClientProfile, clients)
+	weights := make([]int, clients)
+	for i := range profiles {
+		profiles[i] = netsim.PaperMix().Sample(popRNG)
+		weights[i] = 50 + popRNG.Intn(150)
+	}
+
+	// arrivalsFor computes each client's virtual update-landing time
+	// for one codec: heterogeneous compute plus the jittered transfer
+	// of the paper-scale (wireScale×) payload.
+	arrivalsFor := func(codecName string) ([]time.Duration, int64) {
+		jitterRNG := stats.NewRNG(opts.Seed + 2) // same jitter draws for every codec
+		out := make([]time.Duration, clients)
+		var uplink int64
+		for i := range out {
+			bytes := int64(len(payloads[codecName][i%nVariants])) * wireScale
+			uplink += bytes
+			compute := time.Duration(float64(nominalCompute) * profiles[i].ComputeFactor)
+			out[i] = compute + profiles[i].Link.SampleTransferTime(bytes, jitterRNG)
+		}
+		return out, uplink
+	}
+
+	t := &Table{
+		ID:     "scale",
+		Title:  fmt.Sprintf("Orchestration at %d clients: sync vs async, sequential vs streaming sharded aggregation", clients),
+		Header: []string{"Aggregation", "Codec", "Deadline", "Round time", "Upd/s", "Dropped", "Uplink", "Peak agg mem"},
+	}
+
+	inflightWindow := 64
+	if inflightWindow > clients {
+		inflightWindow = clients
+	}
+	accElems := base.NumElements()
+
+	for _, codec := range codecs {
+		arrivals, uplink := arrivalsFor(codec.Name())
+		sorted := append([]time.Duration(nil), arrivals...)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+		maxArrival := sorted[len(sorted)-1]
+		p90 := sorted[(len(sorted)*9)/10-1]
+
+		// sync + sequential (seed path, modeled): the barrier waits for
+		// the slowest client and every decoded update is held until
+		// FedAvg runs.
+		seqMem := int64(clients)*decodedBytes + accElems*8
+		t.Rows = append(t.Rows, []string{
+			"sync sequential", codec.Name(), "none",
+			secs(maxArrival.Seconds()),
+			f2(float64(clients) / maxArrival.Seconds()),
+			"0",
+			mb(uplink),
+			mb(seqMem),
+		})
+
+		// sync + streaming sharded, no deadline: same barrier, real
+		// orchestrated fold, accumulator-sized memory.
+		res, err := runScaleSync(base, codec, payloads[codec.Name()], nVariants, weights, arrivals, 0)
+		if err != nil {
+			return nil, err
+		}
+		streamMem := res.aggMemory + int64(inflightWindow)*decodedBytes
+		t.Rows = append(t.Rows, []string{
+			"sync streaming", codec.Name(), "none",
+			secs(maxArrival.Seconds()),
+			f2(float64(res.committed) / maxArrival.Seconds()),
+			fmt.Sprintf("%d", res.dropped),
+			mb(uplink),
+			mb(streamMem),
+		})
+
+		// sync + streaming with the p90 straggler deadline.
+		res, err = runScaleSync(base, codec, payloads[codec.Name()], nVariants, weights, arrivals, p90)
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, []string{
+			"sync streaming", codec.Name(), "p90",
+			secs(p90.Seconds()),
+			f2(float64(res.committed) / p90.Seconds()),
+			fmt.Sprintf("%d", res.dropped),
+			mb(uplink * int64(res.committed) / int64(clients)),
+			mb(streamMem),
+		})
+
+		// async + streaming: commits every bufferSize arrivals, so the
+		// long tail never blocks a commit.
+		ares, err := runScaleAsync(base, codec, payloads[codec.Name()], nVariants, weights, arrivals, bufferSize)
+		if err != nil {
+			return nil, err
+		}
+		asyncMem := ares.aggMemory + int64(inflightWindow)*decodedBytes
+		t.Rows = append(t.Rows, []string{
+			"async streaming", codec.Name(), fmt.Sprintf("B=%d", bufferSize),
+			secs(ares.meanCommitGap.Seconds()),
+			f2(float64(ares.committed) / ares.lastCommit.Seconds()),
+			"0",
+			mb(uplink),
+			mb(asyncMem),
+		})
+	}
+
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("%d clients, MobileNetV2/%d fold model (%d entries, %s decoded), wire bytes scaled ×%d to paper-size updates, nominal compute %v scaled per client by the PaperMix compute factor",
+			clients, opts.Scale*4, base.Len(), mb(decodedBytes), wireScale, nominalCompute),
+		"population: netsim.PaperMix — 45% 10 Mbps (1.5× compute), 33% 100 Mbps, 15% 500 Mbps (0.8×), 7% 10 Mbps straggler devices (6× compute), all with jitter",
+		"sync round time = last accepted virtual arrival (the barrier); async round time = mean gap between buffer commits; Upd/s = committed updates per virtual second",
+		fmt.Sprintf("peak agg mem: sequential = clients×decoded + float64 accumulator; streaming = sharded accumulator + %d-uplink in-flight window (updates fold and release as sections decode)", inflightWindow),
+		"every streaming row folds real decoded tensors through orchestrator.Aggregator contributors; the equivalence test in internal/orchestrator pins the result byte-identical to sequential FedAvg",
+	)
+	return t, nil
+}
+
+// scaleResult summarizes one configuration's run.
+type scaleResult struct {
+	committed     int
+	dropped       int
+	aggMemory     int64
+	meanCommitGap time.Duration
+	lastCommit    time.Duration
+}
+
+// runScaleSync executes one real orchestrated sync round: join every
+// client, fold the on-time updates through streaming contributors (in
+// parallel, exercising shard contention), commit.
+func runScaleSync(base *model.StateDict, codec fl.Codec, payloads [][]byte, nVariants int, weights []int, arrivals []time.Duration, deadline time.Duration) (scaleResult, error) {
+	clients := len(arrivals)
+	coord, err := orchestrator.NewCoordinator(orchestrator.Config{
+		Mode:          orchestrator.ModeSync,
+		RoundDeadline: deadline,
+	}, base)
+	if err != nil {
+		return scaleResult{}, err
+	}
+	ids := make([]string, clients)
+	for i := range ids {
+		ids[i] = fmt.Sprintf("c%04d", i)
+		if err := coord.Join(ids[i]); err != nil {
+			return scaleResult{}, err
+		}
+	}
+	round, err := coord.StartRound()
+	if err != nil {
+		return scaleResult{}, err
+	}
+
+	type job struct {
+		idx int
+	}
+	jobs := make(chan job, clients)
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var firstErr error
+	workers := runtime.GOMAXPROCS(0)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				i := j.idx
+				ct, err := round.Contributor(ids[i], float64(weights[i]))
+				if err == nil {
+					if err = fl.DecodeEntries(codec, bytes.NewReader(payloads[i%nVariants]), ct.Fold); err != nil {
+						ct.Abort()
+					} else {
+						err = ct.Commit()
+					}
+				}
+				if err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	for i := range arrivals {
+		if deadline > 0 && arrivals[i] > deadline {
+			round.Drop(ids[i])
+			continue
+		}
+		jobs <- job{idx: i}
+	}
+	close(jobs)
+	wg.Wait()
+	if firstErr != nil {
+		return scaleResult{}, firstErr
+	}
+	_, st, err := round.Commit()
+	if err != nil {
+		return scaleResult{}, err
+	}
+	return scaleResult{committed: st.Committed, dropped: st.Dropped, aggMemory: st.AggMemory}, nil
+}
+
+// runScaleAsync feeds every client's update in virtual arrival order
+// through the FedBuff buffer and reports commit cadence.
+func runScaleAsync(base *model.StateDict, codec fl.Codec, payloads [][]byte, nVariants int, weights []int, arrivals []time.Duration, bufferSize int) (scaleResult, error) {
+	clients := len(arrivals)
+	coord, err := orchestrator.NewCoordinator(orchestrator.Config{
+		Mode:       orchestrator.ModeAsync,
+		BufferSize: bufferSize,
+	}, base)
+	if err != nil {
+		return scaleResult{}, err
+	}
+	order := make([]int, clients)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return arrivals[order[a]] < arrivals[order[b]] })
+
+	var res scaleResult
+	var commits int
+	var lastGapTotal time.Duration
+	var prevCommit time.Duration
+	for _, i := range order {
+		id := fmt.Sprintf("c%04d", i)
+		if err := coord.Join(id); err != nil {
+			return scaleResult{}, err
+		}
+		ct, commit, err := coord.AsyncContributor(id, float64(weights[i]), 0)
+		if err != nil {
+			return scaleResult{}, err
+		}
+		if err := fl.DecodeEntries(codec, bytes.NewReader(payloads[i%nVariants]), ct.Fold); err != nil {
+			ct.Abort()
+			return scaleResult{}, err
+		}
+		ac, err := commit()
+		if err != nil {
+			return scaleResult{}, err
+		}
+		res.committed++
+		if ac.Committed {
+			commits++
+			lastGapTotal += arrivals[i] - prevCommit
+			prevCommit = arrivals[i]
+			res.lastCommit = arrivals[i]
+			res.aggMemory = ac.Stats.AggMemory
+		}
+	}
+	if commits > 0 {
+		res.meanCommitGap = lastGapTotal / time.Duration(commits)
+	}
+	return res, nil
+}
+
+// perturbDict returns a copy of sd with small uniform noise added to
+// every float entry — a stand-in for one client's local training step.
+func perturbDict(sd *model.StateDict, rng interface{ Float32() float32 }, eps float32) *model.StateDict {
+	out := sd.Clone()
+	for _, e := range out.Entries() {
+		if e.DType != model.Float32 {
+			continue
+		}
+		data := e.Tensor.Data()
+		for i := range data {
+			data[i] += (rng.Float32()*2 - 1) * eps
+		}
+	}
+	return out
+}

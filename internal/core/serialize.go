@@ -97,39 +97,60 @@ func MarshalStateDictTo(w io.Writer, sd *model.StateDict) error {
 // bounded incremental allocation, so a forged header cannot force a
 // giant allocation. A stream with no bytes at all returns io.EOF.
 func UnmarshalStateDictFrom(r io.Reader) (*model.StateDict, error) {
+	sd := model.NewStateDict()
+	err := UnmarshalStateDictEntriesFrom(r, func(e model.Entry) error {
+		if err := sd.Add(e); err != nil {
+			return fmt.Errorf("%w: %v", ErrCorrupt, err)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return sd, nil
+}
+
+// UnmarshalStateDictEntriesFrom decodes one streamed state dict from r
+// as a stream of entries: emit receives each entry as soon as its
+// payload is read, so a consumer can fold a plain (uncompressed)
+// update into an aggregate entry by entry without materializing the
+// full state dict. Entries arrive in encoded order from the calling
+// goroutine; duplicate-name detection is the consumer's job. Framing,
+// limits and the io.EOF-on-empty-stream contract match
+// UnmarshalStateDictFrom.
+func UnmarshalStateDictEntriesFrom(r io.Reader, emit func(e model.Entry) error) error {
 	src := &streamSource{r: asByteReader(r)}
 	magic, err := src.payload(uint64(len(serializeMagic)))
 	if err != nil {
 		if err == io.EOF {
-			return nil, io.EOF
+			return io.EOF
 		}
-		return nil, fmt.Errorf("%w: bad state-dict magic", ErrCorrupt)
+		return fmt.Errorf("%w: bad state-dict magic", ErrCorrupt)
 	}
 	if string(magic) != serializeMagic {
-		return nil, fmt.Errorf("%w: bad state-dict magic", ErrCorrupt)
+		return fmt.Errorf("%w: bad state-dict magic", ErrCorrupt)
 	}
 	count, err := src.uvarint()
 	if err != nil {
-		return nil, fmt.Errorf("%w: state-dict count", ErrCorrupt)
+		return fmt.Errorf("%w: state-dict count", ErrCorrupt)
 	}
 	if count > maxStreamEntries {
-		return nil, fmt.Errorf("%w: state-dict count %d exceeds bound", ErrCorrupt, count)
+		return fmt.Errorf("%w: state-dict count %d exceeds bound", ErrCorrupt, count)
 	}
-	sd := model.NewStateDict()
 	for i := uint64(0); i < count; i++ {
 		name, err := src.readString()
 		if err != nil {
-			return nil, fmt.Errorf("%w: entry %d name", ErrCorrupt, i)
+			return fmt.Errorf("%w: entry %d name", ErrCorrupt, i)
 		}
 		dt, err := src.r.ReadByte()
 		if err != nil {
-			return nil, fmt.Errorf("%w: entry %q dtype", ErrCorrupt, name)
+			return fmt.Errorf("%w: entry %q dtype", ErrCorrupt, name)
 		}
 		dtype := model.DType(dt)
 
 		ndims, err := src.uvarint()
 		if err != nil || ndims > 16 {
-			return nil, fmt.Errorf("%w: entry %q dims", ErrCorrupt, name)
+			return fmt.Errorf("%w: entry %q dims", ErrCorrupt, name)
 		}
 		// Bound each dimension and the running product so a forged
 		// shape can neither wrap the int conversion nor wrap the
@@ -140,10 +161,10 @@ func UnmarshalStateDictFrom(r io.Reader) (*model.StateDict, error) {
 		for d := range shape {
 			v, err := src.uvarint()
 			if err != nil || v > maxStreamElems {
-				return nil, fmt.Errorf("%w: entry %q dim %d", ErrCorrupt, name, d)
+				return fmt.Errorf("%w: entry %q dim %d", ErrCorrupt, name, d)
 			}
 			if elems64 *= v; elems64 > maxStreamElems {
-				return nil, fmt.Errorf("%w: entry %q element overflow", ErrCorrupt, name)
+				return fmt.Errorf("%w: entry %q element overflow", ErrCorrupt, name)
 			}
 			shape[d] = int(v)
 		}
@@ -153,7 +174,7 @@ func UnmarshalStateDictFrom(r io.Reader) (*model.StateDict, error) {
 		case model.Float32:
 			payload, err := src.payload(uint64(elems) * 4)
 			if err != nil {
-				return nil, fmt.Errorf("%w: entry %q payload", ErrCorrupt, name)
+				return fmt.Errorf("%w: entry %q payload", ErrCorrupt, name)
 			}
 			data := make([]float32, elems)
 			for j := range data {
@@ -161,31 +182,31 @@ func UnmarshalStateDictFrom(r io.Reader) (*model.StateDict, error) {
 			}
 			t, err := tensor.FromData(data, shape...)
 			if err != nil {
-				return nil, fmt.Errorf("%w: entry %q: %v", ErrCorrupt, name, err)
+				return fmt.Errorf("%w: entry %q: %v", ErrCorrupt, name, err)
 			}
-			if err := sd.Add(model.Entry{Name: name, DType: model.Float32, Tensor: t}); err != nil {
-				return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+			if err := emit(model.Entry{Name: name, DType: model.Float32, Tensor: t}); err != nil {
+				return err
 			}
 		case model.Int64:
 			if uint64(elems) > maxStreamSection/8 {
-				return nil, fmt.Errorf("%w: entry %q payload", ErrCorrupt, name)
+				return fmt.Errorf("%w: entry %q payload", ErrCorrupt, name)
 			}
 			payload, err := src.payload(uint64(elems) * 8)
 			if err != nil {
-				return nil, fmt.Errorf("%w: entry %q payload", ErrCorrupt, name)
+				return fmt.Errorf("%w: entry %q payload", ErrCorrupt, name)
 			}
 			ints := make([]int64, elems)
 			for j := range ints {
 				ints[j] = int64(binary.LittleEndian.Uint64(payload[j*8:]))
 			}
-			if err := sd.Add(model.Entry{Name: name, DType: model.Int64, Ints: ints}); err != nil {
-				return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+			if err := emit(model.Entry{Name: name, DType: model.Int64, Ints: ints}); err != nil {
+				return err
 			}
 		default:
-			return nil, fmt.Errorf("%w: entry %q dtype %d", ErrCorrupt, name, dtype)
+			return fmt.Errorf("%w: entry %q dtype %d", ErrCorrupt, name, dtype)
 		}
 	}
-	return sd, nil
+	return nil
 }
 
 // UnmarshalStateDict decodes a buffer produced by MarshalStateDict.

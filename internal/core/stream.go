@@ -467,7 +467,15 @@ func (dp *decodePool) wait() error {
 // on a network reader decompression overlaps reception), parses the
 // lossless section, and reassembles the state dict in original entry
 // order.
-func decodeFrame(src frameSource, parallelism int) (*model.StateDict, error) {
+//
+// With a non-nil emit, the frame is decoded as a stream of entries
+// instead: each decoded tensor (and each lossless metadata entry) is
+// handed to emit the moment its decode finishes — possibly from
+// concurrent decode workers — and no output state dict is assembled.
+// Name-level validation (duplicates, membership) is the consumer's
+// job in that mode; the reader still verifies the frame's tag/section
+// structure. An emit error aborts the decode.
+func decodeFrame(src frameSource, parallelism int, emit func(model.Entry) error) (*model.StateDict, error) {
 	if parallelism <= 0 {
 		parallelism = runtime.GOMAXPROCS(0)
 	}
@@ -544,34 +552,45 @@ func decodeFrame(src frameSource, parallelism int) (*model.StateDict, error) {
 	// for the decode goroutines across regrows.
 	lossyTensors := make([]*lossyTensor, 0, min64(nLossy64, 1024))
 	pool := newDecodePool(parallelism)
+	// Once decode work is in flight, every return must drain the pool
+	// first: in emit mode a worker still running after decodeFrame
+	// returns would deliver entries to a consumer that believes the
+	// decode is over (e.g. an aggregation contributor already being
+	// aborted), and in assemble mode it would touch source buffers the
+	// caller is free to reuse.
+	bail := func(err error) (*model.StateDict, error) {
+		pool.setErr(err)
+		_ = pool.wait()
+		return nil, err
+	}
 	for i := uint64(0); i < nLossy64; i++ {
 		name, err := src.readString()
 		if err != nil {
-			return nil, fmt.Errorf("%w: tensor name", ErrCorrupt)
+			return bail(fmt.Errorf("%w: tensor name", ErrCorrupt))
 		}
 		ndims, err := src.uvarint()
 		if err != nil || ndims > 16 {
-			return nil, fmt.Errorf("%w: tensor %q dims", ErrCorrupt, name)
+			return bail(fmt.Errorf("%w: tensor %q dims", ErrCorrupt, name))
 		}
 		shape := make([]int, ndims)
 		elems := uint64(1)
 		for d := range shape {
 			v, err := src.uvarint()
 			if err != nil || v > maxStreamElems {
-				return nil, fmt.Errorf("%w: tensor %q dim", ErrCorrupt, name)
+				return bail(fmt.Errorf("%w: tensor %q dim", ErrCorrupt, name))
 			}
 			if elems *= v; elems > maxStreamElems {
-				return nil, fmt.Errorf("%w: tensor %q shape overflow", ErrCorrupt, name)
+				return bail(fmt.Errorf("%w: tensor %q shape overflow", ErrCorrupt, name))
 			}
 			shape[d] = int(v)
 		}
 		payloadLen, err := src.uvarint()
 		if err != nil {
-			return nil, fmt.Errorf("%w: tensor %q payload", ErrCorrupt, name)
+			return bail(fmt.Errorf("%w: tensor %q payload", ErrCorrupt, name))
 		}
 		payload, err := src.payload(payloadLen)
 		if err != nil {
-			return nil, fmt.Errorf("%w: tensor %q payload", ErrCorrupt, name)
+			return bail(fmt.Errorf("%w: tensor %q payload", ErrCorrupt, name))
 		}
 		lt := &lossyTensor{name: name, shape: shape}
 		lossyTensors = append(lossyTensors, lt)
@@ -584,6 +603,9 @@ func decodeFrame(src frameSource, parallelism int) (*model.StateDict, error) {
 			if err != nil {
 				return fmt.Errorf("%w: tensor %q reshape: %v", ErrCorrupt, lt.name, err)
 			}
+			if emit != nil {
+				return emit(model.Entry{Name: lt.name, DType: model.Float32, Tensor: t})
+			}
 			lt.t = t
 			return nil
 		})
@@ -591,11 +613,11 @@ func decodeFrame(src frameSource, parallelism int) (*model.StateDict, error) {
 
 	metaLen, err := src.uvarint()
 	if err != nil {
-		return nil, fmt.Errorf("%w: metadata section", ErrCorrupt)
+		return bail(fmt.Errorf("%w: metadata section", ErrCorrupt))
 	}
 	metaPayload, err := src.payload(metaLen)
 	if err != nil {
-		return nil, fmt.Errorf("%w: metadata section", ErrCorrupt)
+		return bail(fmt.Errorf("%w: metadata section", ErrCorrupt))
 	}
 	var meta *model.StateDict
 	pool.run(func() error {
@@ -608,10 +630,35 @@ func decodeFrame(src frameSource, parallelism int) (*model.StateDict, error) {
 			return err
 		}
 		meta = m
+		if emit != nil {
+			for _, e := range m.Entries() {
+				if err := emit(e); err != nil {
+					return err
+				}
+			}
+		}
 		return nil
 	})
 	if err := pool.wait(); err != nil {
 		return nil, err
+	}
+
+	if emit != nil {
+		// Entries already streamed out; verify the tag vector matches
+		// the section counts so a structurally inconsistent frame
+		// still fails even though nothing is reassembled.
+		nLossy, nMeta := 0, 0
+		for _, isLossy := range tags {
+			if isLossy {
+				nLossy++
+			} else {
+				nMeta++
+			}
+		}
+		if nLossy != len(lossyTensors) || nMeta != meta.Len() {
+			return nil, fmt.Errorf("%w: section/tag mismatch", ErrCorrupt)
+		}
+		return nil, nil
 	}
 
 	// Reassemble in original order.
@@ -654,7 +701,24 @@ func decodeFrame(src frameSource, parallelism int) (*model.StateDict, error) {
 // bytes at all returns io.EOF. Parallelism ≤ 0 selects
 // runtime.GOMAXPROCS(0); 1 forces serial decoding.
 func DecompressFrom(r io.Reader, parallelism int) (*model.StateDict, error) {
-	return decodeFrame(&streamSource{r: asByteReader(r)}, parallelism)
+	return decodeFrame(&streamSource{r: asByteReader(r)}, parallelism, nil)
+}
+
+// DecompressEntriesFrom decodes one FedSZ frame from r as a stream of
+// state-dict entries: emit receives each tensor the moment its
+// section finishes decompressing (and each metadata entry once the
+// lossless section decodes), so a consumer can fold an update into an
+// aggregate as it arrives without ever materializing the client's
+// full state dict. Entries may be emitted from concurrent decode
+// workers in completion order — emit must be safe for concurrent use
+// and must not assume entry order. An emit error aborts the decode.
+// Read framing and limits match DecompressFrom exactly.
+func DecompressEntriesFrom(r io.Reader, parallelism int, emit func(model.Entry) error) error {
+	if emit == nil {
+		return fmt.Errorf("core: nil emit")
+	}
+	_, err := decodeFrame(&streamSource{r: asByteReader(r)}, parallelism, emit)
+	return err
 }
 
 func min64(a, b uint64) uint64 {

@@ -52,6 +52,39 @@ type Codec interface {
 	DecodeFrom(r io.Reader) (*model.StateDict, error)
 }
 
+// EntryStreamer is the streaming-aggregation decode contract: codecs
+// that implement it can decode one update from r directly into emit,
+// entry by entry, without ever materializing the client's full state
+// dict — what lets the orchestrator's sharded aggregator fold tensor
+// sections into weighted sums as they come off each connection.
+// Entries may be emitted out of order and from concurrent decode
+// workers; emit must be safe for concurrent use. Stream position on
+// return matches DecodeFrom (exactly one update consumed).
+type EntryStreamer interface {
+	DecodeEntriesFrom(r io.Reader, emit func(model.Entry) error) error
+}
+
+// DecodeEntries decodes one update from r through c, delivering
+// entries to emit. Codecs implementing EntryStreamer stream them as
+// sections decode; any other codec falls back to DecodeFrom and
+// replays the materialized entries — same contract, without the
+// memory saving.
+func DecodeEntries(c Codec, r io.Reader, emit func(model.Entry) error) error {
+	if es, ok := c.(EntryStreamer); ok {
+		return es.DecodeEntriesFrom(r, emit)
+	}
+	sd, err := c.DecodeFrom(r)
+	if err != nil {
+		return err
+	}
+	for _, e := range sd.Entries() {
+		if err := emit(e); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // EncodeToBuffered adapts a codec's buffer path to the streaming
 // contract for codecs whose wire format is not self-delimiting: the
 // encoded update is framed with a uvarint length prefix. Pair with
@@ -161,6 +194,12 @@ func (PlainCodec) DecodeFrom(r io.Reader) (*model.StateDict, error) {
 	return core.UnmarshalStateDictFrom(r)
 }
 
+// DecodeEntriesFrom implements EntryStreamer: each entry is emitted as
+// soon as its payload is read off the stream.
+func (PlainCodec) DecodeEntriesFrom(r io.Reader, emit func(model.Entry) error) error {
+	return core.UnmarshalStateDictEntriesFrom(r, emit)
+}
+
 // countingWriter counts bytes on their way to w.
 type countingWriter struct {
 	w io.Writer
@@ -236,4 +275,11 @@ func (c *FedSZCodec) EncodeTo(w io.Writer, sd *model.StateDict) (UpdateStats, er
 // section arrives.
 func (c *FedSZCodec) DecodeFrom(r io.Reader) (*model.StateDict, error) {
 	return core.DecompressFrom(r, c.pipeline.Config().Parallelism)
+}
+
+// DecodeEntriesFrom implements EntryStreamer: each tensor is emitted
+// the moment its frame section finishes decompressing, possibly from
+// concurrent decode workers.
+func (c *FedSZCodec) DecodeEntriesFrom(r io.Reader, emit func(model.Entry) error) error {
+	return core.DecompressEntriesFrom(r, c.pipeline.Config().Parallelism, emit)
 }

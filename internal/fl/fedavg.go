@@ -11,6 +11,12 @@ import (
 // FedAvg computes the sample-count-weighted average of client state
 // dicts (McMahan et al. 2017). All dicts must share structure. Int64
 // entries (e.g. BatchNorm counters) are taken from the first update.
+//
+// Arithmetic contract: each element accumulates count·float64(v) in
+// update order and the total divides once at the end — exactly the
+// fold orchestrator.Aggregator applies, so the streaming sharded path
+// produces byte-identical float32 weights to this sequential
+// reference when contributions fold in the same order.
 func FedAvg(updates []*model.StateDict, sampleCounts []int) (*model.StateDict, error) {
 	if len(updates) == 0 {
 		return nil, errors.New("fl: no updates to aggregate")
@@ -51,14 +57,14 @@ func FedAvg(updates []*model.StateDict, sampleCounts []int) (*model.StateDict, e
 			if ue.DType != model.Float32 || ue.Tensor.NumElements() != len(acc) {
 				return nil, fmt.Errorf("fl: update %d entry %q incompatible", u, e.Name)
 			}
-			w := float64(sampleCounts[u]) / total
+			w := float64(sampleCounts[u])
 			for i, v := range ue.Tensor.Data() {
 				acc[i] += w * float64(v)
 			}
 		}
 		data := make([]float32, len(acc))
 		for i, v := range acc {
-			data[i] = float32(v)
+			data[i] = float32(v / total)
 		}
 		t, err := tensor.FromData(data, e.Tensor.Shape()...)
 		if err != nil {

@@ -1,0 +1,384 @@
+package fl
+
+import (
+	"bytes"
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"fedsz/internal/dataset"
+	"fedsz/internal/model"
+	"fedsz/internal/netsim"
+	"fedsz/internal/nn"
+	"fedsz/internal/orchestrator"
+	"fedsz/internal/stats"
+)
+
+// OrchSimConfig parameterizes the orchestrator-backed simulation: the
+// event-driven replacement for RunSim's lock-step loop. On top of the
+// base SimConfig it adds the orchestration knobs (sync vs async
+// aggregation, over-provisioned sampling, straggler deadlines) and a
+// heterogeneous client population: each client draws a link/compute
+// profile once at startup, so rounds see the slow-client long tail
+// that dominates deployment-scale FL.
+type OrchSimConfig struct {
+	SimConfig
+
+	// Mode selects synchronous rounds or FedBuff-style async buffering.
+	Mode orchestrator.Mode
+	// OverProvision over-samples sync rounds (≥1; see orchestrator.Config).
+	OverProvision float64
+	// RoundDeadline drops sync stragglers whose update would land past
+	// this much virtual time after round start (0 = wait for target).
+	RoundDeadline time.Duration
+	// BufferSize is the async commit threshold (0 = default 16).
+	BufferSize int
+	// Shards is the aggregator shard count (0 = auto).
+	Shards int
+	// Population samples each client's link/compute profile; the zero
+	// profile gives every client cfg.Link at nominal compute.
+	Population netsim.Profile
+	// SampleComputeTime is the modeled virtual compute per training
+	// sample per local epoch of a nominal (ComputeFactor 1) client:
+	// virtual training time = samples × LocalEpochs ×
+	// SampleComputeTime × ComputeFactor. 0 defaults to 1ms. The
+	// virtual schedule is built from this model — never from measured
+	// wall time — so straggler drops, acceptance order and fold order
+	// are deterministic under a seed regardless of host load.
+	SampleComputeTime time.Duration
+}
+
+// virtualTrainTime models one client's virtual local-training span.
+func (cfg OrchSimConfig) virtualTrainTime(samples int, factor float64) time.Duration {
+	per := cfg.SampleComputeTime
+	if per <= 0 {
+		per = time.Millisecond
+	}
+	return time.Duration(float64(samples*cfg.LocalEpochs) * float64(per) * factor)
+}
+
+// RunOrchestratedSim executes a federated simulation on the
+// orchestrator: clients join a Coordinator, sync rounds sample an
+// over-provisioned participant set and commit when the target update
+// count arrives (stragglers past the virtual deadline are dropped),
+// and async mode folds updates into the FedBuff-style buffer as their
+// virtual arrival times order them. Updates travel through the real
+// codec wire format and fold into the streaming sharded aggregator
+// entry by entry — the same data path the TCP server runs, driven on
+// a virtual clock.
+func RunOrchestratedSim(cfg OrchSimConfig) (*SimResult, error) {
+	cfg.SimConfig = cfg.SimConfig.withDefaults()
+
+	full := cfg.Dataset.Generate(cfg.Clients*cfg.SamplesPerClient+cfg.TestSamples, cfg.Seed)
+	trainFrac := float64(cfg.Clients*cfg.SamplesPerClient) / float64(full.N)
+	trainSet, testSet := full.TrainTest(trainFrac, cfg.Seed+1)
+	var shards []*dataset.Dataset
+	if cfg.NonIIDAlpha > 0 {
+		shards = trainSet.SplitDirichlet(cfg.Clients, cfg.NonIIDAlpha, cfg.Seed+2)
+	} else {
+		shards = trainSet.Split(cfg.Clients)
+	}
+
+	profileRNG := stats.NewRNG(cfg.Seed + 4)
+	clients := make([]*orchClient, cfg.Clients)
+	for i := range clients {
+		profile := netsim.ClientProfile{Link: cfg.Link, ComputeFactor: 1}
+		if !cfg.Population.IsZero() {
+			profile = cfg.Population.Sample(profileRNG)
+		}
+		clients[i] = &orchClient{
+			id:      fmt.Sprintf("client-%04d", i),
+			net:     nn.MiniByName(cfg.Model, cfg.Dataset.Dim, cfg.Dataset.Classes, cfg.Seed),
+			data:    shards[i],
+			profile: profile,
+		}
+	}
+	server := nn.MiniByName(cfg.Model, cfg.Dataset.Dim, cfg.Dataset.Classes, cfg.Seed)
+	global := server.StateDict()
+
+	coord, err := orchestrator.NewCoordinator(orchestrator.Config{
+		Mode:            cfg.Mode,
+		ClientsPerRound: cfg.ClientsPerRound,
+		OverProvision:   cfg.OverProvision,
+		RoundDeadline:   cfg.RoundDeadline,
+		BufferSize:      cfg.BufferSize,
+		Shards:          cfg.Shards,
+		Seed:            cfg.Seed + 5,
+	}, global)
+	if err != nil {
+		return nil, err
+	}
+	byID := make(map[string]*orchClient, len(clients))
+	for _, c := range clients {
+		if err := coord.Join(c.id); err != nil {
+			return nil, err
+		}
+		byID[c.id] = c
+	}
+
+	testX, testY := testSet.Batch(0, testSet.N)
+	result := &SimResult{Config: cfg.SimConfig}
+	jitterRNG := stats.NewRNG(cfg.Seed + 6)
+
+	evaluate := func(m *RoundMetrics, g *model.StateDict) error {
+		valStart := time.Now()
+		if err := server.LoadStateDict(g); err != nil {
+			return fmt.Errorf("fl: orchestrated load: %w", err)
+		}
+		m.TestAccuracy = server.Accuracy(testX, testY)
+		m.ValidationTime = time.Since(valStart)
+		return nil
+	}
+
+	if cfg.Mode == orchestrator.ModeAsync {
+		if _, ok := cfg.Codec.(ReferenceAware); ok {
+			return nil, fmt.Errorf("fl: async mode cannot use reference-aware codec %q: commits between a client's encode and the server's decode would desynchronize the reference", cfg.Codec.Name())
+		}
+		if err := runAsyncSim(cfg, coord, clients, jitterRNG, evaluate, result); err != nil {
+			return nil, err
+		}
+		return result, nil
+	}
+
+	for round := 0; round < cfg.Rounds; round++ {
+		if ra, ok := cfg.Codec.(ReferenceAware); ok {
+			_, g := coord.Global()
+			ra.SetReference(g)
+		}
+		r, err := coord.StartRound()
+		if err != nil {
+			return nil, err
+		}
+		_, g := coord.Global()
+
+		// Train the over-provisioned participant set in parallel (wall
+		// clock), then place each update on the virtual timeline.
+		type pending struct {
+			c       *orchClient
+			arrival time.Duration
+			out     clientResult
+		}
+		ids := r.Participants()
+		pendings := make([]pending, len(ids))
+		var wg sync.WaitGroup
+		sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+		for i, id := range ids {
+			wg.Add(1)
+			go func(i int, c *orchClient) {
+				defer wg.Done()
+				sem <- struct{}{}
+				defer func() { <-sem }()
+				pendings[i] = pending{c: c, out: c.train(cfg, g, round)}
+			}(i, byID[id])
+		}
+		wg.Wait()
+		for i := range pendings {
+			p := &pendings[i]
+			if p.out.err != nil {
+				return nil, fmt.Errorf("fl: round %d client %s: %w", round, p.c.id, p.out.err)
+			}
+			virtualTrain := cfg.virtualTrainTime(p.out.samples, p.c.profile.ComputeFactor)
+			p.arrival = virtualTrain + p.c.profile.Link.SampleTransferTime(p.out.stats.CompressedBytes, jitterRNG)
+		}
+		sort.Slice(pendings, func(i, j int) bool { return pendings[i].arrival < pendings[j].arrival })
+
+		// Fold arrivals in virtual-time order until the round fills or
+		// the deadline cuts the stragglers. The earliest update is
+		// always taken so a too-tight deadline still makes progress.
+		m := RoundMetrics{Round: round}
+		var roundSpan time.Duration
+		accepted := 0
+		for i := range pendings {
+			p := &pendings[i]
+			late := cfg.RoundDeadline > 0 && p.arrival > cfg.RoundDeadline
+			if accepted >= r.Target() || (late && accepted > 0) {
+				r.Drop(p.c.id)
+				continue
+			}
+			ct, err := r.Contributor(p.c.id, float64(p.out.samples))
+			if err != nil {
+				return nil, fmt.Errorf("fl: round %d client %s: %w", round, p.c.id, err)
+			}
+			decodeStart := time.Now()
+			if err := DecodeEntries(cfg.Codec, bytes.NewReader(p.out.payload), ct.Fold); err != nil {
+				ct.Abort()
+				return nil, fmt.Errorf("fl: round %d decode %s: %w", round, p.c.id, err)
+			}
+			if err := ct.Commit(); err != nil {
+				return nil, fmt.Errorf("fl: round %d commit %s: %w", round, p.c.id, err)
+			}
+			accepted++
+			roundSpan = p.arrival
+			m.TrainTime += p.out.train
+			m.EncodeTime += p.out.stats.EncodeTime
+			m.DecodeTime += time.Since(decodeStart)
+			m.BytesUplink += p.out.stats.CompressedBytes
+			m.OriginalBytes += p.out.stats.OriginalBytes
+		}
+
+		g, st, err := r.Commit()
+		if err != nil {
+			return nil, fmt.Errorf("fl: round %d: %w", round, err)
+		}
+		m.CommTime = roundSpan
+		m.Participants = st.Sampled
+		m.Dropped = st.Dropped
+		if n := time.Duration(accepted); n > 0 {
+			m.TrainTime /= n
+			m.EncodeTime /= n
+			m.DecodeTime /= n
+		}
+		if err := evaluate(&m, g); err != nil {
+			return nil, err
+		}
+		result.Rounds = append(result.Rounds, m)
+	}
+	return result, nil
+}
+
+// orchClient is one simulated participant with a fixed heterogeneity
+// profile.
+type orchClient struct {
+	id      string
+	net     *nn.Network
+	data    *dataset.Dataset
+	profile netsim.ClientProfile
+}
+
+type clientResult struct {
+	payload []byte
+	stats   UpdateStats
+	samples int
+	train   time.Duration
+	err     error
+}
+
+// train runs the client's local epochs from g and encodes the update.
+func (c *orchClient) train(cfg OrchSimConfig, g *model.StateDict, round int) clientResult {
+	var out clientResult
+	if out.err = c.net.LoadStateDict(g); out.err != nil {
+		return out
+	}
+	start := time.Now()
+	for ep := 0; ep < cfg.LocalEpochs; ep++ {
+		c.data.Shuffle(cfg.Seed + int64(round*1000+ep))
+		for lo := 0; lo+cfg.BatchSize <= c.data.N; lo += cfg.BatchSize {
+			x, y := c.data.Batch(lo, lo+cfg.BatchSize)
+			c.net.TrainBatch(x, y, cfg.LR, cfg.Momentum)
+		}
+	}
+	out.train = time.Since(start)
+	out.samples = c.data.N
+	out.payload, out.stats, out.err = cfg.Codec.Encode(c.net.StateDict())
+	return out
+}
+
+// asyncEvent is one client's update landing on the virtual timeline.
+type asyncEvent struct {
+	at      time.Duration
+	client  *orchClient
+	version int
+	out     clientResult
+}
+
+type eventHeap []asyncEvent
+
+func (h eventHeap) Len() int            { return len(h) }
+func (h eventHeap) Less(i, j int) bool  { return h[i].at < h[j].at }
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(asyncEvent)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// runAsyncSim drives the FedBuff-style mode: every client trains
+// continuously on its own virtual timeline; updates fold into the
+// buffer in arrival order and each BufferSize-th commit advances the
+// global model and emits one metrics row.
+func runAsyncSim(
+	cfg OrchSimConfig,
+	coord *orchestrator.Coordinator,
+	clients []*orchClient,
+	jitterRNG *rand.Rand,
+	evaluate func(*RoundMetrics, *model.StateDict) error,
+	result *SimResult,
+) error {
+	h := &eventHeap{}
+	heap.Init(h)
+
+	schedule := func(c *orchClient, start time.Duration, round int) error {
+		version, g := coord.Global()
+		out := c.train(cfg, g, round)
+		if out.err != nil {
+			return fmt.Errorf("fl: async client %s: %w", c.id, out.err)
+		}
+		virtualTrain := cfg.virtualTrainTime(out.samples, c.profile.ComputeFactor)
+		arrival := start + virtualTrain + c.profile.Link.SampleTransferTime(out.stats.CompressedBytes, jitterRNG)
+		heap.Push(h, asyncEvent{at: arrival, client: c, version: version, out: out})
+		return nil
+	}
+	for _, c := range clients {
+		if err := schedule(c, 0, 0); err != nil {
+			return err
+		}
+	}
+
+	var acc RoundMetrics
+	var folded int
+	commits := 0
+	for commits < cfg.Rounds && h.Len() > 0 {
+		ev := heap.Pop(h).(asyncEvent)
+		ct, commit, err := coord.AsyncContributor(ev.client.id, float64(ev.out.samples), ev.version)
+		if err != nil {
+			return fmt.Errorf("fl: async %s: %w", ev.client.id, err)
+		}
+		decodeStart := time.Now()
+		if err := DecodeEntries(cfg.Codec, bytes.NewReader(ev.out.payload), ct.Fold); err != nil {
+			ct.Abort()
+			return fmt.Errorf("fl: async decode %s: %w", ev.client.id, err)
+		}
+		res, err := commit()
+		if err != nil {
+			return fmt.Errorf("fl: async commit %s: %w", ev.client.id, err)
+		}
+		folded++
+		acc.TrainTime += ev.out.train
+		acc.EncodeTime += ev.out.stats.EncodeTime
+		acc.DecodeTime += time.Since(decodeStart)
+		acc.BytesUplink += ev.out.stats.CompressedBytes
+		acc.OriginalBytes += ev.out.stats.OriginalBytes
+
+		if res.Committed {
+			m := acc
+			m.Round = commits
+			m.CommTime = ev.at
+			m.Participants = res.Stats.Committed
+			if n := time.Duration(folded); n > 0 {
+				m.TrainTime /= n
+				m.EncodeTime /= n
+				m.DecodeTime /= n
+			}
+			if err := evaluate(&m, res.Global); err != nil {
+				return err
+			}
+			result.Rounds = append(result.Rounds, m)
+			commits++
+			acc = RoundMetrics{}
+			folded = 0
+		}
+		if commits < cfg.Rounds {
+			if err := schedule(ev.client, ev.at, commits); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,148 @@
+package fl
+
+import (
+	"testing"
+	"time"
+
+	"fedsz/internal/core"
+	"fedsz/internal/lossy"
+	"fedsz/internal/netsim"
+	"fedsz/internal/orchestrator"
+)
+
+// smallOrchConfig keeps orchestrated-sim tests fast: tiny model, few
+// samples, two rounds.
+func smallOrchConfig(t *testing.T) OrchSimConfig {
+	t.Helper()
+	codec, err := NewFedSZCodec(core.Config{Lossy: core.LossySZ2, Bound: lossy.RelBound(1e-2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return OrchSimConfig{
+		SimConfig: SimConfig{
+			Model:            "alexnet",
+			Clients:          6,
+			Rounds:           2,
+			SamplesPerClient: 40,
+			TestSamples:      60,
+			BatchSize:        20,
+			Codec:            codec,
+			Link:             netsim.Link{BandwidthBps: netsim.Mbps(100)},
+			Seed:             3,
+		},
+	}
+}
+
+func TestOrchestratedSyncSim(t *testing.T) {
+	cfg := smallOrchConfig(t)
+	cfg.ClientsPerRound = 4
+	cfg.OverProvision = 1.5
+	cfg.Population = netsim.PaperMix()
+	res, err := RunOrchestratedSim(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rounds) != cfg.Rounds {
+		t.Fatalf("rounds = %d, want %d", len(res.Rounds), cfg.Rounds)
+	}
+	for _, m := range res.Rounds {
+		// ceil(4·1.5) = 6 sampled, target 4 ⇒ 2 over-provisioned spares
+		// dropped once the round fills.
+		if m.Participants != 6 {
+			t.Fatalf("round %d sampled %d, want 6", m.Round, m.Participants)
+		}
+		if m.Dropped != 2 {
+			t.Fatalf("round %d dropped %d, want 2", m.Round, m.Dropped)
+		}
+		if m.CommTime <= 0 {
+			t.Fatalf("round %d has no virtual comm time", m.Round)
+		}
+		if m.BytesUplink <= 0 || m.BytesUplink >= m.OriginalBytes {
+			t.Fatalf("round %d bytes %d / %d not compressed", m.Round, m.BytesUplink, m.OriginalBytes)
+		}
+	}
+	if res.FinalAccuracy() <= 0 {
+		t.Fatal("no accuracy recorded")
+	}
+}
+
+func TestOrchestratedSyncDeadlineDrops(t *testing.T) {
+	cfg := smallOrchConfig(t)
+	// All clients on a link so slow that only the progress guarantee
+	// (accept the earliest arrival) lets the round commit.
+	cfg.Link = netsim.Link{BandwidthBps: netsim.Mbps(0.1)}
+	cfg.RoundDeadline = time.Nanosecond
+	res, err := RunOrchestratedSim(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range res.Rounds {
+		if got := m.Participants - m.Dropped; got != 1 {
+			t.Fatalf("round %d committed %d updates, want exactly the earliest", m.Round, got)
+		}
+	}
+}
+
+func TestOrchestratedAsyncSim(t *testing.T) {
+	cfg := smallOrchConfig(t)
+	cfg.Mode = orchestrator.ModeAsync
+	cfg.BufferSize = 3
+	cfg.Rounds = 3 // commits
+	cfg.Population = netsim.PaperMix()
+	res, err := RunOrchestratedSim(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rounds) != cfg.Rounds {
+		t.Fatalf("commits = %d, want %d", len(res.Rounds), cfg.Rounds)
+	}
+	last := time.Duration(-1)
+	for _, m := range res.Rounds {
+		if m.Participants != cfg.BufferSize {
+			t.Fatalf("commit %d folded %d, want %d", m.Round, m.Participants, cfg.BufferSize)
+		}
+		if m.CommTime <= last {
+			t.Fatalf("commit times not increasing: %v after %v", m.CommTime, last)
+		}
+		last = m.CommTime
+	}
+}
+
+func TestOrchestratedAsyncRejectsReferenceAware(t *testing.T) {
+	cfg := smallOrchConfig(t)
+	cfg.Mode = orchestrator.ModeAsync
+	cfg.Codec = NewDeltaCodec(nil)
+	if _, err := RunOrchestratedSim(cfg); err == nil {
+		t.Fatal("async sim accepted a reference-aware codec")
+	}
+}
+
+// TestOrchestratedSimDeterministicSchedule pins the virtual schedule
+// to the seed: two identical runs must produce identical round
+// timings, drop counts and byte totals (the schedule is modeled from
+// sample counts, never from measured wall time).
+func TestOrchestratedSimDeterministicSchedule(t *testing.T) {
+	run := func() *SimResult {
+		cfg := smallOrchConfig(t)
+		cfg.ClientsPerRound = 4
+		cfg.OverProvision = 1.5
+		cfg.RoundDeadline = 200 * time.Millisecond
+		cfg.Population = netsim.PaperMix()
+		res, err := RunOrchestratedSim(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if len(a.Rounds) != len(b.Rounds) {
+		t.Fatalf("round counts differ: %d vs %d", len(a.Rounds), len(b.Rounds))
+	}
+	for i := range a.Rounds {
+		ra, rb := a.Rounds[i], b.Rounds[i]
+		if ra.CommTime != rb.CommTime || ra.Dropped != rb.Dropped || ra.BytesUplink != rb.BytesUplink {
+			t.Fatalf("round %d schedule diverged: (%v,%d,%d) vs (%v,%d,%d)",
+				i, ra.CommTime, ra.Dropped, ra.BytesUplink, rb.CommTime, rb.Dropped, rb.BytesUplink)
+		}
+	}
+}

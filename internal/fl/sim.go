@@ -93,6 +93,11 @@ type RoundMetrics struct {
 
 	BytesUplink   int64 // compressed bytes sent by all clients
 	OriginalBytes int64 // uncompressed equivalent
+
+	// Orchestrated-path accounting (zero under the legacy RunSim loop):
+	// clients asked to train and stragglers cut from the commit.
+	Participants int
+	Dropped      int
 }
 
 // SimResult is a full simulation trace.

@@ -9,6 +9,7 @@
 package netsim
 
 import (
+	"math/rand"
 	"net"
 	"sync"
 	"time"
@@ -27,15 +28,31 @@ type Link struct {
 	BandwidthBps float64
 	// Latency is the one-way propagation delay added per message.
 	Latency time.Duration
+	// Jitter is the maximum extra per-message delay. The deterministic
+	// TransferTime excludes it; SampleTransferTime draws one uniform
+	// realization in [0, Jitter] per message.
+	Jitter time.Duration
 }
 
 // TransferTime returns the modeled time to move `bytes` across the
-// link, including latency.
+// link, including latency but excluding jitter (the deterministic
+// lower envelope).
 func (l Link) TransferTime(bytes int64) time.Duration {
 	d := l.Latency
 	if l.BandwidthBps > 0 {
 		seconds := float64(bytes*8) / l.BandwidthBps
 		d += time.Duration(seconds * float64(time.Second))
+	}
+	return d
+}
+
+// SampleTransferTime returns one realization of the transfer time:
+// TransferTime plus a uniform draw in [0, Jitter] from rng. A nil rng
+// or zero Jitter degenerates to TransferTime.
+func (l Link) SampleTransferTime(bytes int64, rng *rand.Rand) time.Duration {
+	d := l.TransferTime(bytes)
+	if rng != nil && l.Jitter > 0 {
+		d += time.Duration(rng.Float64() * float64(l.Jitter))
 	}
 	return d
 }

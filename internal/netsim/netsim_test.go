@@ -1,6 +1,7 @@
 package netsim
 
 import (
+	"math/rand"
 	"net"
 	"sync"
 	"testing"
@@ -157,5 +158,55 @@ func TestPipelinedTimeDegenerate(t *testing.T) {
 	fast := Link{}
 	if got := fast.PipelinedTime(one); got != 7*time.Millisecond {
 		t.Fatalf("infinite bandwidth: got %v", got)
+	}
+}
+
+func TestJitterSampling(t *testing.T) {
+	l := Link{BandwidthBps: Mbps(10), Latency: 10 * time.Millisecond, Jitter: 50 * time.Millisecond}
+	base := l.TransferTime(1e6)
+	rng := rand.New(rand.NewSource(1))
+	var saw bool
+	for i := 0; i < 100; i++ {
+		d := l.SampleTransferTime(1e6, rng)
+		if d < base || d > base+l.Jitter {
+			t.Fatalf("sample %v outside [%v, %v]", d, base, base+l.Jitter)
+		}
+		if d != base {
+			saw = true
+		}
+	}
+	if !saw {
+		t.Fatal("jitter never perturbed the transfer time")
+	}
+	if got := l.SampleTransferTime(1e6, nil); got != base {
+		t.Fatalf("nil rng sample = %v, want deterministic %v", got, base)
+	}
+}
+
+func TestProfileSampling(t *testing.T) {
+	p := PaperMix()
+	rng := rand.New(rand.NewSource(2))
+	counts := map[float64]int{}
+	for i := 0; i < 5000; i++ {
+		c := p.Sample(rng)
+		if c.ComputeFactor <= 0 {
+			t.Fatal("non-positive compute factor")
+		}
+		counts[c.Link.BandwidthBps]++
+	}
+	// All strata must be hit, with the 10 Mbps mass dominating.
+	if len(counts) < 3 {
+		t.Fatalf("only %d strata sampled", len(counts))
+	}
+	if counts[Mbps(10)] < counts[Mbps(500)] {
+		t.Fatalf("10 Mbps stratum (%d) should outweigh 500 Mbps (%d)",
+			counts[Mbps(10)], counts[Mbps(500)])
+	}
+	var zero Profile
+	if !zero.IsZero() {
+		t.Fatal("zero profile not IsZero")
+	}
+	if c := zero.Sample(rng); c.ComputeFactor != 1 || c.Link.BandwidthBps != 0 {
+		t.Fatalf("zero profile sample = %+v", c)
 	}
 }

@@ -1,0 +1,93 @@
+package netsim
+
+import (
+	"math/rand"
+	"time"
+)
+
+// ClientProfile characterizes one simulated federation client: its
+// uplink and how slow its local compute is relative to the nominal
+// client (1 = nominal, 4 = a 4× slower straggler device).
+type ClientProfile struct {
+	Link          Link
+	ComputeFactor float64
+}
+
+// withDefaults normalizes a zero ComputeFactor to nominal speed.
+func (p ClientProfile) withDefaults() ClientProfile {
+	if p.ComputeFactor <= 0 {
+		p.ComputeFactor = 1
+	}
+	return p
+}
+
+// ProfileChoice is one stratum of a heterogeneous client population.
+type ProfileChoice struct {
+	// Weight is the stratum's relative probability mass (any positive
+	// scale; weights are normalized at sampling time).
+	Weight  float64
+	Profile ClientProfile
+}
+
+// Profile is a categorical sampler over client strata — the
+// population model the orchestrated simulations draw per-client
+// link/compute heterogeneity from.
+type Profile struct {
+	Choices []ProfileChoice
+}
+
+// IsZero reports an unconfigured profile (no choices).
+func (p Profile) IsZero() bool { return len(p.Choices) == 0 }
+
+// Sample draws one client profile. A zero profile returns the
+// unconstrained nominal client; a nil rng returns the first choice.
+func (p Profile) Sample(rng *rand.Rand) ClientProfile {
+	if len(p.Choices) == 0 {
+		return ClientProfile{ComputeFactor: 1}
+	}
+	var total float64
+	for _, c := range p.Choices {
+		if c.Weight > 0 {
+			total += c.Weight
+		}
+	}
+	if rng == nil || total <= 0 {
+		return p.Choices[0].Profile.withDefaults()
+	}
+	x := rng.Float64() * total
+	for _, c := range p.Choices {
+		if c.Weight <= 0 {
+			continue
+		}
+		if x -= c.Weight; x < 0 {
+			return c.Profile.withDefaults()
+		}
+	}
+	return p.Choices[len(p.Choices)-1].Profile.withDefaults()
+}
+
+// PaperMix is the heterogeneous population used by the scale
+// experiment: the paper's three evaluation bandwidths (10/100/500
+// Mbps, §VI-C) as strata of a deployment-shaped mix, plus a small
+// slow-device stratum that gives round times the long tail stragglers
+// cause in practice.
+func PaperMix() Profile {
+	return Profile{Choices: []ProfileChoice{
+		{Weight: 0.45, Profile: ClientProfile{
+			Link:          Link{BandwidthBps: Mbps(10), Latency: 40 * time.Millisecond, Jitter: 20 * time.Millisecond},
+			ComputeFactor: 1.5,
+		}},
+		{Weight: 0.33, Profile: ClientProfile{
+			Link:          Link{BandwidthBps: Mbps(100), Latency: 15 * time.Millisecond, Jitter: 8 * time.Millisecond},
+			ComputeFactor: 1,
+		}},
+		{Weight: 0.15, Profile: ClientProfile{
+			Link:          Link{BandwidthBps: Mbps(500), Latency: 5 * time.Millisecond, Jitter: 2 * time.Millisecond},
+			ComputeFactor: 0.8,
+		}},
+		{Weight: 0.07, Profile: ClientProfile{
+			Link:          Link{BandwidthBps: Mbps(10), Latency: 80 * time.Millisecond, Jitter: 60 * time.Millisecond},
+			ComputeFactor: 6,
+		}},
+	}}
+}

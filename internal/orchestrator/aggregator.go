@@ -1,0 +1,421 @@
+package orchestrator
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"fedsz/internal/model"
+	"fedsz/internal/tensor"
+)
+
+// ErrNoUpdates reports a finalize with nothing aggregated.
+var ErrNoUpdates = errors.New("orchestrator: no committed updates")
+
+// Aggregator is a streaming, sharded FedAvg accumulator: decoded
+// tensor entries fold into per-tensor weighted sums as they arrive off
+// each connection, so the server never holds more than the float64
+// accumulator plus the updates currently in flight — not one full
+// state dict per client until round end, which is what the sequential
+// fl.FedAvg path costs.
+//
+// The entry space of the reference model is split into contiguous
+// index ranges balanced by element count (tensor-range sharding), each
+// range guarded by its own lock, so N concurrent uplinks folding
+// different ranges aggregate in parallel and contention is confined to
+// clients touching the same shard at the same instant.
+//
+// Arithmetic matches fl.FedAvg exactly: each fold adds
+// weight·float64(v) into a float64 sum and Finalize divides by the
+// total committed weight, so folding the same updates in the same
+// order produces byte-identical float32 weights to the sequential
+// reference. Contributions racing into one shard may reorder the
+// float64 additions and perturb last bits; every other property holds
+// regardless of order.
+type Aggregator struct {
+	names  []string
+	index  map[string]int
+	dtypes []model.DType
+	shapes [][]int // Float32 entries: tensor shape
+	nInts  []int   // Int64 entries: expected length
+
+	shardOf []int
+	shards  []aggShard
+
+	mu          sync.Mutex
+	totalWeight float64
+	updates     int
+	inflight    int       // contributors opened but not yet settled
+	ints        [][]int64 // adopted from the first committed update
+}
+
+// aggShard owns one contiguous range of entry indices. The sums slice
+// lives on the Aggregator (indexed by entry), the lock here serializes
+// folds into the range.
+type aggShard struct {
+	mu   sync.Mutex
+	sums [][]float64 // indexed by entry index; nil outside this shard's range
+}
+
+// NewAggregator builds an accumulator shaped like ref. Every update
+// folded into it must match ref's entry names, dtypes and shapes —
+// the structural contract FedAvg enforces across clients. shards ≤ 0
+// selects one shard per 4 entries, capped at 16.
+func NewAggregator(ref *model.StateDict, shards int) *Aggregator {
+	entries := ref.Entries()
+	if shards <= 0 {
+		shards = len(entries) / 4
+		if shards > 16 {
+			shards = 16
+		}
+	}
+	if shards < 1 {
+		shards = 1
+	}
+	if shards > len(entries) && len(entries) > 0 {
+		shards = len(entries)
+	}
+
+	a := &Aggregator{
+		names:   make([]string, len(entries)),
+		index:   make(map[string]int, len(entries)),
+		dtypes:  make([]model.DType, len(entries)),
+		shapes:  make([][]int, len(entries)),
+		nInts:   make([]int, len(entries)),
+		shardOf: make([]int, len(entries)),
+		shards:  make([]aggShard, shards),
+		ints:    make([][]int64, len(entries)),
+	}
+	var totalElems int64
+	for i, e := range entries {
+		a.names[i] = e.Name
+		a.index[e.Name] = i
+		a.dtypes[i] = e.DType
+		if e.DType == model.Float32 {
+			a.shapes[i] = e.Tensor.Shape()
+			totalElems += int64(e.Tensor.NumElements())
+		} else {
+			a.nInts[i] = len(e.Ints)
+		}
+	}
+
+	// Tensor-range sharding: cut the entry order into `shards`
+	// contiguous ranges of roughly equal element count, so the big
+	// conv/fc tensors spread across locks instead of piling onto one.
+	target := totalElems/int64(shards) + 1
+	var acc int64
+	shard := 0
+	for i, e := range entries {
+		a.shardOf[i] = shard
+		if e.DType == model.Float32 {
+			acc += int64(e.Tensor.NumElements())
+			if acc >= target && shard < shards-1 {
+				acc = 0
+				shard++
+			}
+		}
+	}
+	for s := range a.shards {
+		a.shards[s].sums = make([][]float64, len(entries))
+	}
+	for i, e := range entries {
+		if e.DType == model.Float32 {
+			a.shards[a.shardOf[i]].sums[i] = make([]float64, e.Tensor.NumElements())
+		}
+	}
+	return a
+}
+
+// NumShards returns the shard count the entry space was split into.
+func (a *Aggregator) NumShards() int { return len(a.shards) }
+
+// Updates returns the number of committed contributions.
+func (a *Aggregator) Updates() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.updates
+}
+
+// MemoryBytes returns the resident footprint of the accumulator state
+// — the float64 sums plus index bookkeeping. This is the server-side
+// aggregation memory that replaces holding every client's decoded
+// update until round end.
+func (a *Aggregator) MemoryBytes() int64 {
+	var n int64
+	for i, dt := range a.dtypes {
+		if dt == model.Float32 {
+			n += int64(len(a.shards[a.shardOf[i]].sums[i])) * 8
+		} else {
+			n += int64(a.nInts[i]) * 8
+		}
+		n += int64(len(a.names[i])) + 32
+	}
+	return n
+}
+
+// Contributor opens one client's contribution with the given positive
+// aggregation weight (typically its local sample count). Entries fold
+// in as they are decoded; Commit seals the contribution into the
+// aggregate, Abort withdraws whatever was already folded (a client
+// that dies mid-stream leaves the aggregate as if it never joined, up
+// to float64 rounding of the add/subtract pair).
+func (a *Aggregator) Contributor(weight float64) (*Contributor, error) {
+	if weight <= 0 {
+		return nil, fmt.Errorf("orchestrator: non-positive contribution weight %v", weight)
+	}
+	a.mu.Lock()
+	a.inflight++
+	a.mu.Unlock()
+	return &Contributor{
+		a:      a,
+		weight: weight,
+		seen:   make([]bool, len(a.names)),
+	}, nil
+}
+
+// Inflight returns the number of contributors opened but not yet
+// committed or aborted — the quiescence signal commit drivers check
+// before finalizing.
+func (a *Aggregator) Inflight() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.inflight
+}
+
+// FoldStateDict folds a complete update in one call: contributor,
+// per-entry folds in entry order, commit. It is the buffer-path
+// convenience over the streaming Contributor API.
+func (a *Aggregator) FoldStateDict(sd *model.StateDict, weight float64) error {
+	ct, err := a.Contributor(weight)
+	if err != nil {
+		return err
+	}
+	if err := foldEntries(ct, sd); err != nil {
+		return err
+	}
+	return ct.Commit()
+}
+
+// foldEntries feeds every entry of sd through ct in entry order,
+// aborting (withdrawing partial folds) on the first error — the one
+// buffer-path fold loop shared by Aggregator.FoldStateDict,
+// Round.Submit and Coordinator.SubmitAsync. The caller commits.
+func foldEntries(ct *Contributor, sd *model.StateDict) error {
+	for _, e := range sd.Entries() {
+		if err := ct.Fold(e); err != nil {
+			ct.Abort()
+			return err
+		}
+	}
+	return nil
+}
+
+// Finalize divides the accumulated sums by the total committed weight
+// and returns the aggregate in the reference entry order. Int64
+// entries carry the first committed update's values, matching
+// fl.FedAvg. The aggregator stays usable (further contributions keep
+// folding into the same sums); callers wanting a fresh round build a
+// fresh Aggregator.
+func (a *Aggregator) Finalize() (*model.StateDict, error) {
+	a.mu.Lock()
+	total := a.totalWeight
+	updates := a.updates
+	a.mu.Unlock()
+	if updates == 0 || total <= 0 {
+		return nil, ErrNoUpdates
+	}
+
+	out := model.NewStateDict()
+	for i, name := range a.names {
+		if a.dtypes[i] == model.Int64 {
+			a.mu.Lock()
+			ints := append([]int64(nil), a.ints[i]...)
+			a.mu.Unlock()
+			if err := out.Add(model.Entry{Name: name, DType: model.Int64, Ints: ints}); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		shard := &a.shards[a.shardOf[i]]
+		shard.mu.Lock()
+		sum := shard.sums[i]
+		data := make([]float32, len(sum))
+		for j, v := range sum {
+			data[j] = float32(v / total)
+		}
+		shard.mu.Unlock()
+		t, err := tensor.FromData(data, a.shapes[i]...)
+		if err != nil {
+			return nil, err
+		}
+		if err := out.Add(model.Entry{Name: name, DType: model.Float32, Tensor: t}); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// Contributor is one in-flight client contribution. Fold may be called
+// concurrently (the streaming decoders emit entries from parallel
+// decode workers); Commit and Abort are each called once.
+type Contributor struct {
+	a      *Aggregator
+	weight float64
+
+	mu     sync.Mutex
+	seen   []bool
+	folded []foldedEntry
+	intsAt map[int][]int64
+	done   bool
+
+	// round/async hooks, set by the owning scheduler.
+	onCommit func() error
+	onAbort  func()
+}
+
+// foldedEntry records an applied fold for Abort's undo. The tensor
+// reference is the decoder's own allocation — no copy is taken.
+type foldedEntry struct {
+	idx int
+	t   *tensor.Tensor
+}
+
+// Weight returns the contribution's aggregation weight.
+func (c *Contributor) Weight() float64 { return c.weight }
+
+// Fold applies one decoded entry: the entry's elements are scaled by
+// the contribution weight and added into the owning shard's sums
+// immediately, so aggregation work overlaps reception and the decoded
+// tensor is only referenced (for potential Abort undo), never copied.
+func (c *Contributor) Fold(e model.Entry) error {
+	idx, ok := c.a.index[e.Name]
+	if !ok {
+		return fmt.Errorf("orchestrator: update entry %q not in reference model", e.Name)
+	}
+	c.mu.Lock()
+	if c.done {
+		c.mu.Unlock()
+		return errors.New("orchestrator: fold on a closed contribution")
+	}
+	if c.seen[idx] {
+		c.mu.Unlock()
+		return fmt.Errorf("orchestrator: duplicate update entry %q", e.Name)
+	}
+	c.seen[idx] = true
+	c.mu.Unlock()
+
+	// A validation failure below must roll seen back, or the entry
+	// would be poisoned: a corrected retry would read as a duplicate
+	// and Commit's completeness check would pass with the entry's data
+	// never folded.
+	unsee := func() {
+		c.mu.Lock()
+		c.seen[idx] = false
+		c.mu.Unlock()
+	}
+
+	if c.a.dtypes[idx] == model.Int64 {
+		if e.DType != model.Int64 || len(e.Ints) != c.a.nInts[idx] {
+			unsee()
+			return fmt.Errorf("orchestrator: update entry %q incompatible", e.Name)
+		}
+		c.mu.Lock()
+		if c.intsAt == nil {
+			c.intsAt = make(map[int][]int64)
+		}
+		c.intsAt[idx] = e.Ints
+		c.mu.Unlock()
+		return nil
+	}
+
+	shard := &c.a.shards[c.a.shardOf[idx]]
+	shard.mu.Lock()
+	sum := shard.sums[idx]
+	if e.DType != model.Float32 || e.Tensor == nil || e.Tensor.NumElements() != len(sum) {
+		shard.mu.Unlock()
+		unsee()
+		return fmt.Errorf("orchestrator: update entry %q incompatible", e.Name)
+	}
+	w := c.weight
+	for j, v := range e.Tensor.Data() {
+		sum[j] += w * float64(v)
+	}
+	shard.mu.Unlock()
+
+	c.mu.Lock()
+	c.folded = append(c.folded, foldedEntry{idx: idx, t: e.Tensor})
+	c.mu.Unlock()
+	return nil
+}
+
+// Commit seals the contribution: it verifies the update covered every
+// reference entry, adds the weight to the aggregate total, and
+// releases the undo references. A contribution that cannot commit
+// must be Aborted, or its partial folds would linger in the sums.
+func (c *Contributor) Commit() error {
+	c.mu.Lock()
+	if c.done {
+		c.mu.Unlock()
+		return errors.New("orchestrator: commit on a closed contribution")
+	}
+	for idx, ok := range c.seen {
+		if !ok {
+			c.mu.Unlock()
+			c.Abort()
+			return fmt.Errorf("orchestrator: incomplete update: missing entry %q", c.a.names[idx])
+		}
+	}
+	c.done = true
+	intsAt := c.intsAt
+	c.folded = nil
+	c.mu.Unlock()
+
+	a := c.a
+	a.mu.Lock()
+	a.totalWeight += c.weight
+	a.updates++
+	a.inflight--
+	if a.updates == 1 {
+		for idx, ints := range intsAt {
+			a.ints[idx] = append([]int64(nil), ints...)
+		}
+	}
+	a.mu.Unlock()
+	if c.onCommit != nil {
+		return c.onCommit()
+	}
+	return nil
+}
+
+// Abort withdraws the contribution, subtracting every fold already
+// applied. The aggregate is restored to the other contributors'
+// content up to float64 rounding of the add/subtract round trip —
+// negligible against the lossy bounds upstream.
+func (c *Contributor) Abort() {
+	c.mu.Lock()
+	if c.done {
+		c.mu.Unlock()
+		return
+	}
+	c.done = true
+	folded := c.folded
+	c.folded = nil
+	c.mu.Unlock()
+
+	for _, f := range folded {
+		shard := &c.a.shards[c.a.shardOf[f.idx]]
+		shard.mu.Lock()
+		sum := shard.sums[f.idx]
+		w := c.weight
+		for j, v := range f.t.Data() {
+			sum[j] -= w * float64(v)
+		}
+		shard.mu.Unlock()
+	}
+	c.a.mu.Lock()
+	c.a.inflight--
+	c.a.mu.Unlock()
+	if c.onAbort != nil {
+		c.onAbort()
+	}
+}

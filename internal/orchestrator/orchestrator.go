@@ -1,0 +1,296 @@
+// Package orchestrator is the federated coordination subsystem: an
+// event-driven replacement for the lock-step round loop the repo
+// started with. It owns
+//
+//   - a client registry with dynamic join/leave,
+//   - per-round client sampling with over-provisioning,
+//   - round lifecycle with straggler drop (the driver enforces the
+//     deadline on its clock — wall time in the TCP server, virtual
+//     time in the simulators — and the round accounts the drops), and
+//   - two aggregation modes: synchronous FedAvg rounds and a
+//     FedBuff-style asynchronous buffer that commits a new global
+//     model every BufferSize updates with staleness-damped weights.
+//
+// Aggregation in both modes runs through the streaming sharded
+// Aggregator: decoded tensor entries fold into per-tensor weighted
+// sums as they arrive off each connection, so server memory is one
+// float64 accumulator plus in-flight updates instead of every
+// client's decoded state dict held until round end.
+//
+// The coordinator is deliberately clock-free: drivers (package
+// transport for TCP, package fl and the bench scale experiment for
+// simulation) decide when deadlines fire and then Commit the round.
+// That keeps every scheduling decision deterministic under a seed and
+// testable without timers.
+package orchestrator
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+	"time"
+
+	"fedsz/internal/model"
+)
+
+// Mode selects the aggregation discipline.
+type Mode int
+
+const (
+	// ModeSync runs synchronous FedAvg rounds: sample, collect until
+	// target or deadline, commit.
+	ModeSync Mode = iota
+	// ModeAsync runs FedBuff-style buffered asynchronous aggregation:
+	// updates fold as they arrive and every BufferSize commits advance
+	// the global model, with stale updates damped by 1/√(1+staleness).
+	ModeAsync
+)
+
+func (m Mode) String() string {
+	switch m {
+	case ModeSync:
+		return "sync"
+	case ModeAsync:
+		return "async"
+	default:
+		return fmt.Sprintf("mode(%d)", int(m))
+	}
+}
+
+// Config parameterizes a Coordinator.
+type Config struct {
+	// Mode selects synchronous rounds or the async buffer.
+	Mode Mode
+	// ClientsPerRound is the sync sampling target K (0 = every joined
+	// client participates).
+	ClientsPerRound int
+	// OverProvision over-samples sync rounds by this factor (≥ 1):
+	// ceil(K·OverProvision) clients are asked to train so the round
+	// can close as soon as the fastest K arrive. 0 means 1.
+	OverProvision float64
+	// RoundDeadline is the advisory straggler cutoff. The coordinator
+	// never arms a timer itself; drivers read it via Round.Deadline
+	// and enforce it on their own (wall or virtual) clock.
+	RoundDeadline time.Duration
+	// BufferSize is the async commit threshold (updates per commit).
+	// 0 defaults to 16.
+	BufferSize int
+	// ServerMix is the async mixing rate α: the committed model is
+	// (1-α)·global + α·bufferAverage. 0 defaults to 1 (replace, i.e.
+	// FedAvg over the buffer).
+	ServerMix float64
+	// Shards is the aggregator shard count (0 = auto).
+	Shards int
+	// NoStalenessDamping turns off the async 1/√(1+τ) weight damping.
+	NoStalenessDamping bool
+	// OnAsyncCommit, if non-nil, observes every async buffer commit,
+	// invoked outside the coordinator lock. It is the only way to see
+	// a commit whose final settle was an Abort (no submitter's commit
+	// result reports that one); drivers consuming commit results
+	// directly should not also count hook invocations, or they will
+	// observe commits twice.
+	OnAsyncCommit func(AsyncCommit)
+	// Seed drives client sampling.
+	Seed int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.OverProvision < 1 {
+		c.OverProvision = 1
+	}
+	if c.BufferSize <= 0 {
+		c.BufferSize = 16
+	}
+	if c.ServerMix <= 0 {
+		c.ServerMix = 1
+	}
+	return c
+}
+
+// RoundStats accounts one committed aggregation step.
+type RoundStats struct {
+	Round     int   // commit sequence number
+	Version   int   // global model version after the commit
+	Sampled   int   // clients asked to train (sync) / buffered target (async)
+	Committed int   // updates folded into the commit
+	Dropped   int   // sampled clients that never committed (stragglers, deaths)
+	AggMemory int64 // aggregator resident bytes during the round
+}
+
+// Coordinator is the orchestration core: registry, sampler, round and
+// buffer state machines. All methods are safe for concurrent use —
+// connection handlers join, leave and submit while the round driver
+// starts and commits rounds.
+type Coordinator struct {
+	cfg Config
+
+	mu      sync.Mutex
+	clients map[string]int // id → index in order
+	order   []string       // join order; swap-removed on leave
+	rng     *rand.Rand
+	version int
+	commits int
+	global  *model.StateDict
+	round   *Round
+	async   *asyncBuffer
+}
+
+// NewCoordinator builds a coordinator seeded with the initial global
+// model.
+func NewCoordinator(cfg Config, initial *model.StateDict) (*Coordinator, error) {
+	if initial == nil || initial.Len() == 0 {
+		return nil, errors.New("orchestrator: nil or empty initial global model")
+	}
+	cfg = cfg.withDefaults()
+	c := &Coordinator{
+		cfg:     cfg,
+		clients: make(map[string]int),
+		rng:     rand.New(rand.NewSource(cfg.Seed)),
+		global:  initial,
+	}
+	if cfg.Mode == ModeAsync {
+		c.async = &asyncBuffer{agg: NewAggregator(initial, cfg.Shards)}
+	}
+	return c, nil
+}
+
+// Config returns the coordinator's (defaulted) configuration.
+func (c *Coordinator) Config() Config { return c.cfg }
+
+// Join registers a client. Joining is idempotent-hostile: a duplicate
+// id is an error, since two live connections claiming one identity is
+// a protocol violation the caller must resolve.
+func (c *Coordinator) Join(id string) error {
+	if id == "" {
+		return errors.New("orchestrator: empty client id")
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.clients[id]; ok {
+		return fmt.Errorf("orchestrator: client %q already joined", id)
+	}
+	c.clients[id] = len(c.order)
+	c.order = append(c.order, id)
+	return nil
+}
+
+// Leave removes a client from the registry. An in-flight round keeps
+// its own participant set: the departed client simply never commits
+// and is accounted as dropped at round close.
+func (c *Coordinator) Leave(id string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	i, ok := c.clients[id]
+	if !ok {
+		return
+	}
+	last := len(c.order) - 1
+	c.order[i] = c.order[last]
+	c.clients[c.order[i]] = i
+	c.order = c.order[:last]
+	delete(c.clients, id)
+}
+
+// NumClients returns the current registry size.
+func (c *Coordinator) NumClients() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.order)
+}
+
+// Clients returns the registered ids in join order (modulo leaves).
+func (c *Coordinator) Clients() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]string(nil), c.order...)
+}
+
+// Global returns the current model version and state.
+func (c *Coordinator) Global() (int, *model.StateDict) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.version, c.global
+}
+
+// sampleLocked draws the next round's participants: ceil(K·over)
+// clients uniformly without replacement, capped at the registry size.
+func (c *Coordinator) sampleLocked() (participants []string, target int) {
+	n := len(c.order)
+	k := c.cfg.ClientsPerRound
+	if k <= 0 || k > n {
+		k = n
+	}
+	sampled := int(math.Ceil(float64(k) * c.cfg.OverProvision))
+	if sampled > n {
+		sampled = n
+	}
+	perm := c.rng.Perm(n)[:sampled]
+	participants = make([]string, sampled)
+	for i, p := range perm {
+		participants[i] = c.order[p]
+	}
+	return participants, k
+}
+
+// StartRound samples participants and opens a synchronous round. Only
+// one round may be open at a time; the previous round must Commit (or
+// be abandoned via Cancel) first.
+func (c *Coordinator) StartRound() (*Round, error) {
+	if c.cfg.Mode != ModeSync {
+		return nil, errors.New("orchestrator: StartRound on an async coordinator")
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.round != nil {
+		return nil, errors.New("orchestrator: a round is already open")
+	}
+	if len(c.order) == 0 {
+		return nil, errors.New("orchestrator: no clients joined")
+	}
+	participants, target := c.sampleLocked()
+	r := &Round{
+		coord:    c,
+		number:   c.commits,
+		version:  c.version,
+		deadline: c.cfg.RoundDeadline,
+		target:   target,
+		agg:      NewAggregator(c.global, c.cfg.Shards),
+		state:    make(map[string]int, len(participants)),
+	}
+	r.participants = participants
+	for _, id := range participants {
+		r.state[id] = participantSampled
+	}
+	c.round = r
+	return r, nil
+}
+
+// commitRound installs a round's aggregate as the new global model.
+func (c *Coordinator) commitRound(r *Round, agg *model.StateDict) (int, RoundStats) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.global = agg
+	c.version++
+	c.commits++
+	if c.round == r {
+		c.round = nil
+	}
+	return c.version, RoundStats{
+		Round:     r.number,
+		Version:   c.version,
+		Sampled:   len(r.participants),
+		Committed: r.committed,
+		Dropped:   len(r.participants) - r.committed,
+		AggMemory: r.agg.MemoryBytes(),
+	}
+}
+
+func (c *Coordinator) cancelRound(r *Round) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.round == r {
+		c.round = nil
+	}
+}

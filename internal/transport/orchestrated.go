@@ -1,0 +1,392 @@
+package transport
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"fedsz/internal/core"
+	"fedsz/internal/fl"
+	"fedsz/internal/model"
+	"fedsz/internal/netsim"
+	"fedsz/internal/orchestrator"
+)
+
+// OrchestratedConfig parameterizes the orchestrator-backed server.
+type OrchestratedConfig struct {
+	// Codec decodes client uplinks (nil = fl.PlainCodec).
+	Codec fl.Codec
+	// MinClients gates the first round: rounds start once this many
+	// clients have joined (default 1). Clients keep joining and
+	// leaving while training runs.
+	MinClients int
+	// ClientsPerRound samples this many participants per round
+	// (0 = every joined client).
+	ClientsPerRound int
+	// OverProvision over-samples rounds by this factor (≥1; 0 means
+	// 1). Over TCP the round still waits for every sampled
+	// participant unless RoundDeadline cuts the tail — a started
+	// uplink cannot be cancelled without killing its connection — so
+	// pair over-provisioning with a deadline: the extras make it
+	// likely the target count arrives before the cutoff. (The
+	// virtual-time simulators close at Target exactly.)
+	OverProvision float64
+	// Rounds is the number of committed rounds to run.
+	Rounds int
+	// RoundDeadline cuts stragglers on the wall clock: a participant
+	// whose update has not fully arrived this long after the round's
+	// broadcast is dropped (its connection is closed — mid-stream
+	// resynchronization is impossible). 0 waits indefinitely.
+	RoundDeadline time.Duration
+	// BandwidthBps rate-limits each connection (0 = unlimited).
+	BandwidthBps float64
+	// Shards is the aggregator shard count (0 = auto).
+	Shards int
+	// OnRound observes each committed global model.
+	OnRound func(round int, global *model.StateDict, stats orchestrator.RoundStats)
+	// Logf, if non-nil, receives join/leave/drop diagnostics.
+	Logf func(format string, args ...interface{})
+}
+
+// Orchestrated is the orchestrator-backed federated server: clients
+// join and leave dynamically, every round samples the current
+// registry, per-connection failures drop that client and the round
+// commits with the remaining updates, and uplinks fold into the
+// streaming sharded aggregator as their tensor sections decode — the
+// server never materializes a client's full state dict.
+type Orchestrated struct {
+	cfg OrchestratedConfig
+
+	mu        sync.Mutex
+	conns     map[string]*connStream
+	pending   map[*connStream]struct{} // accepted, join not yet read
+	nextID    int
+	joined    chan struct{} // signaled on every join
+	closed    bool
+	acceptErr error // sticky: the accept loop died with this error
+}
+
+// joinTimeout bounds how long an accepted connection may sit silent
+// before sending MsgJoin; without it an idle connect would park a
+// goroutine and a socket for the server's lifetime.
+const joinTimeout = 30 * time.Second
+
+// NewOrchestrated validates cfg and returns an orchestrated server.
+func NewOrchestrated(cfg OrchestratedConfig) (*Orchestrated, error) {
+	if cfg.Rounds <= 0 {
+		return nil, errors.New("transport: need at least one round")
+	}
+	if cfg.MinClients <= 0 {
+		cfg.MinClients = 1
+	}
+	if cfg.Codec == nil {
+		cfg.Codec = fl.PlainCodec{}
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...interface{}) {}
+	}
+	return &Orchestrated{
+		cfg:     cfg,
+		conns:   make(map[string]*connStream),
+		pending: make(map[*connStream]struct{}),
+		joined:  make(chan struct{}, 1),
+	}, nil
+}
+
+// Serve accepts clients on ln for as long as training runs, executes
+// cfg.Rounds orchestrated rounds starting from initial, and returns
+// the final global model. It owns accepted connections and closes
+// them (after a best-effort shutdown message) on return.
+func (s *Orchestrated) Serve(ln net.Listener, initial *model.StateDict) (*model.StateDict, error) {
+	coord, err := orchestrator.NewCoordinator(orchestrator.Config{
+		Mode:            orchestrator.ModeSync,
+		ClientsPerRound: s.cfg.ClientsPerRound,
+		OverProvision:   s.cfg.OverProvision,
+		RoundDeadline:   s.cfg.RoundDeadline,
+		Shards:          s.cfg.Shards,
+	}, initial)
+	if err != nil {
+		return nil, err
+	}
+
+	acceptDone := make(chan error, 1)
+	go s.acceptLoop(ln, coord, acceptDone)
+	defer func() {
+		s.mu.Lock()
+		s.closed = true
+		conns := make([]*connStream, 0, len(s.conns))
+		for _, cs := range s.conns {
+			conns = append(conns, cs)
+		}
+		pending := make([]*connStream, 0, len(s.pending))
+		for cs := range s.pending {
+			pending = append(pending, cs)
+		}
+		s.mu.Unlock()
+		for _, cs := range conns {
+			_ = cs.writeMsg(MsgShutdown, nil)
+			_ = cs.conn.Close()
+		}
+		// Never-joined connections get no shutdown courtesy — closing
+		// them unblocks their join readers.
+		for _, cs := range pending {
+			_ = cs.conn.Close()
+		}
+	}()
+
+	for committed := 0; committed < s.cfg.Rounds; {
+		// MinClients gates only the first round; once training is under
+		// way the federation keeps going with whoever remains.
+		need := s.cfg.MinClients
+		if committed > 0 {
+			need = 1
+		}
+		if err := s.waitForClients(coord, need, acceptDone); err != nil {
+			return nil, err
+		}
+		global, stats, err := s.runRound(coord)
+		if err == orchestrator.ErrNoUpdates {
+			// Every sampled client failed or timed out this round; the
+			// registry shrank accordingly. Try again with whoever is
+			// left (waitForClients fails fast if nobody can ever join).
+			s.cfg.Logf("round aborted: no updates committed")
+			continue
+		}
+		if err != nil {
+			return nil, err
+		}
+		if s.cfg.OnRound != nil {
+			s.cfg.OnRound(committed, global, stats)
+		}
+		committed++
+	}
+	_, global := coord.Global()
+	return global, nil
+}
+
+// acceptLoop registers incoming connections until the listener closes.
+func (s *Orchestrated) acceptLoop(ln net.Listener, coord *orchestrator.Coordinator, done chan<- error) {
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			done <- err
+			return
+		}
+		cs := newConnStream(netsim.Limit(conn, s.cfg.BandwidthBps))
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			_ = conn.Close()
+			continue
+		}
+		s.pending[cs] = struct{}{}
+		s.mu.Unlock()
+		go func() {
+			_ = cs.conn.SetReadDeadline(time.Now().Add(joinTimeout))
+			t, err := cs.readMsgType()
+			// Pending-removal, the shutdown check and registration share
+			// one critical section, so the Serve-return cleanup either
+			// sees this connection in pending or in conns — never in
+			// neither.
+			s.mu.Lock()
+			delete(s.pending, cs)
+			if err != nil || t != MsgJoin || s.closed {
+				s.mu.Unlock()
+				s.cfg.Logf("rejecting connection: expected join, got %v (err %v)", t, err)
+				_ = conn.Close()
+				return
+			}
+			s.nextID++
+			id := fmt.Sprintf("client-%04d", s.nextID)
+			s.conns[id] = cs
+			s.mu.Unlock()
+			_ = cs.conn.SetReadDeadline(time.Time{})
+			if err := coord.Join(id); err != nil {
+				s.dropClient(coord, nil, id, err)
+				return
+			}
+			s.cfg.Logf("%s joined", id)
+			select {
+			case s.joined <- struct{}{}:
+			default:
+			}
+		}()
+	}
+}
+
+// waitForClients blocks until the registry reaches need clients. Once
+// the accept loop has died, an under-populated-but-nonempty registry
+// proceeds (run with whoever is left) and an empty one fails — no new
+// client can ever arrive.
+func (s *Orchestrated) waitForClients(coord *orchestrator.Coordinator, need int, acceptDone <-chan error) error {
+	// The joined channel is a capacity-1 doorbell, so a burst of joins
+	// can drop signals; the ticker bounds how long a dropped wakeup
+	// can stall the check.
+	tick := time.NewTicker(10 * time.Millisecond)
+	defer tick.Stop()
+	for {
+		if coord.NumClients() >= need {
+			return nil
+		}
+		s.mu.Lock()
+		dead := s.acceptErr
+		s.mu.Unlock()
+		if dead != nil {
+			if coord.NumClients() > 0 {
+				return nil
+			}
+			return fmt.Errorf("transport: listener closed with no clients left: %w", dead)
+		}
+		select {
+		case <-s.joined:
+		case <-tick.C:
+		case err := <-acceptDone:
+			s.mu.Lock()
+			s.acceptErr = err
+			s.mu.Unlock()
+		}
+	}
+}
+
+// dropClient removes a client everywhere: round accounting (when a
+// round is open), registry, connection table. Safe to call twice.
+func (s *Orchestrated) dropClient(coord *orchestrator.Coordinator, round *orchestrator.Round, id string, cause error) {
+	s.mu.Lock()
+	cs, ok := s.conns[id]
+	delete(s.conns, id)
+	s.mu.Unlock()
+	if ok {
+		_ = cs.conn.Close()
+	}
+	if round != nil {
+		round.Drop(id)
+	}
+	coord.Leave(id)
+	if ok {
+		s.cfg.Logf("%s dropped: %v", id, cause)
+	}
+}
+
+// runRound executes one orchestrated round: broadcast to the sampled
+// participants, fold their streamed updates concurrently, cut
+// stragglers at the deadline, commit whatever arrived. Per-connection
+// failures drop that client and never abort the round.
+func (s *Orchestrated) runRound(coord *orchestrator.Coordinator) (*model.StateDict, orchestrator.RoundStats, error) {
+	round, err := coord.StartRound()
+	if err != nil {
+		return nil, orchestrator.RoundStats{}, err
+	}
+	_, global := coord.Global()
+	if ra, ok := s.cfg.Codec.(fl.ReferenceAware); ok {
+		ra.SetReference(global)
+	}
+
+	// Broadcast the global model to every participant concurrently —
+	// each connection's rate limit is independent, so round-start time
+	// stays one transfer, not participants×transfer. A failed or (when
+	// a deadline is configured) stalled write means a dead client:
+	// drop it and keep going, so one peer that stopped reading cannot
+	// hang the round. The global dict is immutable here, safe to
+	// stream from many goroutines.
+	var live []string
+	var bmu sync.Mutex
+	var bwg sync.WaitGroup
+	for _, id := range round.Participants() {
+		s.mu.Lock()
+		cs, ok := s.conns[id]
+		s.mu.Unlock()
+		if !ok {
+			round.Drop(id)
+			continue
+		}
+		bwg.Add(1)
+		go func(id string, cs *connStream) {
+			defer bwg.Done()
+			if d := round.Deadline(); d > 0 {
+				_ = cs.conn.SetWriteDeadline(time.Now().Add(d))
+			}
+			err := cs.writeMsg(MsgGlobalModel, func(w io.Writer) error {
+				return core.MarshalStateDictTo(w, global)
+			})
+			if err != nil {
+				s.dropClient(coord, round, id, err)
+				return
+			}
+			_ = cs.conn.SetWriteDeadline(time.Time{})
+			bmu.Lock()
+			live = append(live, id)
+			bmu.Unlock()
+		}(id, cs)
+	}
+	bwg.Wait()
+
+	// Collect updates concurrently. The read deadline is the straggler
+	// cut: when it fires, the blocked read fails, the contribution
+	// aborts (withdrawing any partial folds), and the client is
+	// dropped — so wg.Wait() below always returns and the round
+	// commits with the on-time subset. This is also the quiescence
+	// Commit requires: every contributor settles before we finalize.
+	// The deadline clock starts after the broadcast loop: the serial
+	// (possibly rate-limited) broadcast must not eat into the clients'
+	// response window.
+	deadline := time.Time{}
+	if d := round.Deadline(); d > 0 {
+		deadline = time.Now().Add(d)
+	}
+	var wg sync.WaitGroup
+	for _, id := range live {
+		s.mu.Lock()
+		cs := s.conns[id]
+		s.mu.Unlock()
+		if cs == nil {
+			round.Drop(id)
+			continue
+		}
+		wg.Add(1)
+		go func(id string, cs *connStream) {
+			defer wg.Done()
+			if err := s.collectUpdate(round, id, cs, deadline); err != nil {
+				s.dropClient(coord, round, id, err)
+			}
+		}(id, cs)
+	}
+	wg.Wait()
+
+	return round.Commit()
+}
+
+// collectUpdate reads one client's round reply and folds it into the
+// round's aggregator as it decodes.
+func (s *Orchestrated) collectUpdate(round *orchestrator.Round, id string, cs *connStream, deadline time.Time) error {
+	if err := cs.conn.SetReadDeadline(deadline); err != nil {
+		return fmt.Errorf("transport: set deadline: %w", err)
+	}
+	t, err := cs.readMsgType()
+	if err != nil {
+		return err
+	}
+	if t != MsgUpdate {
+		return fmt.Errorf("%w: expected update, got %v", ErrProtocol, t)
+	}
+	samples, err := binary.ReadUvarint(cs.r)
+	if err != nil {
+		return fmt.Errorf("%w: update sample count", ErrProtocol)
+	}
+	ct, err := round.Contributor(id, float64(samples))
+	if err != nil {
+		return err
+	}
+	if err := fl.DecodeEntries(s.cfg.Codec, cs.r, ct.Fold); err != nil {
+		ct.Abort()
+		return err
+	}
+	if err := ct.Commit(); err != nil {
+		return err
+	}
+	// The client survived the round; clear its deadline.
+	return cs.conn.SetReadDeadline(time.Time{})
+}
