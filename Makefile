@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench fmt vet fuzz parallel-bench scale-bench
+.PHONY: all build test race bench fmt vet fuzz parallel-bench scale-bench adapt-bench
 
 all: build test
 
@@ -52,6 +52,13 @@ stream-bench:
 # async, sequential vs streaming sharded aggregation).
 scale-bench:
 	$(GO) run ./cmd/fedszbench -exp scale -scale $(SCALE) -format json -o BENCH_scale.json
+
+# Regenerate the committed adaptive-vs-static selection datapoint
+# (the control plane's acceptance criterion: adaptive within 5% of the
+# best static configuration's bytes-on-wire on PaperMix). The race
+# gate covers internal/adapt through ./... like every other package.
+adapt-bench:
+	$(GO) run ./cmd/fedszbench -exp adapt -scale $(SCALE) -format json -o BENCH_adapt.json
 
 # Profile an experiment, e.g.: make profile EXP=throughput
 # then: go tool pprof cpu.pprof

@@ -28,19 +28,35 @@ func main() {
 
 func run() error {
 	var (
-		addr   = flag.String("addr", "localhost:9000", "server address")
-		shard  = flag.Int("shard", 0, "this client's shard index")
-		shards = flag.Int("shards", 2, "total shard count")
-		bound  = flag.Float64("bound", 1e-2, "relative error bound (must match server)")
-		comp   = flag.String("compressor", "sz2", "lossy compressor (must match server)")
-		seed   = flag.Int64("seed", 42, "seed (must match server)")
+		addr     = flag.String("addr", "localhost:9000", "server address")
+		shard    = flag.Int("shard", 0, "this client's shard index")
+		shards   = flag.Int("shards", 2, "total shard count")
+		bound    = flag.Float64("bound", 1e-2, "relative error bound (must match server)")
+		comp     = flag.String("compressor", "sz2", "lossy compressor (must match server)")
+		adaptive = flag.Bool("adaptive", false, "pick compressor/bound per tensor at runtime and follow server bound directives")
+		uplink   = flag.Float64("uplink", 0, "adaptive: modeled uplink bandwidth in Mbps for Eqn. 1 scoring (0 = unknown)")
+		seed     = flag.Int64("seed", 42, "seed (must match server)")
 	)
 	flag.Parse()
 	if *shard < 0 || *shard >= *shards {
 		return fmt.Errorf("shard %d out of range [0,%d)", *shard, *shards)
 	}
 
-	codec, err := fedsz.NewCodec(fedsz.WithCompressor(*comp), fedsz.WithRelBound(*bound))
+	// Adaptive uplinks need no server-side coordination: the frames the
+	// policy shapes are self-describing, and a bound-scheduling server
+	// reaches the policy through the codec's round-bound hook.
+	opts := []fedsz.Option{fedsz.WithCompressor(*comp), fedsz.WithRelBound(*bound)}
+	if *adaptive {
+		policy, err := fedsz.NewAdaptivePolicy(fedsz.AdaptiveConfig{
+			BaseBound:    *bound,
+			BandwidthBps: fedsz.Mbps(*uplink),
+		})
+		if err != nil {
+			return err
+		}
+		opts = append(opts, fedsz.WithAdaptive(policy))
+	}
+	codec, err := fedsz.NewCodec(opts...)
 	if err != nil {
 		return err
 	}

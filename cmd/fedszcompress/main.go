@@ -7,6 +7,12 @@
 //
 //	fedszcompress -model alexnet -scale 8 -compressor sz2 -bound 1e-2
 //	fedszcompress -model mobilenetv2 -scale 1 -bandwidth 10
+//	fedszcompress -adaptive -verify
+//
+// -adaptive routes compression through the adaptive control plane
+// (per-tensor compressor/bound selection); -verify decodes the output
+// and exits nonzero with a clear message if any element violates the
+// requested error bound.
 //
 // Three streaming modes built on the fedsz Encoder/Decoder compose in
 // shell pipelines, gzip-style, with `-in`/`-out` defaulting to `-`
@@ -22,6 +28,7 @@ package main
 
 import (
 	"bufio"
+	"bytes"
 	"flag"
 	"fmt"
 	"io"
@@ -45,6 +52,8 @@ func run() error {
 		scale      = flag.Int("scale", 8, "width divisor (1 = paper scale)")
 		compressor = flag.String("compressor", "sz2", "lossy compressor: sz2, sz3, szx, szx-artifact, zfp")
 		bound      = flag.Float64("bound", 1e-2, "relative error bound")
+		adaptive   = flag.Bool("adaptive", false, "pick compressor/bound per tensor with the adaptive control plane")
+		verify     = flag.Bool("verify", false, "decode the output and fail (exit nonzero) if any element violates the requested error bound")
 		bandwidth  = flag.Float64("bandwidth", 10, "link bandwidth in Mbps for the Eqn. 1 report")
 		seed       = flag.Int64("seed", 42, "weight seed")
 		zMode      = flag.Bool("z", false, "stream mode: compress a state-dict stream into a FedSZ frame")
@@ -77,18 +86,27 @@ func run() error {
 		return fmt.Errorf("unknown model %q", *modelName)
 	}
 
+	opts := []fedsz.Option{fedsz.WithCompressor(*compressor), fedsz.WithRelBound(*bound)}
+	if *adaptive {
+		policy, err := fedsz.NewAdaptivePolicy(fedsz.AdaptiveConfig{BaseBound: *bound})
+		if err != nil {
+			return err
+		}
+		opts = append(opts, fedsz.WithAdaptive(policy))
+	}
+
 	if modes == 1 {
-		return runStream(*zMode, *dMode, arch, *seed, *compressor, *bound, *in, *out)
+		if (*emitMode || *dMode) && *verify {
+			return fmt.Errorf("-verify needs the original update to compare against: use it with -z or the default mode")
+		}
+		return runStream(*zMode, *dMode, arch, *seed, opts, *bound, *verify, *in, *out)
 	}
 
 	sd := fedsz.BuildStateDict(arch, *seed)
 	fmt.Printf("model %s (scale %d): %d entries, %d elements, %.1f MB\n",
 		arch.Name, *scale, sd.Len(), sd.NumElements(), float64(sd.SizeBytes())/1e6)
 
-	buf, stats, err := fedsz.Compress(sd,
-		fedsz.WithCompressor(*compressor),
-		fedsz.WithRelBound(*bound),
-	)
+	buf, stats, err := fedsz.Compress(sd, opts...)
 	if err != nil {
 		return err
 	}
@@ -100,8 +118,18 @@ func run() error {
 	}
 	decompTime := time.Since(decompStart)
 
-	maxErr := maxRelError(sd, restored, *bound)
-	fmt.Printf("compressor=%s bound=%.0e\n", *compressor, *bound)
+	if *verify {
+		if err := verifyBound(sd, restored, *bound); err != nil {
+			return err
+		}
+		fmt.Printf("verify: all lossy elements within REL %.0e\n", *bound)
+	}
+	maxErr := maxRelError(sd, restored)
+	name := *compressor
+	if *adaptive {
+		name = "adaptive"
+	}
+	fmt.Printf("compressor=%s bound=%.0e\n", name, *bound)
 	fmt.Printf("  compressed:   %.1f MB (ratio %.2fx)\n", float64(stats.CompressedBytes)/1e6, stats.Ratio())
 	fmt.Printf("  lossy path:   %d tensors, %.1f MB -> %.1f MB\n",
 		stats.NumLossyTensors, float64(stats.LossyInBytes)/1e6, float64(stats.LossyOutBytes)/1e6)
@@ -134,8 +162,9 @@ func run() error {
 // state dict out), -z (state dict in, FedSZ frame out) or -d (frame
 // in, state dict out). Both sides stream: the frame side goes through
 // the fedsz Encoder/Decoder, the plain side through the streaming
-// state-dict marshal.
-func runStream(zMode, dMode bool, arch fedsz.Arch, seed int64, compressor string, bound float64, in, out string) error {
+// state-dict marshal. With verify set, -z tees the emitted frame into
+// memory, decodes it back and fails on any bound violation.
+func runStream(zMode, dMode bool, arch fedsz.Arch, seed int64, opts []fedsz.Option, bound float64, verify bool, in, out string) error {
 	r, closeIn, err := openStream(in, os.Stdin, func(p string) (io.ReadWriteCloser, error) {
 		f, err := os.Open(p)
 		return f, err
@@ -160,8 +189,12 @@ func runStream(zMode, dMode bool, arch fedsz.Arch, seed int64, compressor string
 		if err != nil {
 			return fmt.Errorf("read state dict: %w", err)
 		}
-		enc, err := fedsz.NewEncoder(bw,
-			fedsz.WithCompressor(compressor), fedsz.WithRelBound(bound))
+		var frame bytes.Buffer
+		encDst := io.Writer(bw)
+		if verify {
+			encDst = io.MultiWriter(bw, &frame)
+		}
+		enc, err := fedsz.NewEncoder(encDst, opts...)
 		if err != nil {
 			return err
 		}
@@ -169,8 +202,18 @@ func runStream(zMode, dMode bool, arch fedsz.Arch, seed int64, compressor string
 		if err != nil {
 			return err
 		}
-		fmt.Fprintf(os.Stderr, "fedszcompress: %s %.1f MB -> %.1f MB (ratio %.2fx) in %v\n",
-			compressor, float64(stats.OriginalBytes)/1e6, float64(stats.CompressedBytes)/1e6,
+		if verify {
+			restored, err := fedsz.Decompress(frame.Bytes())
+			if err != nil {
+				return fmt.Errorf("verify: decode emitted frame: %w", err)
+			}
+			if err := verifyBound(sd, restored, bound); err != nil {
+				return err
+			}
+			fmt.Fprintf(os.Stderr, "fedszcompress: verify: all lossy elements within REL %.0e\n", bound)
+		}
+		fmt.Fprintf(os.Stderr, "fedszcompress: %.1f MB -> %.1f MB (ratio %.2fx) in %v\n",
+			float64(stats.OriginalBytes)/1e6, float64(stats.CompressedBytes)/1e6,
 			stats.Ratio(), stats.CompressTime.Round(time.Millisecond))
 	case dMode:
 		sd, err := fedsz.NewDecoder(bufio.NewReaderSize(r, 64<<10)).Decode()
@@ -206,16 +249,29 @@ func openStream(path string, std *os.File, open func(string) (io.ReadWriteCloser
 	return f, f.Close, nil
 }
 
-// maxRelError returns the largest per-tensor range-relative error of
-// lossy entries.
-func maxRelError(orig, got *fedsz.StateDict, bound float64) float64 {
-	worst := 0.0
+// boundSlack absorbs float64→float32 rounding at the bound edge: a
+// compressor quantizing exactly at ε can land one ulp past it after
+// the float32 store.
+const boundSlack = 1 + 1e-6
+
+// forEachLossyTensor walks the lossy-path tensors (the Algorithm 1
+// partition predicate) of orig alongside their decoded counterparts,
+// handing each pair plus orig's value range to fn; a non-nil fn error
+// stops the walk. Both -verify and the max-rel-err report share this
+// iteration so they can never disagree on which tensors are checked.
+func forEachLossyTensor(orig, got *fedsz.StateDict, fn func(name string, od, gd []float32, rng float64) error) error {
 	gotEntries := got.Entries()
 	for i, e := range orig.Entries() {
 		if e.Tensor == nil || !e.IsWeightNamed() || e.NumElements() <= fedsz.DefaultThreshold {
 			continue
 		}
+		if i >= len(gotEntries) || gotEntries[i].Tensor == nil {
+			return fmt.Errorf("tensor %q missing from decoded output", e.Name)
+		}
 		od, gd := e.Tensor.Data(), gotEntries[i].Tensor.Data()
+		if len(od) != len(gd) {
+			return fmt.Errorf("tensor %q decoded to %d elements, want %d", e.Name, len(gd), len(od))
+		}
 		mn, mx := od[0], od[0]
 		for _, v := range od {
 			if v < mn {
@@ -225,15 +281,56 @@ func maxRelError(orig, got *fedsz.StateDict, bound float64) float64 {
 				mx = v
 			}
 		}
-		r := float64(mx - mn)
-		if r == 0 {
-			continue
+		if err := fn(e.Name, od, gd, float64(mx-mn)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// verifyBound checks every element of every lossy-path tensor against
+// the requested range-relative bound and returns a clear error naming
+// the first violating tensor and element. It is the -verify gate: the
+// caller exits nonzero on the error.
+func verifyBound(orig, got *fedsz.StateDict, bound float64) error {
+	err := forEachLossyTensor(orig, got, func(name string, od, gd []float32, rng float64) error {
+		abs := bound * rng
+		if abs == 0 {
+			// Constant tensor: mirror the REL resolution, which falls
+			// back to a magnitude-proportional bound.
+			abs = bound * math.Abs(float64(od[0]))
+			if abs == 0 {
+				abs = bound
+			}
 		}
 		for j := range od {
-			if d := math.Abs(float64(od[j])-float64(gd[j])) / r; d > worst {
+			if d := math.Abs(float64(od[j]) - float64(gd[j])); d > abs*boundSlack {
+				return fmt.Errorf("tensor %q element %d violates the bound: |%g - %g| = %g > %g (REL %.0e over range %g)",
+					name, j, od[j], gd[j], d, abs, bound, rng)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return fmt.Errorf("verify: %w", err)
+	}
+	return nil
+}
+
+// maxRelError returns the largest per-tensor range-relative error of
+// lossy entries.
+func maxRelError(orig, got *fedsz.StateDict) float64 {
+	worst := 0.0
+	_ = forEachLossyTensor(orig, got, func(_ string, od, gd []float32, rng float64) error {
+		if rng == 0 {
+			return nil
+		}
+		for j := range od {
+			if d := math.Abs(float64(od[j])-float64(gd[j])) / rng; d > worst {
 				worst = d
 			}
 		}
-	}
+		return nil
+	})
 	return worst
 }

@@ -50,6 +50,8 @@ func run() error {
 		deadline  = flag.Duration("deadline", 0, "per-round straggler cutoff (0 = wait for everyone)")
 		bound     = flag.Float64("bound", 1e-2, "relative error bound")
 		comp      = flag.String("compressor", "sz2", "lossy compressor")
+		adaptive  = flag.Bool("adaptive", false, "schedule per-round error bounds from convergence and broadcast them to clients")
+		minBound  = flag.Float64("min-bound", 0, "adaptive: tightest scheduled bound (0 = bound/10)")
 		bandwidth = flag.Float64("bandwidth", 0, "per-connection rate limit in Mbps (0 = unlimited)")
 		shards    = flag.Int("shards", 0, "aggregator shard count (0 = auto)")
 		seed      = flag.Int64("seed", 42, "seed (must match clients)")
@@ -60,6 +62,21 @@ func run() error {
 	codec, err := fedsz.NewCodec(fedsz.WithCompressor(*comp), fedsz.WithRelBound(*bound))
 	if err != nil {
 		return err
+	}
+
+	// With -adaptive the policy rides on the coordinator: every commit
+	// feeds its convergence EMA, and each round's broadcast carries the
+	// scheduled bound to the (bound-aware) clients. Decoding needs no
+	// policy — adaptive frames are self-describing.
+	var policy *fedsz.AdaptivePolicy
+	if *adaptive {
+		policy, err = fedsz.NewAdaptivePolicy(fedsz.AdaptiveConfig{
+			BaseBound: *bound,
+			MinBound:  *minBound,
+		})
+		if err != nil {
+			return err
+		}
 	}
 
 	// Server and clients carve one shared dataset (same spec + seed, so
@@ -78,7 +95,7 @@ func run() error {
 			fmt.Printf(format+"\n", args...)
 		}
 	}
-	srv, err := transport.NewOrchestrated(transport.OrchestratedConfig{
+	cfg := transport.OrchestratedConfig{
 		Codec:           codec,
 		MinClients:      *minCli,
 		ClientsPerRound: *perRound,
@@ -93,11 +110,19 @@ func run() error {
 				fmt.Printf("round %d: eval error: %v\n", round, err)
 				return
 			}
-			fmt.Printf("round %d: test accuracy %.3f (%d/%d updates, %d dropped, agg %.1f KB)\n",
+			line := fmt.Sprintf("round %d: test accuracy %.3f (%d/%d updates, %d dropped, agg %.1f KB)",
 				round, evalNet.Accuracy(x, y), st.Committed, st.Sampled, st.Dropped,
 				float64(st.AggMemory)/1e3)
+			if policy != nil {
+				line += fmt.Sprintf(" next bound %.2e", policy.NextBound())
+			}
+			fmt.Println(line)
 		},
-	})
+	}
+	if policy != nil {
+		cfg.Bound = policy
+	}
+	srv, err := transport.NewOrchestrated(cfg)
 	if err != nil {
 		return err
 	}

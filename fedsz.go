@@ -39,6 +39,22 @@
 // WithLossless select them and frames recording their names decode
 // anywhere the registration ran.
 //
+// # Adaptive compression
+//
+// The paper picks its compressor and error bound by offline grid
+// search; WithAdaptive replaces that with a runtime control plane. An
+// AdaptivePolicy probes candidate (compressor, bound, lossless
+// backend) triples on sampled tensor sections, caches per-tensor
+// plans with periodic re-probing, schedules the round-level bound
+// from convergence signals and weighs uplink bandwidth through the
+// paper's Eqn. 1:
+//
+//	policy, err := fedsz.NewAdaptivePolicy(fedsz.AdaptiveConfig{})
+//	buf, stats, err := fedsz.Compress(sd, fedsz.WithAdaptive(policy))
+//
+// Adaptive frames are self-describing like any other — Decompress and
+// Decoder read them unchanged.
+//
 // # Concurrency
 //
 // Per-tensor compression is embarrassingly parallel, and the pipeline
@@ -82,6 +98,7 @@ import (
 	"io"
 	"time"
 
+	"fedsz/internal/adapt"
 	"fedsz/internal/baseline"
 	"fedsz/internal/core"
 	"fedsz/internal/dataset"
@@ -195,6 +212,54 @@ func WithLossless(name string) Option {
 // wall-clock tC (paper Eqn. 1) against CPU occupancy.
 func WithParallelism(n int) Option {
 	return func(c *core.Config) { c.Parallelism = n }
+}
+
+// Adaptive compression control plane: the runtime replacement for the
+// paper's offline grid search. An AdaptivePolicy probes candidate
+// (compressor, bound, lossless backend) triples on sampled tensor
+// sections, caches a per-tensor plan with periodic re-probing,
+// schedules the round-level error bound from convergence signals
+// (tightening it as update norms decay) and folds the client's uplink
+// bandwidth into each choice through the paper's Eqn. 1. Plug one into
+// any pipeline entry point with WithAdaptive; frames it shapes decode
+// through the ordinary self-describing path on any receiver.
+type (
+	// AdaptivePolicy is the adaptive control plane: a concurrent-safe
+	// per-tensor plan cache plus round-bound scheduler. It implements
+	// the orchestrator's BoundScheduler, so the same value can drive a
+	// client's codec and a coordinator's bound broadcast.
+	AdaptivePolicy = adapt.Policy
+	// AdaptiveConfig parameterizes NewAdaptivePolicy; its zero value
+	// adapts over every registered compressor and lossless codec at
+	// the paper's recommended base bound.
+	AdaptiveConfig = adapt.Config
+	// AdaptivePlan is one cached per-tensor plan snapshot
+	// (AdaptivePolicy.Plans), for diagnostics and tooling.
+	AdaptivePlan = adapt.PlanInfo
+	// BoundScheduler derives the next round's error bound from
+	// convergence signals; OrchestratorConfig.Bound accepts one and
+	// AdaptivePolicy implements it.
+	BoundScheduler = orchestrator.BoundScheduler
+)
+
+// NewAdaptivePolicy validates cfg against the registries and returns a
+// ready policy.
+func NewAdaptivePolicy(cfg AdaptiveConfig) (*AdaptivePolicy, error) {
+	return adapt.NewPolicy(cfg)
+}
+
+// WithAdaptive attaches an adaptive policy to the pipeline: every
+// lossy-path tensor's compressor and error bound come from the
+// policy's cached plans instead of the static WithCompressor/
+// WithRelBound configuration (which remains the fallback). One policy
+// may be shared across encoders and codecs — its plans then serve all
+// of them. A nil policy leaves the pipeline static.
+func WithAdaptive(p *AdaptivePolicy) Option {
+	return func(c *core.Config) {
+		if p != nil {
+			c.Selector = p
+		}
+	}
 }
 
 func buildConfig(opts []Option) core.Config {

@@ -1,0 +1,82 @@
+package adapt
+
+import (
+	"time"
+
+	"fedsz/internal/lossy"
+)
+
+// Candidate is one probe point of the control plane's grid: a lossy
+// compressor name paired with the error bound to try it under.
+type Candidate struct {
+	Lossy string
+	Bound lossy.Params
+}
+
+// Result is one candidate's measured probe outcome on a tensor sample.
+type Result struct {
+	Candidate
+	// Ratio is uncompressed/compressed bytes on the sample.
+	Ratio float64
+	// EncodeBps is uncompressed bytes per second through Compress.
+	EncodeBps float64
+	// MaxAbsErr is the decoded sample's maximum absolute error.
+	MaxAbsErr float64
+	// BoundOK reports that the candidate round-tripped and its error
+	// stayed within the effective bound it must honour.
+	BoundOK bool
+}
+
+// boundSlack absorbs float64→float32 rounding at the bound edge when
+// verifying a probe's decoded error: a compressor that quantizes
+// exactly at ε can land one ulp past it after the float32 store.
+const boundSlack = 1 + 1e-6
+
+// sampleTensor returns a strided sample of up to n elements spanning
+// data end to end, so the sample sees the tensor's full index range
+// (and, in practice, close to its value range — the REL bound the
+// probe verifies against resolves on this sample). n <= 0 or n beyond
+// len(data) returns data itself.
+func sampleTensor(data []float32, n int) []float32 {
+	if n <= 0 || n >= len(data) {
+		return data
+	}
+	out := make([]float32, n)
+	step := float64(len(data)) / float64(n)
+	for i := range out {
+		out[i] = data[int(float64(i)*step)]
+	}
+	return out
+}
+
+// probeCandidate measures one candidate on sample: compress (timed),
+// decompress, verify the error against the effective absolute bound
+// the control plane requires (effAbs; the candidate's own bound is
+// never looser than it). A failing or bound-violating candidate comes
+// back with BoundOK false and is never selected.
+func probeCandidate(sample []float32, c Candidate, effAbs float64) Result {
+	r := Result{Candidate: c}
+	comp, err := lossy.New(c.Lossy)
+	if err != nil {
+		return r
+	}
+	start := time.Now()
+	buf, err := comp.Compress(sample, c.Bound)
+	elapsed := time.Since(start)
+	if err != nil || len(buf) == 0 {
+		return r
+	}
+	if elapsed <= 0 {
+		elapsed = time.Nanosecond
+	}
+	sampleBytes := float64(len(sample) * 4)
+	r.Ratio = sampleBytes / float64(len(buf))
+	r.EncodeBps = sampleBytes / elapsed.Seconds()
+	dec, err := comp.Decompress(buf)
+	if err != nil {
+		return r
+	}
+	r.MaxAbsErr = lossy.MaxAbsError(sample, dec)
+	r.BoundOK = r.MaxAbsErr <= effAbs*boundSlack
+	return r
+}

@@ -7,7 +7,6 @@ package bench
 
 import (
 	"encoding/csv"
-	"encoding/json"
 	"fmt"
 	"io"
 	"sort"
@@ -36,10 +35,13 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
-// Table is a rendered experiment result.
+// Table is a rendered experiment result. Config carries the settings
+// the run was measured under, so the JSON datapoint (see Report) is
+// self-describing; notes stay free-form narrative.
 type Table struct {
 	ID     string
 	Title  string
+	Config map[string]string
 	Header []string
 	Rows   [][]string
 	Notes  []string
@@ -98,19 +100,11 @@ func (t *Table) Render(w io.Writer) error {
 	return err
 }
 
-// RenderJSON writes the table as an indented JSON object — the format
-// the committed BENCH_*.json datapoints use, so runs on different
-// machines diff cleanly.
+// RenderJSON writes the table as an indented JSON object in the
+// shared Report schema — the format the committed BENCH_*.json
+// datapoints use, so runs on different machines diff cleanly.
 func (t *Table) RenderJSON(w io.Writer) error {
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	return enc.Encode(struct {
-		ID     string     `json:"id"`
-		Title  string     `json:"title"`
-		Header []string   `json:"header"`
-		Rows   [][]string `json:"rows"`
-		Notes  []string   `json:"notes,omitempty"`
-	}{t.ID, t.Title, t.Header, t.Rows, t.Notes})
+	return t.Report().WriteJSON(w)
 }
 
 // RenderCSV writes the table as CSV (header row first) for plotting
@@ -136,6 +130,7 @@ type Runner func(Options) (*Table, error)
 func experiments() map[string]Runner {
 	return map[string]Runner{
 		"ablations":  Ablations,
+		"adapt":      Adapt,
 		"parallel":   Parallel,
 		"scale":      Scale,
 		"stream":     Stream,

@@ -21,11 +21,17 @@ import (
 func Parallel(opts Options) (*Table, error) {
 	opts = opts.withDefaults()
 	t := &Table{
-		ID:     "parallel",
-		Title:  "Compress wall-clock vs worker-pool width (REL 1e-2, sz2)",
+		ID:    "parallel",
+		Title: "Compress wall-clock vs worker-pool width (REL 1e-2, sz2)",
+		Config: opts.config(
+			"gomaxprocs", fmt.Sprintf("%d", runtime.GOMAXPROCS(0)),
+			"reps", fmt.Sprintf("%d", parallelReps(opts)),
+			"compressor", "sz2",
+			"bound", "1e-2",
+		),
 		Header: []string{"Model", "Workers", "tC", "Speedup", "Ratio", "Identical"},
 		Notes: []string{
-			fmt.Sprintf("GOMAXPROCS=%d; speedup is serial tC / parallel tC, best of %d runs", runtime.GOMAXPROCS(0), parallelReps(opts)),
+			"speedup is serial tC / parallel tC, best of config.reps runs",
 			"Identical = bitstream byte-equal to the serial one (determinism invariant)",
 		},
 	}

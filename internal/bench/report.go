@@ -1,0 +1,62 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Report is the one shared schema every committed BENCH_*.json
+// datapoint uses: the experiment id, the configuration the run was
+// measured under, the tabular results, and free-form notes. Before
+// this helper each experiment hand-rolled its JSON shape; now every
+// writer funnels through Report so datapoints from different
+// experiments (and machines) diff and parse uniformly.
+type Report struct {
+	Experiment string            `json:"experiment"`
+	Title      string            `json:"title"`
+	Config     map[string]string `json:"config,omitempty"`
+	Header     []string          `json:"header"`
+	Rows       [][]string        `json:"rows"`
+	Notes      []string          `json:"notes,omitempty"`
+}
+
+// Report converts the rendered table into the shared schema.
+func (t *Table) Report() *Report {
+	return &Report{
+		Experiment: t.ID,
+		Title:      t.Title,
+		Config:     t.Config,
+		Header:     t.Header,
+		Rows:       t.Rows,
+		Notes:      t.Notes,
+	}
+}
+
+// WriteJSON writes the report as indented JSON — the BENCH_*.json
+// on-disk format.
+func (r *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// config assembles a Table.Config map from the common option fields
+// plus experiment-specific key/value pairs (given as alternating
+// strings).
+func (o Options) config(kv ...string) map[string]string {
+	if len(kv)%2 != 0 {
+		panic("bench: config wants key/value pairs")
+	}
+	m := map[string]string{
+		"scale": fmt.Sprintf("%d", o.Scale),
+		"seed":  fmt.Sprintf("%d", o.Seed),
+	}
+	if o.Quick {
+		m["quick"] = "true"
+	}
+	for i := 0; i < len(kv); i += 2 {
+		m[kv[i]] = kv[i+1]
+	}
+	return m
+}

@@ -119,8 +119,14 @@ func Scale(opts Options) (*Table, error) {
 	}
 
 	t := &Table{
-		ID:     "scale",
-		Title:  fmt.Sprintf("Orchestration at %d clients: sync vs async, sequential vs streaming sharded aggregation", clients),
+		ID:    "scale",
+		Title: fmt.Sprintf("Orchestration at %d clients: sync vs async, sequential vs streaming sharded aggregation", clients),
+		Config: opts.config(
+			"clients", fmt.Sprintf("%d", clients),
+			"buffer_size", fmt.Sprintf("%d", bufferSize),
+			"wire_scale", fmt.Sprintf("%d", wireScale),
+			"population", "papermix",
+		),
 		Header: []string{"Aggregation", "Codec", "Deadline", "Round time", "Upd/s", "Dropped", "Uplink", "Peak agg mem"},
 	}
 

@@ -39,12 +39,18 @@ func Stream(opts Options) (*Table, error) {
 	}
 
 	t := &Table{
-		ID:     "stream",
-		Title:  "Whole-buffer vs pipelined upload of one FedSZ update (ResNet50, sz2 @ REL 1e-2)",
+		ID:    "stream",
+		Title: "Whole-buffer vs pipelined upload of one FedSZ update (ResNet50, sz2 @ REL 1e-2)",
+		Config: opts.config(
+			"model", "resnet50",
+			"compressor", "sz2",
+			"bound", "1e-2",
+			"reps", fmt.Sprintf("%d", reps),
+		),
 		Header: []string{"Link", "Sections", "Compress", "Whole-buffer", "Pipelined", "Speedup"},
 		Notes: []string{
-			fmt.Sprintf("scale %d: %d frame sections, %.2f MB compressed, tC %.1f ms (serial, mean of %d runs)",
-				opts.Scale, len(chunks), float64(totalBytes)/1e6, totalCompute.Seconds()*1e3, reps),
+			fmt.Sprintf("%d frame sections, %.2f MB compressed, tC %.1f ms (serial, mean of config.reps runs)",
+				len(chunks), float64(totalBytes)/1e6, totalCompute.Seconds()*1e3),
 			"whole-buffer = tC + S'/B (seed API); pipelined = netsim.Link.PipelinedTime over the measured per-section schedule (Encoder/EncodeTo)",
 			"the pipelined column is the sender-side half of Eqn. 1 with compression hidden behind transmission",
 		},

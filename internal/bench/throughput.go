@@ -22,11 +22,17 @@ import (
 func Throughput(opts Options) (*Table, error) {
 	opts = opts.withDefaults()
 	t := &Table{
-		ID:     "throughput",
-		Title:  "Compress/decompress throughput and allocations (REL 1e-2, sz2)",
+		ID:    "throughput",
+		Title: "Compress/decompress throughput and allocations (REL 1e-2, sz2)",
+		Config: opts.config(
+			"gomaxprocs", fmt.Sprintf("%d", runtime.GOMAXPROCS(0)),
+			"reps", fmt.Sprintf("%d", throughputReps(opts)),
+			"compressor", "sz2",
+			"bound", "1e-2",
+		),
 		Header: []string{"Model", "Direction", "Workers", "MB/s", "allocs/op", "KB/op"},
 		Notes: []string{
-			fmt.Sprintf("GOMAXPROCS=%d; mean of %d runs; MB/s counts uncompressed bytes", runtime.GOMAXPROCS(0), throughputReps(opts)),
+			"MB/s counts uncompressed bytes, mean of config.reps runs",
 			"allocs/op and KB/op are process-wide heap deltas around the operation",
 			"the pre-streaming baseline for these numbers is recorded in README.md (Performance) and CHANGES.md (PR 2)",
 		},

@@ -1,0 +1,294 @@
+package core
+
+import (
+	"bytes"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"fedsz/internal/lossy"
+	"fedsz/internal/model"
+	"fedsz/internal/stats"
+	"fedsz/internal/tensor"
+)
+
+// stubSelector is a deterministic core.Selector: fixed per-tensor
+// picks and a fixed lossless plan, no probing. It stands in for the
+// adapt control plane so these tests pin the pipeline/frame behavior
+// without depending on measured throughput.
+type stubSelector struct {
+	picks map[string]Selection
+	ll    string
+}
+
+func (s stubSelector) SelectTensor(name string, _ []float32) Selection { return s.picks[name] }
+func (s stubSelector) SelectLossless() string                          { return s.ll }
+func (s stubSelector) ObserveMeta([]byte)                              {}
+
+// adaptiveStateDict builds a deterministic dict with four lossy-path
+// tensors (one per built-in compressor in the stub plans) plus
+// metadata entries.
+func adaptiveStateDict(t *testing.T) *model.StateDict {
+	t.Helper()
+	rng := rand.New(rand.NewSource(91))
+	mk := func(n int) *tensor.Tensor {
+		data := make([]float32, n)
+		for i := range data {
+			data[i] = float32(rng.NormFloat64()) * 0.05
+		}
+		tt, err := tensor.FromData(data, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tt
+	}
+	sd := model.NewStateDict()
+	entries := []model.Entry{
+		{Name: "a.weight", DType: model.Float32, Tensor: mk(3000)},
+		{Name: "b.weight", DType: model.Float32, Tensor: mk(2048)},
+		{Name: "c.weight", DType: model.Float32, Tensor: mk(1500)},
+		{Name: "d.weight", DType: model.Float32, Tensor: mk(4096)},
+		{Name: "d.bias", DType: model.Float32, Tensor: mk(64)},
+		{Name: "steps", DType: model.Int64, Ints: []int64{77}},
+	}
+	for _, e := range entries {
+		if err := sd.Add(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return sd
+}
+
+func adaptiveStub() stubSelector {
+	return stubSelector{
+		picks: map[string]Selection{
+			"a.weight": {Lossy: LossySZ2, Bound: lossy.RelBound(1e-2)},
+			"b.weight": {Lossy: LossySZ3, Bound: lossy.RelBound(1e-3)},
+			"c.weight": {Lossy: LossySZx, Bound: lossy.RelBound(1e-2)},
+			"d.weight": {Lossy: LossyZFP, Bound: lossy.RelBound(1e-2)},
+		},
+		ll: "zlib",
+	}
+}
+
+// TestAdaptiveCompressStreamEquivalence pins that an adaptive frame is
+// byte-identical between the whole-buffer and streaming encoders at
+// any parallelism, records the adaptive wrapper name in its header,
+// and round-trips through both decode paths within each tensor's own
+// bound.
+func TestAdaptiveCompressStreamEquivalence(t *testing.T) {
+	sd := adaptiveStateDict(t)
+	var frames [][]byte
+	for _, par := range []int{1, 4} {
+		p, err := NewPipeline(Config{Parallelism: par, Selector: adaptiveStub()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf, _, err := p.Compress(sd)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var streamBuf bytes.Buffer
+		if _, err := p.CompressTo(&streamBuf, sd); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(buf, streamBuf.Bytes()) {
+			t.Fatalf("parallelism %d: Compress and CompressTo diverge (%d vs %d bytes)", par, len(buf), streamBuf.Len())
+		}
+		frames = append(frames, buf)
+	}
+	if !bytes.Equal(frames[0], frames[1]) {
+		t.Fatalf("adaptive frame differs across parallelism (%d vs %d bytes)", len(frames[0]), len(frames[1]))
+	}
+
+	for _, decode := range []func([]byte) (*model.StateDict, error){
+		Decompress,
+		func(b []byte) (*model.StateDict, error) { return DecompressFrom(bytes.NewReader(b), 1) },
+	} {
+		out, err := decode(frames[0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkAdaptiveBounds(t, sd, out, adaptiveStub())
+	}
+}
+
+// checkAdaptiveBounds verifies each lossy tensor against the bound its
+// stub selection requested.
+func checkAdaptiveBounds(t *testing.T, orig, got *model.StateDict, stub stubSelector) {
+	t.Helper()
+	gotEntries := got.Entries()
+	for i, e := range orig.Entries() {
+		sel, ok := stub.picks[e.Name]
+		if !ok {
+			continue
+		}
+		od, gd := e.Tensor.Data(), gotEntries[i].Tensor.Data()
+		mn, mx := stats.MinMaxF32(od)
+		abs := sel.Bound.Bound * float64(mx-mn)
+		if err := lossy.MaxAbsError(od, gd); err > abs*(1+1e-6) {
+			t.Errorf("tensor %q (%s): max error %g beyond bound %g", e.Name, sel.Lossy, err, abs)
+		}
+	}
+}
+
+// TestAdaptiveSelectorFallbacks pins the pipeline's resilience to a
+// misbehaving selector: unknown compressor names, zero selections and
+// unknown lossless plans all fall back to the static configuration
+// and the frame still round-trips.
+func TestAdaptiveSelectorFallbacks(t *testing.T) {
+	sd := adaptiveStateDict(t)
+	stub := stubSelector{
+		picks: map[string]Selection{
+			"a.weight": {Lossy: "no-such-compressor", Bound: lossy.RelBound(1e-2)},
+			"b.weight": {}, // zero selection: default compressor and bound
+			"c.weight": {Lossy: lossy.NameAdaptive},
+		},
+		ll: "no-such-codec",
+	}
+	p, err := NewPipeline(Config{Parallelism: 1, Selector: stub})
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf, _, err := p.Compress(sd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := Decompress(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != sd.Len() {
+		t.Fatalf("decoded %d entries, want %d", out.Len(), sd.Len())
+	}
+	// Every lossy tensor must hold the default REL 1e-2 bound.
+	gotEntries := out.Entries()
+	for i, e := range sd.Entries() {
+		if e.DType != model.Float32 || !e.IsWeightNamed() || e.NumElements() <= DefaultThreshold {
+			continue
+		}
+		od, gd := e.Tensor.Data(), gotEntries[i].Tensor.Data()
+		mn, mx := stats.MinMaxF32(od)
+		if err := lossy.MaxAbsError(od, gd); err > DefaultBound*float64(mx-mn)*(1+1e-6) {
+			t.Errorf("tensor %q: max error %g beyond default bound", e.Name, err)
+		}
+	}
+}
+
+// TestAdaptiveGoldenFrame pins the adaptive wire format: the committed
+// frame must keep decoding through the standard streaming decoder (the
+// wire-compatibility guarantee of the control plane — receivers never
+// need a policy), and a freshly encoded frame must stay byte-identical
+// to it.
+func TestAdaptiveGoldenFrame(t *testing.T) {
+	sd := adaptiveStateDict(t)
+	p, err := NewPipeline(Config{Parallelism: 1, Selector: adaptiveStub()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := p.Compress(sd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join("testdata", "adaptive_frame.golden")
+	if *updateGolden {
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("golden file missing (run with -update): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("adaptive frame diverged from golden wire format (%d vs %d bytes)", len(got), len(want))
+	}
+	// The committed stream must decode through the plain streaming
+	// decoder — no selector, no policy, exactly as a receiver would.
+	out, err := DecompressFrom(bytes.NewReader(want), 0)
+	if err != nil {
+		t.Fatalf("decode golden adaptive frame: %v", err)
+	}
+	if out.Len() != sd.Len() {
+		t.Fatalf("decoded %d entries, want %d", out.Len(), sd.Len())
+	}
+	for i, e := range out.Entries() {
+		want := sd.Entries()[i]
+		if e.Name != want.Name {
+			t.Fatalf("entry %d: name %q want %q", i, e.Name, want.Name)
+		}
+		if e.DType == model.Float32 && e.Tensor.NumElements() != want.Tensor.NumElements() {
+			t.Fatalf("entry %q: %d elements, want %d", e.Name, e.Tensor.NumElements(), want.Tensor.NumElements())
+		}
+	}
+	checkAdaptiveBounds(t, sd, out, adaptiveStub())
+}
+
+// TestAdaptiveRegistryCompressor exercises the registered "adaptive"
+// name end to end — the path a frame header naming it drives on any
+// decoder — including unknown-inner-name rejection. It lives here
+// rather than in package lossy because the built-in suite registers
+// from this package's imports.
+func TestAdaptiveRegistryCompressor(t *testing.T) {
+	c, err := lossy.New(lossy.NameAdaptive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	data := make([]float32, 4096)
+	for i := range data {
+		data[i] = float32(rng.NormFloat64())
+	}
+	buf, err := c.Compress(data, lossy.RelBound(1e-2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := c.Decompress(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mn, mx := stats.MinMaxF32(data)
+	if e := lossy.MaxAbsError(data, dec); e > 1e-2*float64(mx-mn)*(1+1e-6) {
+		t.Fatalf("max error %g beyond bound", e)
+	}
+	if _, err := c.Decompress(lossy.WrapAdaptive("no-such", []byte{1, 2})); err == nil {
+		t.Fatal("unknown inner name decompressed without error")
+	}
+}
+
+// TestAdaptiveFrameSmallerEqualBudget sanity-checks the wrapper
+// overhead: an adaptive frame whose selector picks the static choice
+// for every tensor costs only the per-section name wrappers more than
+// the static frame.
+func TestAdaptiveFrameOverheadBounded(t *testing.T) {
+	sd := adaptiveStateDict(t)
+	static, err := NewPipeline(Config{Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	staticBuf, _, err := static.Compress(sd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := stubSelector{picks: map[string]Selection{
+		"a.weight": {Lossy: LossySZ2, Bound: lossy.RelBound(DefaultBound)},
+		"b.weight": {Lossy: LossySZ2, Bound: lossy.RelBound(DefaultBound)},
+		"c.weight": {Lossy: LossySZ2, Bound: lossy.RelBound(DefaultBound)},
+		"d.weight": {Lossy: LossySZ2, Bound: lossy.RelBound(DefaultBound)},
+	}}
+	adaptive, err := NewPipeline(Config{Parallelism: 1, Selector: same})
+	if err != nil {
+		t.Fatal(err)
+	}
+	adaptiveBuf, _, err := adaptive.Compress(sd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	overhead := len(adaptiveBuf) - len(staticBuf)
+	perSection := 1 + len(LossySZ2)                                         // uvarint name length + name
+	maxOverhead := 4*perSection + (len(lossy.NameAdaptive) - len(LossySZ2)) // sections + header name delta
+	if overhead < 0 || overhead > maxOverhead {
+		t.Fatalf("adaptive overhead %d bytes outside [0, %d]", overhead, maxOverhead)
+	}
+}

@@ -71,6 +71,14 @@ type Config struct {
 	// runtime.GOMAXPROCS(0); 1 forces the serial path. The bitstream is
 	// byte-identical at every setting.
 	Parallelism int
+	// Selector, when non-nil, turns the pipeline adaptive: every
+	// lossy-path tensor's compressor and bound come from the selector
+	// (package adapt's control plane implements it), the frame header
+	// records lossy.NameAdaptive, and each section wraps the chosen
+	// compressor's payload so any registry-backed decoder reads the
+	// frame unchanged. Lossy and Bound remain the fallback for tensors
+	// the selector declines to plan.
+	Selector Selector
 }
 
 func (c Config) withDefaults() Config {
@@ -185,19 +193,20 @@ func (p *Pipeline) Compress(sd *model.StateDict) ([]byte, Stats, error) {
 	// metadata pass across the worker pool. Results land in per-index
 	// slots, so assembly below runs in entry order and the bitstream is
 	// byte-identical at any parallelism.
+	lossyName, losslessName, ll := p.frameCodecs()
 	comps := make([][]byte, len(lossyEntries))
 	var metaComp []byte
 	errs := runTasks(len(lossyEntries)+1, p.cfg.Parallelism, func(i int) error {
 		if i < len(lossyEntries) {
 			e := lossyEntries[i]
-			comp, err := p.lossyC.Compress(e.Tensor.Data(), p.cfg.Bound)
+			comp, err := p.compressEntry(e)
 			if err != nil {
 				return fmt.Errorf("core: lossy compress %q: %w", e.Name, err)
 			}
 			comps[i] = comp
 			return nil
 		}
-		mc, err := p.compressMeta(meta)
+		mc, err := p.compressMeta(meta, ll)
 		if err != nil {
 			return err
 		}
@@ -212,7 +221,7 @@ func (p *Pipeline) Compress(sd *model.StateDict) ([]byte, Stats, error) {
 	// after the parallel fan, so the frame assembly below never regrows
 	// (and never copies a multi-megabyte section twice).
 	frameSize := 5 + varintLen(uint64(p.cfg.Threshold)) + varintLen(uint64(len(tags))) +
-		len(p.cfg.Lossy) + len(p.cfg.Lossless) + 2*varintMax +
+		len(lossyName) + len(losslessName) + 2*varintMax +
 		(len(tags)+7)/8 + varintLen(uint64(len(lossyEntries))) +
 		varintLen(uint64(len(metaComp))) + len(metaComp)
 	for i, e := range lossyEntries {
@@ -222,7 +231,7 @@ func (p *Pipeline) Compress(sd *model.StateDict) ([]byte, Stats, error) {
 	}
 	sw := &sliceWriter{buf: make([]byte, 0, frameSize)}
 	fw := newFrameWriter(sw)
-	fw.header(p.cfg, len(tags), tags, len(lossyEntries))
+	fw.header(lossyName, losslessName, p.cfg.Threshold, len(tags), tags, len(lossyEntries))
 	for i, e := range lossyEntries {
 		st.LossyOutBytes += int64(len(comps[i]))
 		fw.lossySection(e.Name, e.Tensor.Shape(), comps[i])

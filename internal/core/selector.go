@@ -1,0 +1,90 @@
+package core
+
+import (
+	"fedsz/internal/lossless"
+	"fedsz/internal/lossy"
+	"fedsz/internal/model"
+)
+
+// Selection is one tensor's adaptive compression choice: the inner
+// lossy compressor and the error bound to apply. A zero Lossy or Bound
+// falls back to the pipeline's static configuration.
+type Selection struct {
+	Lossy string
+	Bound lossy.Params
+}
+
+// Selector is the pipeline's hook into the adaptive compression
+// control plane (package adapt implements it). When Config.Selector is
+// set, every frame records lossy.NameAdaptive in its header and each
+// tensor section wraps the payload of the compressor the selector
+// chose, so the self-describing frame still decodes through the
+// ordinary registry lookup on any receiver.
+//
+// Implementations must be safe for concurrent use: the pipeline fans
+// per-tensor compression across a worker pool and may serve many
+// Compress calls at once.
+type Selector interface {
+	// SelectTensor picks the compressor and bound for one tensor. It
+	// is called once per lossy-path tensor per frame, from pool
+	// workers.
+	SelectTensor(name string, data []float32) Selection
+	// SelectLossless names the metadata codec for the next frame ("" =
+	// pipeline default). It is called at frame start, before any
+	// payload exists, so implementations answer from plans cached off
+	// earlier ObserveMeta calls.
+	SelectLossless() string
+	// ObserveMeta feeds one frame's serialized (uncompressed) metadata
+	// section to the selector, which may probe lossless candidates on
+	// it and cache a choice for subsequent frames.
+	ObserveMeta(raw []byte)
+}
+
+// frameCodecs resolves the codec names recorded in the next frame's
+// header and the lossless codec instance to compress its metadata
+// section with. Without a selector these are the static configuration;
+// with one, the frame becomes adaptive and the metadata codec follows
+// the selector's cached plan (falling back to the configured default
+// while no plan exists or the named codec is unknown).
+func (p *Pipeline) frameCodecs() (lossyName, losslessName string, ll lossless.Codec) {
+	if p.cfg.Selector == nil {
+		return p.cfg.Lossy, p.cfg.Lossless, p.lossless
+	}
+	lossyName = lossy.NameAdaptive
+	losslessName = p.cfg.Lossless
+	ll = p.lossless
+	if name := p.cfg.Selector.SelectLossless(); name != "" && name != p.cfg.Lossless {
+		if c, err := lossless.New(name); err == nil {
+			losslessName, ll = name, c
+		}
+	}
+	return lossyName, losslessName, ll
+}
+
+// compressEntry compresses one lossy-path tensor: through the static
+// compressor, or — when a selector is configured — through the
+// per-tensor choice, wrapped in the adaptive section format.
+func (p *Pipeline) compressEntry(e model.Entry) ([]byte, error) {
+	data := e.Tensor.Data()
+	if p.cfg.Selector == nil {
+		return p.lossyC.Compress(data, p.cfg.Bound)
+	}
+	sel := p.cfg.Selector.SelectTensor(e.Name, data)
+	if sel.Lossy == "" || sel.Lossy == lossy.NameAdaptive {
+		sel.Lossy = p.cfg.Lossy
+	}
+	if sel.Bound.Mode == 0 || sel.Bound.Bound <= 0 {
+		sel.Bound = p.cfg.Bound
+	}
+	c, err := lossy.New(sel.Lossy)
+	if err != nil {
+		// The selector named a compressor this process does not have;
+		// fall back to the configured one rather than failing the frame.
+		c, sel.Lossy = p.lossyC, p.cfg.Lossy
+	}
+	comp, err := c.Compress(data, sel.Bound)
+	if err != nil {
+		return nil, err
+	}
+	return lossy.WrapAdaptive(sel.Lossy, comp), nil
+}

@@ -79,13 +79,15 @@ func (fw *frameWriter) flushTmp() {
 
 // header writes everything up to and including the lossy-section entry
 // count; all of it is known before any tensor finishes compressing, so
-// the streaming encoder emits it immediately.
-func (fw *frameWriter) header(cfg Config, nEntries int, tags []bool, nLossy int) {
+// the streaming encoder emits it immediately. The codec names are the
+// frame's effective ones — the static configuration, or the adaptive
+// wrapper name plus the selector's metadata-codec plan.
+func (fw *frameWriter) header(lossyName, losslessName string, threshold, nEntries int, tags []bool, nLossy int) {
 	fw.tmp = append(fw.tmp[:0], pipelineMagic...)
 	fw.tmp = append(fw.tmp, formatVersion)
-	fw.tmp = appendString(fw.tmp, cfg.Lossy)
-	fw.tmp = appendString(fw.tmp, cfg.Lossless)
-	fw.tmp = binary.AppendUvarint(fw.tmp, uint64(cfg.Threshold))
+	fw.tmp = appendString(fw.tmp, lossyName)
+	fw.tmp = appendString(fw.tmp, losslessName)
+	fw.tmp = binary.AppendUvarint(fw.tmp, uint64(threshold))
 	fw.tmp = binary.AppendUvarint(fw.tmp, uint64(nEntries))
 	fw.tmp = appendPackedBools(fw.tmp, tags)
 	fw.tmp = binary.AppendUvarint(fw.tmp, uint64(nLossy))
@@ -161,13 +163,19 @@ func (p *Pipeline) partition(sd *model.StateDict, st *Stats) (tags []bool, lossy
 	return tags, lossyEntries, meta, nil
 }
 
-// compressMeta serializes and losslessly compresses the metadata dict.
-func (p *Pipeline) compressMeta(meta *model.StateDict) ([]byte, error) {
+// compressMeta serializes and losslessly compresses the metadata dict
+// through the frame's effective codec, feeding the serialized image to
+// the selector (when configured) so it can plan the metadata codec for
+// subsequent frames.
+func (p *Pipeline) compressMeta(meta *model.StateDict, ll lossless.Codec) ([]byte, error) {
 	blob, err := MarshalStateDict(meta)
 	if err != nil {
 		return nil, err
 	}
-	mc, err := p.lossless.Compress(blob)
+	if p.cfg.Selector != nil {
+		p.cfg.Selector.ObserveMeta(blob)
+	}
+	mc, err := ll.Compress(blob)
 	if err != nil {
 		return nil, fmt.Errorf("core: lossless compress metadata: %w", err)
 	}
@@ -194,6 +202,7 @@ func (p *Pipeline) CompressTo(w io.Writer, sd *model.StateDict) (Stats, error) {
 	// Each task reports on its own buffered channel, so the writer
 	// below can await them in entry order while later tensors are
 	// still compressing — and an abandoned task never blocks.
+	lossyName, losslessName, ll := p.frameCodecs()
 	nTasks := len(lossyEntries) + 1
 	comps := make([][]byte, len(lossyEntries))
 	var metaComp []byte
@@ -204,14 +213,14 @@ func (p *Pipeline) CompressTo(w io.Writer, sd *model.StateDict) (Stats, error) {
 	task := func(i int) error {
 		if i < len(lossyEntries) {
 			e := lossyEntries[i]
-			comp, err := p.lossyC.Compress(e.Tensor.Data(), p.cfg.Bound)
+			comp, err := p.compressEntry(e)
 			if err != nil {
 				return fmt.Errorf("core: lossy compress %q: %w", e.Name, err)
 			}
 			comps[i] = comp
 			return nil
 		}
-		mc, err := p.compressMeta(meta)
+		mc, err := p.compressMeta(meta, ll)
 		if err != nil {
 			return err
 		}
@@ -241,7 +250,7 @@ func (p *Pipeline) CompressTo(w io.Writer, sd *model.StateDict) (Stats, error) {
 
 	cw := &countingWriter{w: w}
 	fw := newFrameWriter(cw)
-	fw.header(p.cfg, len(tags), tags, len(lossyEntries))
+	fw.header(lossyName, losslessName, p.cfg.Threshold, len(tags), tags, len(lossyEntries))
 	for i, e := range lossyEntries {
 		if err := <-done[i]; err != nil {
 			abort.Store(true)

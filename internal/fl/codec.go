@@ -52,6 +52,15 @@ type Codec interface {
 	DecodeFrom(r io.Reader) (*model.StateDict, error)
 }
 
+// BoundAware is implemented by codecs that can apply a round-level
+// error-bound directive — what the coordinator's bound scheduler
+// broadcasts alongside each new global model. Runtimes call
+// SetRoundBound before encoding that round's update; codecs without
+// an adaptive control plane simply don't implement it.
+type BoundAware interface {
+	SetRoundBound(bound float64)
+}
+
 // EntryStreamer is the streaming-aggregation decode contract: codecs
 // that implement it can decode one update from r directly into emit,
 // entry by entry, without ever materializing the client's full state
@@ -232,7 +241,19 @@ func NewFedSZCodec(cfg core.Config) (*FedSZCodec, error) {
 
 // Name implements Codec.
 func (c *FedSZCodec) Name() string {
+	if c.pipeline.Config().Selector != nil {
+		return "fedsz-adaptive"
+	}
 	return "fedsz-" + c.pipeline.Config().Lossy
+}
+
+// SetRoundBound implements BoundAware by forwarding a round-level
+// bound directive to the pipeline's adaptive selector; a static
+// pipeline ignores it (its bound is part of the immutable config).
+func (c *FedSZCodec) SetRoundBound(bound float64) {
+	if ba, ok := c.pipeline.Config().Selector.(BoundAware); ok {
+		ba.SetRoundBound(bound)
+	}
 }
 
 // Encode implements Codec.

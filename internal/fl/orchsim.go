@@ -39,6 +39,12 @@ type OrchSimConfig struct {
 	BufferSize int
 	// Shards is the aggregator shard count (0 = auto).
 	Shards int
+	// Bound, if non-nil, schedules the round-level error bound: the
+	// coordinator feeds it every commit and the simulation applies its
+	// NextBound to the codec (through BoundAware) before each round's
+	// encodes — the virtual-time equivalent of the TCP server's
+	// MsgRoundBound broadcast.
+	Bound orchestrator.BoundScheduler
 	// Population samples each client's link/compute profile; the zero
 	// profile gives every client cfg.Link at nominal compute.
 	Population netsim.Profile
@@ -107,6 +113,7 @@ func RunOrchestratedSim(cfg OrchSimConfig) (*SimResult, error) {
 		RoundDeadline:   cfg.RoundDeadline,
 		BufferSize:      cfg.BufferSize,
 		Shards:          cfg.Shards,
+		Bound:           cfg.Bound,
 		Seed:            cfg.Seed + 5,
 	}, global)
 	if err != nil {
@@ -149,6 +156,7 @@ func RunOrchestratedSim(cfg OrchSimConfig) (*SimResult, error) {
 			_, g := coord.Global()
 			ra.SetReference(g)
 		}
+		applyRoundBound(coord, cfg.Codec)
 		r, err := coord.StartRound()
 		if err != nil {
 			return nil, err
@@ -240,6 +248,17 @@ func RunOrchestratedSim(cfg OrchSimConfig) (*SimResult, error) {
 	return result, nil
 }
 
+// applyRoundBound forwards the coordinator's scheduled round bound to
+// a bound-aware codec — the in-process stand-in for the transport's
+// MsgRoundBound broadcast.
+func applyRoundBound(coord *orchestrator.Coordinator, codec Codec) {
+	if ba, ok := codec.(BoundAware); ok {
+		if b := coord.RoundBound(); b > 0 {
+			ba.SetRoundBound(b)
+		}
+	}
+}
+
 // orchClient is one simulated participant with a fixed heterogeneity
 // profile.
 type orchClient struct {
@@ -315,6 +334,7 @@ func runAsyncSim(
 	heap.Init(h)
 
 	schedule := func(c *orchClient, start time.Duration, round int) error {
+		applyRoundBound(coord, cfg.Codec)
 		version, g := coord.Global()
 		out := c.train(cfg, g, round)
 		if out.err != nil {

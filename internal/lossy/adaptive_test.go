@@ -1,0 +1,39 @@
+package lossy
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+func TestAdaptiveWrapRoundTrip(t *testing.T) {
+	payload := []byte{1, 2, 3, 4, 5}
+	buf := WrapAdaptive("sz2", payload)
+	name, got, err := UnwrapAdaptive(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if name != "sz2" || !bytes.Equal(got, payload) {
+		t.Fatalf("unwrap = %q/%v, want sz2/%v", name, got, payload)
+	}
+}
+
+func TestAdaptiveWrapRejects(t *testing.T) {
+	cases := map[string][]byte{
+		"empty":        nil,
+		"empty name":   WrapAdaptive("", []byte{1}),
+		"self nested":  WrapAdaptive(NameAdaptive, []byte{1}),
+		"truncated":    {200},
+		"name too big": append([]byte{0xFF, 0xFF, 0x7F}, make([]byte, 16)...),
+	}
+	for label, buf := range cases {
+		if _, _, err := UnwrapAdaptive(buf); !errors.Is(err, ErrCorrupt) {
+			t.Errorf("%s: err = %v, want ErrCorrupt", label, err)
+		}
+	}
+}
+
+// The registered "adaptive" compressor's end-to-end path needs the
+// built-in suite linked, so it is exercised from package core
+// (TestAdaptiveRegistryCompressor in adaptive_test.go there); this
+// package pins only the wrapper framing, which has no dependencies.

@@ -33,6 +33,11 @@ type AsyncCommit struct {
 	Global *model.StateDict
 	// Stats accounts the commit when Committed.
 	Stats RoundStats
+
+	// prev is the global model this commit replaced, carried to the
+	// out-of-lock notify so the bound scheduler's O(params) scan never
+	// runs under the coordinator mutex.
+	prev *model.StateDict
 }
 
 // StalenessWeight returns the FedBuff-style damping factor 1/√(1+τ)
@@ -182,10 +187,17 @@ func (c *Coordinator) FlushAsync() (AsyncCommit, error) {
 	return result, nil
 }
 
-// notifyAsyncCommit delivers a committed result to the OnAsyncCommit
-// hook (outside the coordinator lock); non-commits are skipped.
+// notifyAsyncCommit delivers a committed result to the bound
+// scheduler and the OnAsyncCommit hook (both outside the coordinator
+// lock); non-commits are skipped.
 func (c *Coordinator) notifyAsyncCommit(res AsyncCommit) {
-	if res.Committed && c.cfg.OnAsyncCommit != nil {
+	if !res.Committed {
+		return
+	}
+	if c.cfg.Bound != nil {
+		c.cfg.Bound.ObserveCommit(res.prev, res.Global, res.Stats)
+	}
+	if c.cfg.OnAsyncCommit != nil {
 		c.cfg.OnAsyncCommit(res)
 	}
 }
@@ -203,6 +215,7 @@ func (c *Coordinator) asyncCommitLocked(result *AsyncCommit) error {
 	if err != nil {
 		return err
 	}
+	prev := c.global
 	c.global = mixed
 	c.version++
 	c.commits++
@@ -217,6 +230,7 @@ func (c *Coordinator) asyncCommitLocked(result *AsyncCommit) error {
 			Committed: buf.buffered,
 			AggMemory: buf.agg.MemoryBytes(),
 		},
+		prev: prev,
 	}
 	c.async = &asyncBuffer{
 		agg:   NewAggregator(mixed, c.cfg.Shards),

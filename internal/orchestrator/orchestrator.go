@@ -92,8 +92,30 @@ type Config struct {
 	// directly should not also count hook invocations, or they will
 	// observe commits twice.
 	OnAsyncCommit func(AsyncCommit)
+	// Bound, if non-nil, schedules the round-level error bound: every
+	// commit (sync round or async buffer) feeds it the global model's
+	// movement, and drivers read RoundBound to broadcast the bound for
+	// the upcoming round alongside the global model (package adapt's
+	// Policy implements it).
+	Bound BoundScheduler
 	// Seed drives client sampling.
 	Seed int64
+}
+
+// BoundScheduler derives the next round's error bound from
+// convergence signals. ObserveCommit runs on the committing driver's
+// goroutine after the coordinator releases its lock (prev and next
+// are immutable snapshots), so an O(params) norm scan is fine, but
+// implementations must be safe for concurrent use: async commits from
+// different contributors race with each other and with RoundBound
+// reads.
+type BoundScheduler interface {
+	// ObserveCommit sees every installed global model: the state it
+	// replaced, the new state, and the commit's accounting.
+	ObserveCommit(prev, next *model.StateDict, stats RoundStats)
+	// NextBound returns the REL error bound clients should apply for
+	// the upcoming round (0 = no directive).
+	NextBound() float64
 }
 
 func (c Config) withDefaults() Config {
@@ -268,16 +290,18 @@ func (c *Coordinator) StartRound() (*Round, error) {
 }
 
 // commitRound installs a round's aggregate as the new global model.
+// The bound scheduler observes the commit after the lock is released
+// (both models are immutable snapshots by then).
 func (c *Coordinator) commitRound(r *Round, agg *model.StateDict) (int, RoundStats) {
 	c.mu.Lock()
-	defer c.mu.Unlock()
+	prev := c.global
 	c.global = agg
 	c.version++
 	c.commits++
 	if c.round == r {
 		c.round = nil
 	}
-	return c.version, RoundStats{
+	stats := RoundStats{
 		Round:     r.number,
 		Version:   c.version,
 		Sampled:   len(r.participants),
@@ -285,6 +309,22 @@ func (c *Coordinator) commitRound(r *Round, agg *model.StateDict) (int, RoundSta
 		Dropped:   len(r.participants) - r.committed,
 		AggMemory: r.agg.MemoryBytes(),
 	}
+	version := c.version
+	c.mu.Unlock()
+	if c.cfg.Bound != nil {
+		c.cfg.Bound.ObserveCommit(prev, agg, stats)
+	}
+	return version, stats
+}
+
+// RoundBound returns the error bound the configured BoundScheduler
+// directs for the upcoming round (0 = none configured / no directive).
+// Drivers broadcast it to participants together with the global model.
+func (c *Coordinator) RoundBound() float64 {
+	if c.cfg.Bound == nil {
+		return 0
+	}
+	return c.cfg.Bound.NextBound()
 }
 
 func (c *Coordinator) cancelRound(r *Round) {

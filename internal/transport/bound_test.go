@@ -1,0 +1,110 @@
+package transport
+
+import (
+	"sync"
+	"testing"
+
+	"fedsz/internal/fl"
+	"fedsz/internal/model"
+	"fedsz/internal/nn"
+	"fedsz/internal/orchestrator"
+)
+
+// stubBoundScheduler hands out a fixed declining bound sequence and
+// records what it observed.
+type stubBoundScheduler struct {
+	mu      sync.Mutex
+	bounds  []float64
+	next    int
+	commits int
+}
+
+func (s *stubBoundScheduler) ObserveCommit(prev, nextSD *model.StateDict, _ orchestrator.RoundStats) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.commits++
+	if s.next < len(s.bounds)-1 {
+		s.next++
+	}
+}
+
+func (s *stubBoundScheduler) NextBound() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.bounds[s.next]
+}
+
+// boundRecordingCodec wraps a codec, recording every round-bound
+// directive the transport applies.
+type boundRecordingCodec struct {
+	fl.Codec
+	mu     sync.Mutex
+	bounds []float64
+}
+
+func (c *boundRecordingCodec) SetRoundBound(b float64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.bounds = append(c.bounds, b)
+}
+
+// TestOrchestratedRoundBoundBroadcast pins the adaptive round
+// protocol: a server configured with a bound scheduler precedes every
+// round's global-model broadcast with a MsgRoundBound directive, and
+// RunClient applies each directive to its bound-aware codec before
+// training that round.
+func TestOrchestratedRoundBoundBroadcast(t *testing.T) {
+	sched := &stubBoundScheduler{bounds: []float64{1e-2, 5e-3, 2e-3}}
+	const rounds = 3
+	srv, err := NewOrchestrated(OrchestratedConfig{
+		MinClients: 2,
+		Rounds:     rounds,
+		Bound:      sched,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln := newPipeListener(3)
+	defer ln.Close()
+	initial := nn.MobileNetV2Mini(48, 4, 7).StateDict()
+
+	codecs := make([]*boundRecordingCodec, 2)
+	var wg sync.WaitGroup
+	for i := range codecs {
+		codecs[i] = &boundRecordingCodec{Codec: fl.PlainCodec{}}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			conn := ln.Dial()
+			defer conn.Close()
+			if err := RunClient(conn, codecs[i], func(round int, global *model.StateDict) (*model.StateDict, int, error) {
+				return global, 10, nil
+			}); err != nil {
+				t.Errorf("client %d: %v", i, err)
+			}
+		}(i)
+	}
+
+	if _, err := srv.Serve(ln, initial); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+
+	if sched.commits != rounds {
+		t.Fatalf("scheduler observed %d commits, want %d", sched.commits, rounds)
+	}
+	want := []float64{1e-2, 5e-3, 2e-3}
+	for i, c := range codecs {
+		c.mu.Lock()
+		got := append([]float64(nil), c.bounds...)
+		c.mu.Unlock()
+		if len(got) != len(want) {
+			t.Fatalf("client %d received %d bound directives (%v), want %d", i, len(got), got, len(want))
+		}
+		for r := range want {
+			if got[r] != want[r] {
+				t.Fatalf("client %d round %d bound %g, want %g", i, r, got[r], want[r])
+			}
+		}
+	}
+}

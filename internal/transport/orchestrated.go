@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"net"
 	"sync"
 	"time"
@@ -46,6 +47,10 @@ type OrchestratedConfig struct {
 	BandwidthBps float64
 	// Shards is the aggregator shard count (0 = auto).
 	Shards int
+	// Bound, if non-nil, schedules a round-level error bound: the
+	// coordinator feeds it every commit, and each round's broadcast is
+	// preceded by a MsgRoundBound directive carrying its NextBound.
+	Bound orchestrator.BoundScheduler
 	// OnRound observes each committed global model.
 	OnRound func(round int, global *model.StateDict, stats orchestrator.RoundStats)
 	// Logf, if non-nil, receives join/leave/drop diagnostics.
@@ -108,6 +113,7 @@ func (s *Orchestrated) Serve(ln net.Listener, initial *model.StateDict) (*model.
 		OverProvision:   s.cfg.OverProvision,
 		RoundDeadline:   s.cfg.RoundDeadline,
 		Shards:          s.cfg.Shards,
+		Bound:           s.cfg.Bound,
 	}, initial)
 	if err != nil {
 		return nil, err
@@ -291,7 +297,10 @@ func (s *Orchestrated) runRound(coord *orchestrator.Coordinator) (*model.StateDi
 	// a deadline is configured) stalled write means a dead client:
 	// drop it and keep going, so one peer that stopped reading cannot
 	// hang the round. The global dict is immutable here, safe to
-	// stream from many goroutines.
+	// stream from many goroutines. When a bound scheduler is
+	// configured, the round's error-bound directive precedes the model
+	// on each connection, so clients apply it before encoding.
+	roundBound := coord.RoundBound()
 	var live []string
 	var bmu sync.Mutex
 	var bwg sync.WaitGroup
@@ -309,9 +318,20 @@ func (s *Orchestrated) runRound(coord *orchestrator.Coordinator) (*model.StateDi
 			if d := round.Deadline(); d > 0 {
 				_ = cs.conn.SetWriteDeadline(time.Now().Add(d))
 			}
-			err := cs.writeMsg(MsgGlobalModel, func(w io.Writer) error {
-				return core.MarshalStateDictTo(w, global)
-			})
+			var err error
+			if roundBound > 0 {
+				err = cs.writeMsg(MsgRoundBound, func(w io.Writer) error {
+					var raw [8]byte
+					binary.BigEndian.PutUint64(raw[:], math.Float64bits(roundBound))
+					_, werr := w.Write(raw[:])
+					return werr
+				})
+			}
+			if err == nil {
+				err = cs.writeMsg(MsgGlobalModel, func(w io.Writer) error {
+					return core.MarshalStateDictTo(w, global)
+				})
+			}
 			if err != nil {
 				s.dropClient(coord, round, id, err)
 				return

@@ -24,6 +24,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"net"
 	"sync"
 
@@ -42,6 +43,7 @@ const (
 	MsgGlobalModel                    // server → client: streamed global state
 	MsgUpdate                         // client → server: sample count + streamed update
 	MsgShutdown                       // server → client: training complete
+	MsgRoundBound                     // server → client: next round's error bound (8-byte float64)
 )
 
 // connStream bundles the buffered halves of one connection. The
@@ -262,6 +264,11 @@ type TrainFunc func(round int, global *model.StateDict) (*model.StateDict, int, 
 // server sends MsgShutdown. Updates stream through codec.EncodeTo:
 // each tensor's compressed section leaves as soon as it is ready, so
 // on a slow uplink compression time hides behind transmission time.
+//
+// When the server schedules round-level error bounds (an adaptive
+// federation), each round's MsgRoundBound directive is applied to the
+// codec through fl.BoundAware before the round's update is encoded;
+// codecs that are not bound-aware ignore the directive.
 func RunClient(conn net.Conn, codec fl.Codec, train TrainFunc) error {
 	if codec == nil {
 		codec = fl.PlainCodec{}
@@ -270,7 +277,7 @@ func RunClient(conn net.Conn, codec fl.Codec, train TrainFunc) error {
 	if err := cs.writeMsg(MsgJoin, nil); err != nil {
 		return err
 	}
-	for round := 0; ; round++ {
+	for round := 0; ; {
 		t, err := cs.readMsgType()
 		if err != nil {
 			return err
@@ -278,6 +285,18 @@ func RunClient(conn net.Conn, codec fl.Codec, train TrainFunc) error {
 		switch t {
 		case MsgShutdown:
 			return nil
+		case MsgRoundBound:
+			var raw [8]byte
+			if _, err := io.ReadFull(cs.r, raw[:]); err != nil {
+				return fmt.Errorf("%w: round bound: %v", ErrProtocol, err)
+			}
+			bound := math.Float64frombits(binary.BigEndian.Uint64(raw[:]))
+			if bound <= 0 || math.IsNaN(bound) || math.IsInf(bound, 0) {
+				return fmt.Errorf("%w: round bound %v", ErrProtocol, bound)
+			}
+			if ba, ok := codec.(fl.BoundAware); ok {
+				ba.SetRoundBound(bound)
+			}
 		case MsgGlobalModel:
 			global, err := core.UnmarshalStateDictFrom(cs.r)
 			if err != nil {
@@ -302,6 +321,7 @@ func RunClient(conn net.Conn, codec fl.Codec, train TrainFunc) error {
 			if err != nil {
 				return err
 			}
+			round++
 		default:
 			return fmt.Errorf("%w: unexpected message %v", ErrProtocol, t)
 		}
