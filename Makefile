@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench fmt vet fuzz parallel-bench scale-bench adapt-bench
+.PHONY: all build test race bench fmt vet fuzz parallel-bench scale-bench adapt-bench families-bench
 
 all: build test
 
@@ -27,12 +27,13 @@ fmt:
 vet:
 	$(GO) vet ./...
 
-# Short fuzz smoke over the four decoder fuzz targets (matches CI).
+# Short fuzz smoke over the five decoder fuzz targets (matches CI).
 fuzz:
 	$(GO) test -run=^$$ -fuzz=FuzzDecompress -fuzztime=10s ./internal/core
 	$(GO) test -run=^$$ -fuzz=FuzzDecoderStream -fuzztime=10s ./internal/core
 	$(GO) test -run=^$$ -fuzz=FuzzHuffmanDecode -fuzztime=10s ./internal/huffman
 	$(GO) test -run=^$$ -fuzz=FuzzLZHDecompress -fuzztime=10s ./internal/lossless
+	$(GO) test -run=^$$ -fuzz=FuzzFamilyDecode -fuzztime=10s ./internal/family
 
 # Regenerate the committed serial-vs-parallel datapoint. Run on a
 # multi-core machine at paper scale: make parallel-bench SCALE=1
@@ -59,6 +60,13 @@ scale-bench:
 # gate covers internal/adapt through ./... like every other package.
 adapt-bench:
 	$(GO) run ./cmd/fedszbench -exp adapt -scale $(SCALE) -format json -o BENCH_adapt.json
+
+# Regenerate the committed cross-family selection datapoint (the
+# family API's acceptance criterion: adaptive at or below the best
+# static family's bytes-on-wire, with ≥3 distinct families chosen in
+# one frame on the mixed-statistics workload).
+families-bench:
+	$(GO) run ./cmd/fedszbench -exp families -scale $(SCALE) -format json -o BENCH_families.json
 
 # Profile an experiment, e.g.: make profile EXP=throughput
 # then: go tool pprof cpu.pprof

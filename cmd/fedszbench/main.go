@@ -19,7 +19,9 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"strings"
 
+	"fedsz"
 	"fedsz/internal/bench"
 )
 
@@ -71,9 +73,27 @@ func run() error {
 	}
 
 	if *list {
+		fmt.Println("experiments:")
 		for _, id := range bench.IDs() {
-			fmt.Println(id)
+			fmt.Println(" ", id)
 		}
+		fmt.Println("compressor families (candidates for adaptive experiments):")
+		for _, name := range fedsz.Families() {
+			f, err := fedsz.FamilyByName(name)
+			if err != nil {
+				return err
+			}
+			var grid []string
+			for _, s := range fedsz.FamilyGrid(f) {
+				label := s.String()
+				if !f.Bounded(s) {
+					label += "*"
+				}
+				grid = append(grid, label)
+			}
+			fmt.Printf("  %-10s %-8s %s\n", name, f.Kind(), strings.Join(grid, " "))
+		}
+		fmt.Println("  (* = setting does not guarantee the error bound; adaptive probes it only with error feedback)")
 		return nil
 	}
 

@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"net"
 	"os"
+	"strings"
 
 	"fedsz"
 	"fedsz/internal/dataset"
@@ -18,6 +19,18 @@ import (
 	"fedsz/internal/nn"
 	"fedsz/internal/transport"
 )
+
+// splitFamilies parses a comma-separated -families value ("" = nil,
+// meaning every registered family).
+func splitFamilies(s string) []string {
+	var out []string
+	for _, name := range strings.Split(s, ",") {
+		if name = strings.TrimSpace(name); name != "" {
+			out = append(out, name)
+		}
+	}
+	return out
+}
 
 func main() {
 	if err := run(); err != nil {
@@ -34,6 +47,7 @@ func run() error {
 		bound    = flag.Float64("bound", 1e-2, "relative error bound (must match server)")
 		comp     = flag.String("compressor", "sz2", "lossy compressor (must match server)")
 		adaptive = flag.Bool("adaptive", false, "pick compressor/bound per tensor at runtime and follow server bound directives")
+		families = flag.String("families", "", "adaptive: comma-separated compressor families to adapt over (empty = all registered; see fedszcompress -list)")
 		uplink   = flag.Float64("uplink", 0, "adaptive: modeled uplink bandwidth in Mbps for Eqn. 1 scoring (0 = unknown)")
 		seed     = flag.Int64("seed", 42, "seed (must match server)")
 	)
@@ -48,6 +62,7 @@ func run() error {
 	opts := []fedsz.Option{fedsz.WithCompressor(*comp), fedsz.WithRelBound(*bound)}
 	if *adaptive {
 		policy, err := fedsz.NewAdaptivePolicy(fedsz.AdaptiveConfig{
+			Families:     splitFamilies(*families),
 			BaseBound:    *bound,
 			BandwidthBps: fedsz.Mbps(*uplink),
 		})

@@ -12,7 +12,8 @@
 // -adaptive routes compression through the adaptive control plane
 // (per-tensor compressor/bound selection); -verify decodes the output
 // and exits nonzero with a clear message if any element violates the
-// requested error bound.
+// requested error bound. -list prints every registered compressor
+// family with its parameter grid and bound guarantees, then exits.
 //
 // Three streaming modes built on the fedsz Encoder/Decoder compose in
 // shell pipelines, gzip-style, with `-in`/`-out` defaulting to `-`
@@ -50,7 +51,8 @@ func run() error {
 	var (
 		modelName  = flag.String("model", "mobilenetv2", "model: alexnet, resnet50, mobilenetv2")
 		scale      = flag.Int("scale", 8, "width divisor (1 = paper scale)")
-		compressor = flag.String("compressor", "sz2", "lossy compressor: sz2, sz3, szx, szx-artifact, zfp")
+		compressor = flag.String("compressor", "sz2", "compressor family (see -list): sz2, sz3, szx, szx-artifact, zfp, topk, randk, qsgd, pred")
+		listFams   = flag.Bool("list", false, "list registered compressor families with their parameter grids and exit")
 		bound      = flag.Float64("bound", 1e-2, "relative error bound")
 		adaptive   = flag.Bool("adaptive", false, "pick compressor/bound per tensor with the adaptive control plane")
 		verify     = flag.Bool("verify", false, "decode the output and fail (exit nonzero) if any element violates the requested error bound")
@@ -63,6 +65,10 @@ func run() error {
 		out        = flag.String("out", "-", "stream-mode output path ('-' = stdout)")
 	)
 	flag.Parse()
+
+	if *listFams {
+		return listFamilies(os.Stdout)
+	}
 
 	modes := 0
 	for _, m := range []bool{*zMode, *dMode, *emitMode} {
@@ -155,6 +161,28 @@ func run() error {
 		d.UncompressedPathTime().Round(time.Millisecond),
 		verdict,
 		d.CrossoverBandwidthBps()/1e6)
+	return nil
+}
+
+// listFamilies prints every registered compressor family — name, kind,
+// and each grid setting with its bound guarantee — in the registry's
+// sorted order. Unbounded settings are flagged so users know to pair
+// them with error feedback.
+func listFamilies(w io.Writer) error {
+	fmt.Fprintf(w, "%-14s %-8s %-14s %s\n", "FAMILY", "KIND", "SETTING", "GUARANTEE")
+	for _, name := range fedsz.Families() {
+		f, err := fedsz.FamilyByName(name)
+		if err != nil {
+			return err
+		}
+		for _, s := range fedsz.FamilyGrid(f) {
+			guarantee := "error-bounded"
+			if !f.Bounded(s) {
+				guarantee = "unbounded (pair with error feedback)"
+			}
+			fmt.Fprintf(w, "%-14s %-8s %-14s %s\n", name, f.Kind(), s.String(), guarantee)
+		}
+	}
 	return nil
 }
 

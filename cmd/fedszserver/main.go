@@ -23,6 +23,7 @@ import (
 	"fmt"
 	"net"
 	"os"
+	"strings"
 	"time"
 
 	"fedsz"
@@ -32,6 +33,18 @@ import (
 	"fedsz/internal/orchestrator"
 	"fedsz/internal/transport"
 )
+
+// splitFamilies parses a comma-separated -families value ("" = nil,
+// meaning every registered family).
+func splitFamilies(s string) []string {
+	var out []string
+	for _, name := range strings.Split(s, ",") {
+		if name = strings.TrimSpace(name); name != "" {
+			out = append(out, name)
+		}
+	}
+	return out
+}
 
 func main() {
 	if err := run(); err != nil {
@@ -51,6 +64,7 @@ func run() error {
 		bound     = flag.Float64("bound", 1e-2, "relative error bound")
 		comp      = flag.String("compressor", "sz2", "lossy compressor")
 		adaptive  = flag.Bool("adaptive", false, "schedule per-round error bounds from convergence and broadcast them to clients")
+		families  = flag.String("families", "", "adaptive: comma-separated compressor families the policy adapts over (empty = all registered; see fedszcompress -list)")
 		minBound  = flag.Float64("min-bound", 0, "adaptive: tightest scheduled bound (0 = bound/10)")
 		bandwidth = flag.Float64("bandwidth", 0, "per-connection rate limit in Mbps (0 = unlimited)")
 		shards    = flag.Int("shards", 0, "aggregator shard count (0 = auto)")
@@ -71,6 +85,7 @@ func run() error {
 	var policy *fedsz.AdaptivePolicy
 	if *adaptive {
 		policy, err = fedsz.NewAdaptivePolicy(fedsz.AdaptiveConfig{
+			Families:  splitFamilies(*families),
 			BaseBound: *bound,
 			MinBound:  *minBound,
 		})

@@ -30,30 +30,49 @@
 //	...
 //	restored, err := fedsz.NewDecoder(conn).Decode()
 //
-// # Registry
+// # Compressor families
 //
-// Lossy compressors and lossless codecs resolve by name through a
-// typed registry. The built-in suites self-register; RegisterLossy
-// and RegisterLossless plug additional implementations of
-// LossyCompressor/LosslessCodec in, after which WithCompressor and
-// WithLossless select them and frames recording their names decode
-// anywhere the registration ran.
+// Every compression technique the system knows — the four
+// error-bounded lossy compressors (sz2/sz3/szx/zfp), top-k and rand-k
+// sparsification, QSGD-style quantization, and the gradient-aware
+// predictor — implements one CompressorFamily contract and lives in a
+// single typed registry. A family exposes a parameter grid of
+// FamilySetting values (sparsification fractions, quantizer widths;
+// the zero Setting is the bound-guaranteed default) and constructs a
+// concrete compressor per setting. RegisterFamily plugs new families
+// in; Families lists them; frames recording a family's name decode
+// anywhere the registration ran. RegisterLossy remains as a shim for
+// single-compressor families, and RegisterLossless handles the
+// metadata codecs.
 //
 // # Adaptive compression
 //
 // The paper picks its compressor and error bound by offline grid
 // search; WithAdaptive replaces that with a runtime control plane. An
-// AdaptivePolicy probes candidate (compressor, bound, lossless
-// backend) triples on sampled tensor sections, caches per-tensor
-// plans with periodic re-probing, schedules the round-level bound
-// from convergence signals and weighs uplink bandwidth through the
-// paper's Eqn. 1:
+// AdaptivePolicy probes candidate (family, grid setting, bound,
+// lossless backend) tuples on sampled tensor sections — in the
+// background, off the encode path — caches per-tensor plans with
+// periodic re-probing, schedules the round-level bound from
+// convergence signals and weighs uplink bandwidth through the paper's
+// Eqn. 1:
 //
 //	policy, err := fedsz.NewAdaptivePolicy(fedsz.AdaptiveConfig{})
 //	buf, stats, err := fedsz.Compress(sd, fedsz.WithAdaptive(policy))
 //
 // Adaptive frames are self-describing like any other — Decompress and
 // Decoder read them unchanged.
+//
+// # Error feedback
+//
+// The sparsifying and quantizing families have grid settings that do
+// not honour the error bound (a fixed sparsity budget keeps its
+// budget, not the bound). WithErrorFeedback pairs such settings with
+// a per-client residual accumulator: whatever one frame's compression
+// dropped is added back into the next frame's tensors before
+// compression, so the signal arrives late rather than never. One
+// ErrorFeedback per logical client — NewResidualStore manages a
+// keyed set of them server- or fleet-side, with Withdraw wired to
+// the orchestrator's OnDrop hook.
 //
 // # Concurrency
 //
@@ -157,6 +176,14 @@ type (
 // NewBaselineCodec stacks a sparsifier/quantizer over an inner codec
 // (nil = plain serialization). Stack over NewCodec(...) to reproduce
 // the paper's §VIII composition.
+//
+// Deprecated: the sparsification and quantization techniques are now
+// first-class compressor families ("topk", "randk", "qsgd") in the
+// typed registry — select them with WithCompressor, restrict an
+// adaptive policy to them via AdaptiveConfig.Families, and pair their
+// unbounded settings with WithErrorFeedback. NewBaselineCodec remains
+// for the paper's §VIII stacked-composition experiments and produces
+// byte-identical output to previous releases.
 func NewBaselineCodec(t baseline.Transform, inner Codec) Codec {
 	return baseline.NewCodec(t, inner)
 }
@@ -394,6 +421,98 @@ func RegisterLossy(name string, factory func() LossyCompressor) error {
 // feeding WithLossless and frame decoding.
 func RegisterLossless(name string, factory func() LosslessCodec) error {
 	return lossless.Register(name, factory)
+}
+
+// The compressor-family registry. A CompressorFamily generalizes a
+// single LossyCompressor to a technique with a parameter grid: the
+// error-bounded Table I compressors expose just their default, while
+// the sparsifying ("topk", "randk") and quantizing ("qsgd") families
+// expose fraction/width settings — some of which trade the error-bound
+// guarantee for a fixed byte budget (pair those with WithErrorFeedback).
+// Every built-in family self-registers; the adaptive control plane's
+// candidate grid spans whatever is registered.
+
+// CompressorFamily is the registry contract one compression technique
+// implements: a name (recorded in frames), a kind, a parameter grid,
+// a per-setting bound guarantee, and a compressor constructor. See
+// the package documentation's custom-family example.
+type CompressorFamily = lossy.Family
+
+// FamilySetting is one point on a family's parameter grid: a sparsity
+// fraction and/or a quantizer bit width. The zero value is the
+// family's bound-guaranteed default.
+type FamilySetting = lossy.Setting
+
+// Family kind labels, reported by CompressorFamily.Kind.
+const (
+	// KindEBLC marks error-bounded lossy compressors (Table I).
+	KindEBLC = lossy.KindEBLC
+	// KindSparse marks sparsifying families (topk, randk).
+	KindSparse = lossy.KindSparse
+	// KindQuant marks quantizing families (qsgd).
+	KindQuant = lossy.KindQuant
+	// KindPred marks prediction-based gradient-aware families (pred).
+	KindPred = lossy.KindPred
+)
+
+// RegisterFamily adds f to the registry: WithCompressor and
+// AdaptiveConfig.Families select it by name, the adaptive control
+// plane probes its grid, and frames recording its name decode
+// anywhere the registration ran. Registering a duplicate or empty
+// name is an error; register once, typically from init.
+func RegisterFamily(f CompressorFamily) error {
+	return lossy.RegisterFamily(f)
+}
+
+// FamilyByName resolves a registered family — the typed counterpart
+// of the name strings in frames, Families and AdaptiveConfig.
+func FamilyByName(name string) (CompressorFamily, error) {
+	return lossy.FamilyByName(name)
+}
+
+// Families lists every canonical registered compressor family across
+// all kinds: the Table I suite, "topk", "randk", "qsgd", "pred", and
+// anything plugged in through RegisterFamily. Compressors remains the
+// EBLC-only list.
+func Families() []string { return core.FamilyNames() }
+
+// FamilyGrid returns a family's parameter grid (at least the zero
+// default setting), for tooling that enumerates candidates the way
+// the adaptive control plane does.
+func FamilyGrid(f CompressorFamily) []FamilySetting { return lossy.GridOf(f) }
+
+// Error feedback: per-client residual state that re-injects what one
+// frame's compression dropped into the next frame's tensors. It is
+// what keeps the unbounded family settings (fractional top-k/rand-k,
+// fixed-width QSGD) convergent — the dropped signal arrives late
+// instead of never.
+
+// ErrorFeedback accumulates one client's per-tensor residuals. Attach
+// it to a pipeline with WithErrorFeedback; never share one across
+// clients (each residual is measured against that client's own
+// updates).
+type ErrorFeedback = core.Feedback
+
+// NewErrorFeedback returns an empty per-client residual accumulator.
+func NewErrorFeedback() *ErrorFeedback { return core.NewFeedback() }
+
+// ResidualStore keys ErrorFeedback state by client id for a fleet of
+// encoders. Wire Withdraw to OrchestratorConfig.OnDrop so a client
+// whose update the coordinator discarded does not replay a residual
+// measured against a model the server never installed.
+type ResidualStore = core.ResidualStore
+
+// NewResidualStore returns an empty keyed residual store.
+func NewResidualStore() *ResidualStore { return core.NewResidualStore() }
+
+// WithErrorFeedback attaches a per-client residual accumulator to the
+// pipeline: every lossy-path tensor is compressed with its
+// accumulated residual added back, and the residual the encoded
+// payload leaves behind is stored for the next frame. Encoding
+// becomes stateful — construct one pipeline (or Codec) per client. A
+// nil feedback leaves the pipeline stateless.
+func WithErrorFeedback(fb *ErrorFeedback) Option {
+	return func(c *core.Config) { c.Feedback = fb }
 }
 
 // Architecture builders (torchvision-shape-exact; div > 1 shrinks

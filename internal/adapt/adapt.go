@@ -2,11 +2,22 @@
 // runtime replacement for the paper's offline grid search over lossy
 // compressors and error bounds. A Policy
 //
-//   - probes candidate (lossy compressor, error bound, lossless
-//     backend) triples on strided samples of each tensor, scoring the
-//     measured compression ratio, encode throughput and bound-verified
-//     maximum error, and caches a per-tensor plan that is re-probed
-//     periodically (and whenever the scheduled bound moves materially);
+//   - probes candidate (compressor family, grid setting, error bound,
+//     lossless backend) tuples on strided samples of each tensor,
+//     scoring the measured compression ratio, encode throughput and
+//     bound-verified maximum error, and caches a per-tensor plan that
+//     is re-probed periodically (and whenever the scheduled bound
+//     moves materially). The candidate grid spans every registered
+//     family — the Table I EBLCs, threshold sparsification, derived-
+//     width quantization and the gradient-aware predictor compete on
+//     equal error-bounded terms, and the unbounded settings
+//     (fractional top-k/rand-k, fixed-width QSGD) join the grid when
+//     AllowUnbounded pairs them with error feedback;
+//   - probes in the background: a cold tensor is served the fallback
+//     plan immediately and queued for probing off the encode path, so
+//     the first adaptive frame keeps full encode parallelism instead
+//     of serializing behind its own probe storm (WaitProbes drains
+//     the queue when determinism matters more than latency);
 //   - schedules the round-level error bound from convergence signals —
 //     an exponential moving average of global-update norms — so the
 //     bound tightens as training converges; and
@@ -41,11 +52,25 @@ import (
 const pipelineChunks = 8
 
 // Config parameterizes a Policy. The zero value adapts over every
-// canonical registered compressor and lossless codec at the paper's
-// recommended base bound.
+// canonical registered compressor family and lossless codec at the
+// paper's recommended base bound.
 type Config struct {
-	// Compressors are the candidate lossy compressor names (default:
-	// the canonical registry, lossy.Names()).
+	// Families are the candidate compressor family names (default:
+	// every canonical registered family, lossy.Families()). Each
+	// family contributes its full parameter grid to the candidate
+	// set, filtered to bound-guaranteed settings unless
+	// AllowUnbounded is set.
+	Families []string
+	// AllowUnbounded admits grid settings that do not guarantee the
+	// error bound (fractional top-k/rand-k, fixed-width QSGD) into
+	// the candidate set. Only enable it when the encode side runs
+	// error feedback (core.Config.Feedback) — without it the dropped
+	// signal is simply lost.
+	AllowUnbounded bool
+	// Compressors are the candidate lossy compressor names.
+	//
+	// Deprecated: use Families. A non-empty Compressors is treated as
+	// Families when Families is empty, preserving pre-family callers.
 	Compressors []string
 	// BoundFactors are the candidate error bounds, as multipliers in
 	// (0, 1] of the scheduled round bound — 1 probes the scheduled
@@ -79,8 +104,11 @@ type Config struct {
 }
 
 func (c Config) withDefaults() Config {
-	if len(c.Compressors) == 0 {
-		c.Compressors = lossy.Names()
+	if len(c.Families) == 0 {
+		c.Families = c.Compressors
+	}
+	if len(c.Families) == 0 {
+		c.Families = lossy.Families()
 	}
 	if len(c.BoundFactors) == 0 {
 		c.BoundFactors = []float64{1}
@@ -114,12 +142,14 @@ func (c Config) withDefaults() Config {
 
 // plan is one tensor's cached selection.
 type plan struct {
-	lossy   string
-	factor  float64 // chosen bound multiplier (≤ 1)
-	boundAt float64 // scheduled bound when probed
-	age     int     // frames served since the probe
-	probes  int64   // candidates measured producing this plan
-	result  Result  // winning probe measurement (diagnostics)
+	lossy   string        // family name
+	setting lossy.Setting // grid setting within the family
+	factor  float64       // chosen bound multiplier (≤ 1)
+	boundAt float64       // scheduled bound when probed
+	age     int           // frames served since the probe
+	probes  int64         // candidates measured producing this plan
+	pending bool          // a background probe for this tensor is queued/running
+	result  Result        // winning probe measurement (diagnostics)
 }
 
 // Policy is the adaptive control plane. It implements core.Selector
@@ -138,19 +168,46 @@ type Policy struct {
 	probes    int64 // total tensor probes run (diagnostics)
 	selected  map[string]int64
 	boundSeen float64
+
+	// Background probe queue: SelectTensor enqueues cold/stale tensors
+	// here and serves a plan immediately; transient workers (at most
+	// probeWorkers) drain the queue off the encode path and exit when
+	// it empties. probeIdle signals WaitProbes when queue and in-flight
+	// work both reach zero.
+	queue     []probeJob
+	workers   int
+	inflight  int
+	probeIdle *sync.Cond
 }
 
-// NewPolicy validates cfg (every named compressor and codec must be
+// probeJob is one queued background probe. The sample is owned by the
+// job (copied from the tensor), since the encoder may mutate the
+// tensor as soon as its frame is out.
+type probeJob struct {
+	name      string
+	sample    []float32
+	fullElems int
+	bound     float64
+}
+
+// probeWorkers caps the transient goroutines draining the probe
+// queue, keeping probe compute a small fraction of encode compute.
+const probeWorkers = 2
+
+// NewPolicy validates cfg (every named family and codec must be
 // registered) and returns a ready Policy.
 func NewPolicy(cfg Config) (*Policy, error) {
 	cfg = cfg.withDefaults()
-	for _, name := range append(append([]string{}, cfg.Compressors...), cfg.Fallback) {
+	for _, name := range append(append([]string{}, cfg.Families...), cfg.Fallback) {
 		if name == lossy.NameAdaptive {
 			return nil, fmt.Errorf("adapt: %q cannot be its own candidate", name)
 		}
-		if _, err := lossy.New(name); err != nil {
+		if _, err := lossy.FamilyByName(name); err != nil {
 			return nil, fmt.Errorf("adapt: candidate compressor: %w", err)
 		}
+	}
+	if _, err := lossy.New(cfg.Fallback); err != nil {
+		return nil, fmt.Errorf("adapt: fallback compressor: %w", err)
 	}
 	for _, name := range cfg.Lossless {
 		if _, err := lossless.New(name); err != nil {
@@ -164,14 +221,16 @@ func NewPolicy(cfg Config) (*Policy, error) {
 	}
 	// Sort a copy: the candidate order must be deterministic for
 	// reproducible tie-breaks, without reordering the caller's slice.
-	cfg.Compressors = append([]string(nil), cfg.Compressors...)
-	sort.Strings(cfg.Compressors)
-	return &Policy{
+	cfg.Families = append([]string(nil), cfg.Families...)
+	sort.Strings(cfg.Families)
+	p := &Policy{
 		cfg:      cfg,
 		sched:    newScheduler(cfg.BaseBound, cfg.MinBound, cfg.MaxBound, cfg.EMAAlpha),
 		plans:    make(map[string]*plan),
 		selected: make(map[string]int64),
-	}, nil
+	}
+	p.probeIdle = sync.NewCond(&p.mu)
+	return p, nil
 }
 
 // Config returns the effective (defaulted) configuration.
@@ -204,36 +263,89 @@ func (p *Policy) ObserveCommit(prev, next *model.StateDict, _ orchestrator.Round
 // bound the coordinator broadcasts for the upcoming round.
 func (p *Policy) NextBound() float64 { return p.sched.Bound() }
 
-// SelectTensor implements core.Selector: serve the cached plan, or
-// probe the candidate grid when the plan is missing, stale, or was
-// probed under a materially different scheduled bound. Probing runs
-// outside the policy lock so concurrent encode workers keep probing
-// (and serving) different tensors in parallel; two workers racing on
-// the same cold tensor probe it twice and the last result wins — a
-// bounded, rare cost that beats serializing the pool.
+// SelectTensor implements core.Selector: serve the cached plan, and
+// when the plan is missing, stale, or was probed under a materially
+// different scheduled bound, hand the tensor to the background probe
+// queue instead of probing inline. A cold tensor is served the
+// fallback plan for the frames the probe is in flight — so the first
+// adaptive frame keeps full encode parallelism, paying at worst a few
+// fallback-compressed frames — and a stale plan keeps serving (its
+// bound multiplier applies to the *current* scheduled bound, so a
+// tightened directive is honoured immediately) while its re-probe
+// runs. WaitProbes drains the queue when deterministic plans matter
+// more than first-frame latency.
 func (p *Policy) SelectTensor(name string, data []float32) core.Selection {
 	bound := p.sched.Bound()
 	p.mu.Lock()
-	if pl := p.plans[name]; pl != nil && pl.age < p.cfg.ReprobeEvery && !boundDrifted(pl.boundAt, bound) {
-		pl.age++
-		p.selected[pl.lossy]++
-		p.boundSeen = bound
-		sel := core.Selection{Lossy: pl.lossy, Bound: lossy.RelBound(bound * pl.factor)}
-		p.mu.Unlock()
-		return sel
+	pl := p.plans[name]
+	if pl == nil {
+		// Cold tensor: install the fallback as a provisional plan and
+		// queue the real probe.
+		pl = &plan{lossy: p.cfg.Fallback, factor: 1, boundAt: bound, pending: true}
+		p.plans[name] = pl
+		p.enqueueProbeLocked(name, data, bound)
+	} else if (pl.age >= p.cfg.ReprobeEvery || boundDrifted(pl.boundAt, bound)) && !pl.pending {
+		pl.pending = true
+		p.enqueueProbeLocked(name, data, bound)
 	}
-	p.mu.Unlock()
-
-	pl := p.probeTensor(data, bound)
-	p.mu.Lock()
-	pl.age = 1
-	p.plans[name] = pl
-	p.probes += pl.probes
+	pl.age++
 	p.selected[pl.lossy]++
 	p.boundSeen = bound
-	sel := core.Selection{Lossy: pl.lossy, Bound: lossy.RelBound(bound * pl.factor)}
+	sel := core.Selection{Lossy: pl.lossy, Setting: pl.setting, Bound: lossy.RelBound(bound * pl.factor)}
 	p.mu.Unlock()
 	return sel
+}
+
+// enqueueProbeLocked queues a background probe for name, copying the
+// sample out of the caller-owned tensor, and ensures a worker is
+// draining the queue. Caller holds p.mu.
+func (p *Policy) enqueueProbeLocked(name string, data []float32, bound float64) {
+	p.queue = append(p.queue, probeJob{
+		name:      name,
+		sample:    copySample(data, p.cfg.SampleElems),
+		fullElems: len(data),
+		bound:     bound,
+	})
+	if p.workers < probeWorkers {
+		p.workers++
+		go p.probeWorker()
+	}
+}
+
+// probeWorker drains the probe queue, installing each probed plan
+// under the lock, and exits when the queue empties.
+func (p *Policy) probeWorker() {
+	p.mu.Lock()
+	for len(p.queue) > 0 {
+		job := p.queue[0]
+		p.queue = p.queue[1:]
+		p.inflight++
+		p.mu.Unlock()
+
+		pl := p.probeSample(job.sample, job.fullElems, job.bound)
+
+		p.mu.Lock()
+		p.inflight--
+		p.plans[job.name] = pl
+		p.probes += pl.probes
+	}
+	p.workers--
+	if len(p.queue) == 0 && p.inflight == 0 {
+		p.probeIdle.Broadcast()
+	}
+	p.mu.Unlock()
+}
+
+// WaitProbes blocks until the background probe queue is fully
+// drained, so subsequent SelectTensor calls serve probed plans.
+// Benchmarks and tests use it for deterministic selections; a serving
+// path never needs it.
+func (p *Policy) WaitProbes() {
+	p.mu.Lock()
+	for len(p.queue) > 0 || p.inflight > 0 {
+		p.probeIdle.Wait()
+	}
+	p.mu.Unlock()
 }
 
 // boundDrifted reports a scheduled-bound move large enough (2x either
@@ -242,30 +354,45 @@ func boundDrifted(probedAt, now float64) bool {
 	return probedAt <= 0 || now > 2*probedAt || now < probedAt/2
 }
 
-// probeTensor runs the candidate grid on a sample of data and scores
-// the results. It touches no Policy state (the caller folds the
-// returned plan in under the lock), so any number of tensors probe
-// concurrently.
-func (p *Policy) probeTensor(data []float32, bound float64) *plan {
-	sample := sampleTensor(data, p.cfg.SampleElems)
+// probeSample runs the candidate grid — every configured family ×
+// its settings × the bound factors — on an owned tensor sample and
+// scores the results. It touches no Policy state (the worker folds
+// the returned plan in under the lock), so probes for different
+// tensors run concurrently with each other and with serving.
+func (p *Policy) probeSample(sample []float32, fullElems int, bound float64) *plan {
 	effAbs, err := lossy.RelBound(bound).Resolve(sample)
 	if err != nil {
 		return &plan{lossy: p.cfg.Fallback, factor: 1, boundAt: bound}
 	}
-	fullBytes := int64(len(data) * 4)
+	fullBytes := int64(fullElems * 4)
 
 	found := false
 	var bestR Result
 	var probes int64
-	for _, comp := range p.cfg.Compressors {
-		for _, f := range p.cfg.BoundFactors {
-			r := probeCandidate(sample, Candidate{Lossy: comp, Bound: lossy.RelBound(bound * f)}, effAbs)
-			probes++
-			if !r.BoundOK {
+	for _, famName := range p.cfg.Families {
+		fam, err := lossy.FamilyByName(famName)
+		if err != nil {
+			continue
+		}
+		for _, s := range lossy.GridOf(fam) {
+			bounded := fam.Bounded(s)
+			if !bounded && !p.cfg.AllowUnbounded {
 				continue
 			}
-			if !found || p.better(r, bestR, fullBytes) {
-				found, bestR = true, r
+			comp, err := fam.Compressor(s)
+			if err != nil {
+				continue
+			}
+			for _, f := range p.cfg.BoundFactors {
+				c := Candidate{Lossy: famName, Setting: s, Bound: lossy.RelBound(bound * f)}
+				r := probeCandidate(sample, comp, c, effAbs, bounded)
+				probes++
+				if !r.BoundOK {
+					continue
+				}
+				if !found || p.better(r, bestR, fullBytes) {
+					found, bestR = true, r
+				}
 			}
 		}
 	}
@@ -273,7 +400,7 @@ func (p *Policy) probeTensor(data []float32, bound float64) *plan {
 		return &plan{lossy: p.cfg.Fallback, factor: 1, boundAt: bound, probes: probes}
 	}
 	factor := bestR.Bound.Bound / bound
-	return &plan{lossy: bestR.Lossy, factor: factor, boundAt: bound, probes: probes, result: bestR}
+	return &plan{lossy: bestR.Lossy, setting: bestR.Setting, factor: factor, boundAt: bound, probes: probes, result: bestR}
 }
 
 // better reports whether candidate a beats the incumbent b for a
@@ -362,11 +489,12 @@ func (p *Policy) ObserveMeta(raw []byte) {
 
 // PlanInfo is one cached per-tensor plan, for diagnostics.
 type PlanInfo struct {
-	Tensor string
-	Lossy  string
-	Bound  float64 // effective REL bound the plan applies today
-	Ratio  float64 // probe-measured sample ratio
-	MaxErr float64 // probe-measured max abs error
+	Tensor  string
+	Lossy   string
+	Setting string  // grid setting within the family ("default" = zero)
+	Bound   float64 // effective REL bound the plan applies today
+	Ratio   float64 // probe-measured sample ratio
+	MaxErr  float64 // probe-measured max abs error
 }
 
 // Plans snapshots the cached per-tensor plans in tensor-name order.
@@ -380,11 +508,12 @@ func (p *Policy) Plans() []PlanInfo {
 	out := make([]PlanInfo, 0, len(p.plans))
 	for name, pl := range p.plans {
 		out = append(out, PlanInfo{
-			Tensor: name,
-			Lossy:  pl.lossy,
-			Bound:  bound * pl.factor,
-			Ratio:  pl.result.Ratio,
-			MaxErr: pl.result.MaxAbsErr,
+			Tensor:  name,
+			Lossy:   pl.lossy,
+			Setting: pl.setting.String(),
+			Bound:   bound * pl.factor,
+			Ratio:   pl.result.Ratio,
+			MaxErr:  pl.result.MaxAbsErr,
 		})
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Tensor < out[j].Tensor })

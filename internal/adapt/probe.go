@@ -6,11 +6,13 @@ import (
 	"fedsz/internal/lossy"
 )
 
-// Candidate is one probe point of the control plane's grid: a lossy
-// compressor name paired with the error bound to try it under.
+// Candidate is one probe point of the control plane's grid: a
+// compressor family name, a setting on its parameter grid, and the
+// error bound to try the pair under.
 type Candidate struct {
-	Lossy string
-	Bound lossy.Params
+	Lossy   string
+	Setting lossy.Setting
+	Bound   lossy.Params
 }
 
 // Result is one candidate's measured probe outcome on a tensor sample.
@@ -22,8 +24,12 @@ type Result struct {
 	EncodeBps float64
 	// MaxAbsErr is the decoded sample's maximum absolute error.
 	MaxAbsErr float64
-	// BoundOK reports that the candidate round-tripped and its error
-	// stayed within the effective bound it must honour.
+	// BoundOK reports that the candidate is admissible: it
+	// round-tripped, and — for bound-guaranteed settings — its
+	// measured error stayed within the effective bound it must
+	// honour. Unbounded settings (only probed when the policy allows
+	// them) are admissible on a successful round-trip alone; their
+	// fidelity debt is the error-feedback loop's to repay.
 	BoundOK bool
 }
 
@@ -36,7 +42,9 @@ const boundSlack = 1 + 1e-6
 // data end to end, so the sample sees the tensor's full index range
 // (and, in practice, close to its value range — the REL bound the
 // probe verifies against resolves on this sample). n <= 0 or n beyond
-// len(data) returns data itself.
+// len(data) returns data itself — callers handing the sample to the
+// background probe queue must copy it (copySample), since the caller
+// owns data and may mutate it once the encode returns.
 func sampleTensor(data []float32, n int) []float32 {
 	if n <= 0 || n >= len(data) {
 		return data
@@ -49,15 +57,25 @@ func sampleTensor(data []float32, n int) []float32 {
 	return out
 }
 
+// copySample is sampleTensor with ownership: the result never aliases
+// data, so it can outlive the encode that produced it.
+func copySample(data []float32, n int) []float32 {
+	s := sampleTensor(data, n)
+	if len(s) == len(data) {
+		s = append([]float32(nil), s...)
+	}
+	return s
+}
+
 // probeCandidate measures one candidate on sample: compress (timed),
-// decompress, verify the error against the effective absolute bound
-// the control plane requires (effAbs; the candidate's own bound is
-// never looser than it). A failing or bound-violating candidate comes
-// back with BoundOK false and is never selected.
-func probeCandidate(sample []float32, c Candidate, effAbs float64) Result {
+// decompress, and — when the candidate's setting guarantees a bound —
+// verify the error against the effective absolute bound the control
+// plane requires (effAbs; the candidate's own bound is never looser
+// than it). A failing or bound-violating candidate comes back with
+// BoundOK false and is never selected.
+func probeCandidate(sample []float32, comp lossy.Compressor, c Candidate, effAbs float64, bounded bool) Result {
 	r := Result{Candidate: c}
-	comp, err := lossy.New(c.Lossy)
-	if err != nil {
+	if comp == nil {
 		return r
 	}
 	start := time.Now()
@@ -77,6 +95,10 @@ func probeCandidate(sample []float32, c Candidate, effAbs float64) Result {
 		return r
 	}
 	r.MaxAbsErr = lossy.MaxAbsError(sample, dec)
-	r.BoundOK = r.MaxAbsErr <= effAbs*boundSlack
+	if bounded {
+		r.BoundOK = r.MaxAbsErr <= effAbs*boundSlack
+	} else {
+		r.BoundOK = len(dec) == len(sample)
+	}
 	return r
 }

@@ -10,6 +10,14 @@
 // both baselines are implemented as standalone codecs, and Stack
 // composes any sparsifier/quantizer with the FedSZ pipeline so the
 // combination can be measured (the `ablations` bench experiment does).
+//
+// Deprecated: new code should reach these techniques through the
+// compressor-family registry instead — "topk", "randk" and "qsgd" are
+// first-class families (package family) selectable per tensor by the
+// adaptive control plane and composable with per-client error
+// feedback (core.Feedback). This package is kept for the paper's
+// §VIII stacked-codec experiments and remains byte-identical to
+// previous releases; it gains no new capabilities.
 package baseline
 
 import (

@@ -1,0 +1,230 @@
+package core
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"fedsz/internal/lossy"
+	"fedsz/internal/model"
+	"fedsz/internal/stats"
+	"fedsz/internal/tensor"
+)
+
+// familyStub selects one tensor per new family, mixing bounded
+// defaults (pred, derived-width qsgd, threshold topk) with an
+// unbounded fractional setting, so the frame carries every new
+// section format at once.
+func familyStub() stubSelector {
+	return stubSelector{
+		picks: map[string]Selection{
+			"a.weight": {Lossy: "topk", Bound: lossy.RelBound(1e-2)},
+			"b.weight": {Lossy: "qsgd", Bound: lossy.RelBound(1e-2)},
+			"c.weight": {Lossy: "pred", Bound: lossy.RelBound(1e-2)},
+			"d.weight": {Lossy: "randk", Setting: lossy.Setting{Fraction: 0.25}, Bound: lossy.RelBound(1e-2)},
+		},
+	}
+}
+
+// TestFamilyFrameRoundTrip pins that frames whose sections come from
+// the sparsifying, quantizing and predictor families decode through
+// both whole-buffer and streaming decoders, honour per-tensor bounds
+// for bound-guaranteed selections, and stay byte-identical between
+// Compress and CompressTo at any parallelism.
+func TestFamilyFrameRoundTrip(t *testing.T) {
+	sd := adaptiveStateDict(t)
+	stub := familyStub()
+
+	var frames [][]byte
+	for _, par := range []int{1, 4} {
+		p, err := NewPipeline(Config{Parallelism: par, Selector: stub})
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf, _, err := p.Compress(sd)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var streamBuf bytes.Buffer
+		if _, err := p.CompressTo(&streamBuf, sd); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(buf, streamBuf.Bytes()) {
+			t.Fatalf("parallelism %d: family frame differs between Compress and CompressTo", par)
+		}
+		frames = append(frames, buf)
+	}
+	if !bytes.Equal(frames[0], frames[1]) {
+		t.Fatal("family frame differs across parallelism")
+	}
+
+	for _, decode := range []func([]byte) (*model.StateDict, error){
+		Decompress,
+		func(b []byte) (*model.StateDict, error) { return DecompressFrom(bytes.NewReader(b), 2) },
+	} {
+		out, err := decode(frames[0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out.Len() != sd.Len() {
+			t.Fatalf("decoded %d entries, want %d", out.Len(), sd.Len())
+		}
+		gotEntries := out.Entries()
+		for i, e := range sd.Entries() {
+			sel, ok := stub.picks[e.Name]
+			if !ok {
+				continue
+			}
+			od, gd := e.Tensor.Data(), gotEntries[i].Tensor.Data()
+			if len(od) != len(gd) {
+				t.Fatalf("tensor %q: decoded %d elements, want %d", e.Name, len(gd), len(od))
+			}
+			fam, err := lossy.FamilyByName(sel.Lossy)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !fam.Bounded(sel.Setting) {
+				continue // rand-k at a fixed fraction guarantees shape, not error
+			}
+			mn, mx := stats.MinMaxF32(od)
+			abs := sel.Bound.Bound * float64(mx-mn)
+			if err := lossy.MaxAbsError(od, gd); err > abs*(1+1e-6) {
+				t.Errorf("tensor %q (%s %s): max error %g beyond bound %g",
+					e.Name, sel.Lossy, sel.Setting, err, abs)
+			}
+		}
+	}
+}
+
+// TestFamilyFrameDeterministic pins byte determinism of the new
+// families end to end: two independent pipelines over the same input
+// emit identical frames (rand-k's pseudo-random selection included —
+// it must derive from the data, not from process state).
+func TestFamilyFrameDeterministic(t *testing.T) {
+	sd := adaptiveStateDict(t)
+	var frames [][]byte
+	for i := 0; i < 2; i++ {
+		p, err := NewPipeline(Config{Parallelism: 2, Selector: familyStub()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf, _, err := p.Compress(sd)
+		if err != nil {
+			t.Fatal(err)
+		}
+		frames = append(frames, buf)
+	}
+	if !bytes.Equal(frames[0], frames[1]) {
+		t.Fatal("family frames differ across identical pipelines")
+	}
+}
+
+// TestFamilySettingFallback pins that a selection whose setting is
+// outside the family's domain degrades to the pipeline's static
+// configuration instead of failing the frame.
+func TestFamilySettingFallback(t *testing.T) {
+	sd := adaptiveStateDict(t)
+	stub := stubSelector{picks: map[string]Selection{
+		"a.weight": {Lossy: "topk", Setting: lossy.Setting{Fraction: 2}, Bound: lossy.RelBound(1e-2)},
+		"b.weight": {Lossy: "sz2", Setting: lossy.Setting{Bits: 8}, Bound: lossy.RelBound(1e-2)},
+	}}
+	p, err := NewPipeline(Config{Parallelism: 1, Selector: stub})
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf, _, err := p.Compress(sd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := Decompress(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotEntries := out.Entries()
+	for i, e := range sd.Entries() {
+		if _, ok := stub.picks[e.Name]; !ok {
+			continue
+		}
+		od, gd := e.Tensor.Data(), gotEntries[i].Tensor.Data()
+		mn, mx := stats.MinMaxF32(od)
+		if err := lossy.MaxAbsError(od, gd); err > DefaultBound*float64(mx-mn)*(1+1e-6) {
+			t.Errorf("tensor %q: max error %g beyond the fallback bound", e.Name, err)
+		}
+	}
+}
+
+// TestFamilyRegistryContract pins the registry split: Names() stays
+// the Table I EBLC sweep while Families() spans every kind, and the
+// zero Setting of every canonical family resolves (the frame-decode
+// invariant — payloads name only the family).
+func TestFamilyRegistryContract(t *testing.T) {
+	names := lossy.Names()
+	want := []string{"sz2", "sz3", "szx", "zfp"}
+	if len(names) != len(want) {
+		t.Fatalf("Names() = %v, want %v", names, want)
+	}
+	for i, n := range want {
+		if names[i] != n {
+			t.Fatalf("Names() = %v, want %v", names, want)
+		}
+	}
+	fams := lossy.Families()
+	for _, required := range []string{"pred", "qsgd", "randk", "sz2", "sz3", "szx", "topk", "zfp"} {
+		found := false
+		for _, f := range fams {
+			if f == required {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("Families() = %v missing %q", fams, required)
+		}
+	}
+	for _, name := range fams {
+		if _, err := lossy.New(name); err != nil {
+			t.Errorf("zero-setting compressor for %q: %v", name, err)
+		}
+	}
+}
+
+// TestFamilyFrameAdaptivePolicyEndToEnd runs the real adapt policy
+// indirectly: a frame compressed under a selector whose picks span
+// three kinds decodes on a receiver that has no selector at all, via
+// the plain registry lookup — the wire-compatibility guarantee.
+func TestFamilyFrameForeignReceiver(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	data := make([]float32, 2000)
+	for i := range data {
+		data[i] = float32(rng.NormFloat64())
+	}
+	tt, err := tensor.FromData(data, len(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sd := model.NewStateDict()
+	if err := sd.Add(model.Entry{Name: "w.weight", DType: model.Float32, Tensor: tt}); err != nil {
+		t.Fatal(err)
+	}
+	for _, famName := range []string{"topk", "qsgd", "pred"} {
+		stub := stubSelector{picks: map[string]Selection{
+			"w.weight": {Lossy: famName, Bound: lossy.RelBound(1e-2)},
+		}}
+		p, err := NewPipeline(Config{Parallelism: 1, Selector: stub})
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf, _, err := p.Compress(sd)
+		if err != nil {
+			t.Fatalf("%s: %v", famName, err)
+		}
+		out, err := DecompressFrom(bytes.NewReader(buf), 0)
+		if err != nil {
+			t.Fatalf("%s: foreign receiver decode: %v", famName, err)
+		}
+		e, ok := out.Get("w.weight")
+		if !ok || e.Tensor.NumElements() != len(data) {
+			t.Fatalf("%s: foreign receiver lost the tensor", famName)
+		}
+	}
+}

@@ -79,6 +79,16 @@ type Config struct {
 	// frame unchanged. Lossy and Bound remain the fallback for tensors
 	// the selector declines to plan.
 	Selector Selector
+	// Feedback, when non-nil, runs the lossy path with per-client
+	// error feedback: each tensor is compressed with its accumulated
+	// residual added, and the residual the encoded payload leaves
+	// behind is stored for the next frame. This costs one extra
+	// decompression per lossy tensor (to measure what the receiver
+	// will reconstruct) and makes encoding stateful — one Feedback per
+	// logical client, never shared. It is what keeps unbounded
+	// adaptive candidates (fractional sparsification, fixed-width
+	// quantization) convergent.
+	Feedback *Feedback
 }
 
 func (c Config) withDefaults() Config {

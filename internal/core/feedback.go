@@ -1,0 +1,131 @@
+package core
+
+import "sync"
+
+// Feedback is one client's error-feedback state: a per-tensor
+// residual buffer in the FedSparQ style. Before compressing a tensor
+// the pipeline adds the residual left over from previous rounds
+// (Adjust), and after compressing it stores the new residual — the
+// part of the adjusted signal the encoded payload did not carry
+// (Commit). Telescoping across rounds, every decoded update plus the
+// final residual equals the sum of true updates, which is what keeps
+// aggressive unbounded candidates (fractional top-k, fixed-width
+// quantization) convergent: dropped signal re-enters later updates
+// instead of vanishing.
+//
+// A Feedback belongs to one logical client — residuals are update
+// history, so sharing one across clients corrupts both. All methods
+// are safe for concurrent use by the pipeline's encode workers, which
+// adjust and commit different tensors of one frame in parallel.
+type Feedback struct {
+	mu  sync.Mutex
+	res map[string][]float32
+}
+
+// NewFeedback returns an empty error-feedback state.
+func NewFeedback() *Feedback {
+	return &Feedback{res: make(map[string][]float32)}
+}
+
+// Adjust returns data plus the tensor's accumulated residual. With no
+// residual (first round, after Reset, or after a shape change) it
+// returns data itself; otherwise a fresh slice, so the caller's
+// tensor is never mutated.
+func (f *Feedback) Adjust(name string, data []float32) []float32 {
+	f.mu.Lock()
+	r := f.res[name]
+	if len(r) != len(data) {
+		f.mu.Unlock()
+		return data
+	}
+	out := make([]float32, len(data))
+	for i, v := range data {
+		out[i] = v + r[i]
+	}
+	f.mu.Unlock()
+	return out
+}
+
+// Commit stores the tensor's new residual: adjusted − decoded, where
+// adjusted is what Adjust returned and decoded is the receiver-side
+// reconstruction of the payload the pipeline encoded. Mismatched
+// lengths clear the residual.
+func (f *Feedback) Commit(name string, adjusted, decoded []float32) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if len(adjusted) != len(decoded) {
+		delete(f.res, name)
+		return
+	}
+	r := f.res[name]
+	if len(r) != len(adjusted) {
+		r = make([]float32, len(adjusted))
+	}
+	for i := range adjusted {
+		r[i] = adjusted[i] - decoded[i]
+	}
+	f.res[name] = r
+}
+
+// Residual returns a copy of the tensor's accumulated residual (nil
+// when none is held), for tests and diagnostics.
+func (f *Feedback) Residual(name string) []float32 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	r := f.res[name]
+	if r == nil {
+		return nil
+	}
+	return append([]float32(nil), r...)
+}
+
+// Reset drops every residual buffer.
+func (f *Feedback) Reset() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.res = make(map[string][]float32)
+}
+
+// ResidualStore keys Feedback state by client ID for the server side
+// of a federation: each client's residuals live exactly as long as
+// the client does. Withdraw drops a departed or aborted client's
+// state so a future client reusing the ID starts clean — the
+// orchestrator's OnDrop hook is the intended caller. Safe for
+// concurrent use.
+type ResidualStore struct {
+	mu sync.Mutex
+	m  map[string]*Feedback
+}
+
+// NewResidualStore returns an empty per-client residual store.
+func NewResidualStore() *ResidualStore {
+	return &ResidualStore{m: make(map[string]*Feedback)}
+}
+
+// For returns the client's Feedback, creating it on first use.
+func (s *ResidualStore) For(clientID string) *Feedback {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	f := s.m[clientID]
+	if f == nil {
+		f = NewFeedback()
+		s.m[clientID] = f
+	}
+	return f
+}
+
+// Withdraw drops the client's residual state. Compression already in
+// flight against the withdrawn Feedback finishes harmlessly — it
+// just commits into state nothing references anymore.
+func (s *ResidualStore) Withdraw(clientID string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.m, clientID)
+}
+
+// Len returns the number of clients currently holding residual state.
+func (s *ResidualStore) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.m)
+}

@@ -6,12 +6,17 @@ import (
 	"fedsz/internal/model"
 )
 
-// Selection is one tensor's adaptive compression choice: the inner
-// lossy compressor and the error bound to apply. A zero Lossy or Bound
-// falls back to the pipeline's static configuration.
+// Selection is one tensor's adaptive compression choice: the
+// compressor family, the setting on its parameter grid, and the error
+// bound to apply. A zero Lossy or Bound falls back to the pipeline's
+// static configuration; the zero Setting is every family's default.
+// The Setting shapes only the encode — payloads are self-describing,
+// so the frame records just the family name and decodes through the
+// ordinary registry lookup.
 type Selection struct {
-	Lossy string
-	Bound lossy.Params
+	Lossy   string
+	Setting lossy.Setting
+	Bound   lossy.Params
 }
 
 // Selector is the pipeline's hook into the adaptive compression
@@ -63,28 +68,66 @@ func (p *Pipeline) frameCodecs() (lossyName, losslessName string, ll lossless.Co
 
 // compressEntry compresses one lossy-path tensor: through the static
 // compressor, or — when a selector is configured — through the
-// per-tensor choice, wrapped in the adaptive section format.
+// per-tensor (family, setting) choice, wrapped in the adaptive
+// section format. With error feedback configured, the tensor is
+// adjusted by its accumulated residual before compression and the
+// residual the payload leaves behind is committed after.
 func (p *Pipeline) compressEntry(e model.Entry) ([]byte, error) {
 	data := e.Tensor.Data()
 	if p.cfg.Selector == nil {
-		return p.lossyC.Compress(data, p.cfg.Bound)
+		return p.feedbackCompress(e.Name, data, p.lossyC, p.cfg.Bound, "")
 	}
 	sel := p.cfg.Selector.SelectTensor(e.Name, data)
 	if sel.Lossy == "" || sel.Lossy == lossy.NameAdaptive {
-		sel.Lossy = p.cfg.Lossy
+		sel.Lossy, sel.Setting = p.cfg.Lossy, lossy.Setting{}
 	}
 	if sel.Bound.Mode == 0 || sel.Bound.Bound <= 0 {
 		sel.Bound = p.cfg.Bound
 	}
-	c, err := lossy.New(sel.Lossy)
-	if err != nil {
-		// The selector named a compressor this process does not have;
-		// fall back to the configured one rather than failing the frame.
-		c, sel.Lossy = p.lossyC, p.cfg.Lossy
+	c := p.resolveSelection(&sel)
+	return p.feedbackCompress(e.Name, data, c, sel.Bound, sel.Lossy)
+}
+
+// resolveSelection turns a selection into a compressor, falling back
+// to the pipeline's configured compressor (rewriting sel to match)
+// when the named family or setting does not resolve in this process —
+// an unknown name must degrade the choice, never fail the frame.
+func (p *Pipeline) resolveSelection(sel *Selection) lossy.Compressor {
+	fam, err := lossy.FamilyByName(sel.Lossy)
+	if err == nil {
+		if c, err := fam.Compressor(sel.Setting); err == nil {
+			return c
+		}
 	}
-	comp, err := c.Compress(data, sel.Bound)
+	sel.Lossy, sel.Setting = p.cfg.Lossy, lossy.Setting{}
+	return p.lossyC
+}
+
+// feedbackCompress runs one tensor through c — adjusting by and
+// committing the error-feedback residual when Config.Feedback is set —
+// and wraps the payload in the adaptive section format when wrapAs
+// names the chosen family (selector mode).
+func (p *Pipeline) feedbackCompress(name string, data []float32, c lossy.Compressor, bound lossy.Params, wrapAs string) ([]byte, error) {
+	fb := p.cfg.Feedback
+	if fb != nil {
+		data = fb.Adjust(name, data)
+	}
+	comp, err := c.Compress(data, bound)
 	if err != nil {
 		return nil, err
 	}
-	return lossy.WrapAdaptive(sel.Lossy, comp), nil
+	if fb != nil {
+		// Measure what the receiver will reconstruct. The extra decode
+		// is the price of exact residuals; it parallelizes with the
+		// rest of the frame like the compression itself.
+		dec, err := c.Decompress(comp)
+		if err != nil {
+			return nil, err
+		}
+		fb.Commit(name, data, dec)
+	}
+	if wrapAs == "" {
+		return comp, nil
+	}
+	return lossy.WrapAdaptive(wrapAs, comp), nil
 }

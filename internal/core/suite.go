@@ -5,9 +5,11 @@ import (
 
 	"fedsz/internal/lossy"
 
-	// The built-in error-bounded compressors self-register with the
-	// lossy registry from their init functions; importing them here
-	// guarantees every pipeline binary links the full Table I suite.
+	// The built-in compressor families self-register with the lossy
+	// registry from their init functions; importing them here
+	// guarantees every pipeline binary links the full Table I suite
+	// plus the sparsifying/quantizing/predictor families.
+	_ "fedsz/internal/family"
 	_ "fedsz/internal/sz2"
 	_ "fedsz/internal/sz3"
 	_ "fedsz/internal/szx"
@@ -34,8 +36,16 @@ func LossyByName(name string) (lossy.Compressor, error) {
 	return c, nil
 }
 
-// LossyNames lists the canonical registered compressors; for the
-// built-in suite that is the paper's Table I order.
+// LossyNames lists the canonical registered EBLC compressors; for the
+// built-in suite that is the paper's Table I order. The sparsifying,
+// quantizing and predictor families are listed by FamilyNames.
 func LossyNames() []string {
 	return lossy.Names()
+}
+
+// FamilyNames lists every canonical registered compressor family
+// across all kinds — the Table I EBLCs plus topk, randk, qsgd and
+// pred (and anything plugged in through lossy.RegisterFamily).
+func FamilyNames() []string {
+	return lossy.Families()
 }

@@ -1,0 +1,89 @@
+package family
+
+import (
+	"fmt"
+
+	"fedsz/internal/lossy"
+	"fedsz/internal/stats"
+)
+
+// NameRandK is the registry name of the random-sparsification family.
+const NameRandK = "randk"
+
+const randkMagic = "FRK1"
+
+func init() {
+	lossy.MustRegisterFamily(randKFamily{})
+}
+
+// randKFamily is random-k sparsification: each value survives with
+// probability f, independently of its magnitude. No setting is error
+// bounded — a dropped value's error is the value itself — so the
+// family only enters adaptive selection when unbounded candidates are
+// allowed, i.e. under error feedback. Selection is drawn from a
+// deterministic seed (the tensor length), so encoding is reproducible
+// and frames stay byte-identical across runs; kept values travel
+// unscaled (the 1/f unbiasing of the RandK literature amounts to
+// amplifying the very noise error feedback exists to cancel).
+type randKFamily struct{}
+
+func (randKFamily) Name() string { return NameRandK }
+func (randKFamily) Kind() string { return lossy.KindSparse }
+func (randKFamily) Grid() []lossy.Setting {
+	return []lossy.Setting{{Fraction: 0.05}, {Fraction: 0.1}, {Fraction: 0.25}}
+}
+func (randKFamily) Bounded(lossy.Setting) bool { return false }
+func (randKFamily) Compressor(s lossy.Setting) (lossy.Compressor, error) {
+	// The zero setting is allowed so name-based resolution (lossy.New,
+	// i.e. the frame decode path) succeeds; it decodes any payload but
+	// cannot compress.
+	if s.Bits != 0 || s.Fraction < 0 || s.Fraction >= 1 {
+		return nil, fmt.Errorf("lossy: randk has no setting %v", s)
+	}
+	return randK{fraction: s.Fraction}, nil
+}
+
+// randK is one randk configuration. The zero-fraction value only
+// occurs on the decode path (lossy.New resolves the zero Setting),
+// where the fraction is irrelevant: payloads are self-describing.
+type randK struct {
+	fraction float64
+}
+
+// Name implements lossy.Compressor.
+func (randK) Name() string { return NameRandK }
+
+// Compress implements lossy.Compressor.
+func (r randK) Compress(data []float32, p lossy.Params) ([]byte, error) {
+	eb, err := p.Resolve(data)
+	if err != nil {
+		return nil, fmt.Errorf("randk: %w", err)
+	}
+	if r.fraction <= 0 {
+		return nil, fmt.Errorf("randk: compressing with the decode-only zero setting")
+	}
+	rng := stats.NewRNG(int64(len(data)))
+	var idx []int
+	var vals []float32
+	for i, v := range data {
+		if rng.Float64() < r.fraction {
+			idx = append(idx, i)
+			vals = append(vals, v)
+		}
+	}
+	out := make([]byte, 0, lossy.MaxHeaderLen+5+len(idx)*9)
+	out = lossy.AppendHeader(out, randkMagic, len(data), eb)
+	return appendSparse(out, idx, vals), nil
+}
+
+// Decompress implements lossy.Compressor.
+func (randK) Decompress(buf []byte) ([]float32, error) {
+	count, _, rest, err := lossy.ReadHeader(randkMagic, buf)
+	if err != nil {
+		return nil, err
+	}
+	if count == 0 {
+		return nil, nil
+	}
+	return decodeSparse("randk", count, rest)
+}

@@ -45,6 +45,20 @@ type OrchSimConfig struct {
 	// encodes — the virtual-time equivalent of the TCP server's
 	// MsgRoundBound broadcast.
 	Bound orchestrator.BoundScheduler
+	// ClientCodec, if non-nil, builds each client's *encode* codec from
+	// its id — the hook that gives every simulated client its own
+	// stateful encoder (error-feedback residuals are per-client; a
+	// shared codec would cross-pollinate them). Decoding stays on the
+	// shared cfg.Codec: frames are self-describing, so any pipeline
+	// decodes any client's bytes. Nil means every client encodes with
+	// cfg.Codec, as before.
+	ClientCodec func(id string) Codec
+	// OnDrop, if non-nil, is forwarded to the coordinator: it observes
+	// every client whose pending update is withdrawn (leave, straggler
+	// drop, aborted contribution), outside all locks. Pair it with
+	// core.ResidualStore.Withdraw when ClientCodec attaches
+	// error-feedback state.
+	OnDrop func(clientID string)
 	// Population samples each client's link/compute profile; the zero
 	// profile gives every client cfg.Link at nominal compute.
 	Population netsim.Profile
@@ -96,11 +110,17 @@ func RunOrchestratedSim(cfg OrchSimConfig) (*SimResult, error) {
 		if !cfg.Population.IsZero() {
 			profile = cfg.Population.Sample(profileRNG)
 		}
+		id := fmt.Sprintf("client-%04d", i)
+		codec := cfg.Codec
+		if cfg.ClientCodec != nil {
+			codec = cfg.ClientCodec(id)
+		}
 		clients[i] = &orchClient{
-			id:      fmt.Sprintf("client-%04d", i),
+			id:      id,
 			net:     nn.MiniByName(cfg.Model, cfg.Dataset.Dim, cfg.Dataset.Classes, cfg.Seed),
 			data:    shards[i],
 			profile: profile,
+			codec:   codec,
 		}
 	}
 	server := nn.MiniByName(cfg.Model, cfg.Dataset.Dim, cfg.Dataset.Classes, cfg.Seed)
@@ -114,6 +134,7 @@ func RunOrchestratedSim(cfg OrchSimConfig) (*SimResult, error) {
 		BufferSize:      cfg.BufferSize,
 		Shards:          cfg.Shards,
 		Bound:           cfg.Bound,
+		OnDrop:          cfg.OnDrop,
 		Seed:            cfg.Seed + 5,
 	}, global)
 	if err != nil {
@@ -145,6 +166,11 @@ func RunOrchestratedSim(cfg OrchSimConfig) (*SimResult, error) {
 		if _, ok := cfg.Codec.(ReferenceAware); ok {
 			return nil, fmt.Errorf("fl: async mode cannot use reference-aware codec %q: commits between a client's encode and the server's decode would desynchronize the reference", cfg.Codec.Name())
 		}
+		for _, c := range clients {
+			if _, ok := c.codec.(ReferenceAware); ok {
+				return nil, fmt.Errorf("fl: async mode cannot use reference-aware codec %q for client %s", c.codec.Name(), c.id)
+			}
+		}
 		if err := runAsyncSim(cfg, coord, clients, jitterRNG, evaluate, result); err != nil {
 			return nil, err
 		}
@@ -162,6 +188,16 @@ func RunOrchestratedSim(cfg OrchSimConfig) (*SimResult, error) {
 			return nil, err
 		}
 		_, g := coord.Global()
+		if cfg.ClientCodec != nil {
+			// Per-client encoders receive the round broadcast too — the
+			// in-process analogue of each connection reading MsgRoundBound.
+			for _, id := range r.Participants() {
+				if ra, ok := byID[id].codec.(ReferenceAware); ok {
+					ra.SetReference(g)
+				}
+				applyRoundBound(coord, byID[id].codec)
+			}
+		}
 
 		// Train the over-provisioned participant set in parallel (wall
 		// clock), then place each update on the virtual timeline.
@@ -260,12 +296,14 @@ func applyRoundBound(coord *orchestrator.Coordinator, codec Codec) {
 }
 
 // orchClient is one simulated participant with a fixed heterogeneity
-// profile.
+// profile and its own encode codec (shared cfg.Codec unless
+// ClientCodec assigns per-client encoders).
 type orchClient struct {
 	id      string
 	net     *nn.Network
 	data    *dataset.Dataset
 	profile netsim.ClientProfile
+	codec   Codec
 }
 
 type clientResult struct {
@@ -292,7 +330,7 @@ func (c *orchClient) train(cfg OrchSimConfig, g *model.StateDict, round int) cli
 	}
 	out.train = time.Since(start)
 	out.samples = c.data.N
-	out.payload, out.stats, out.err = cfg.Codec.Encode(c.net.StateDict())
+	out.payload, out.stats, out.err = c.codec.Encode(c.net.StateDict())
 	return out
 }
 
@@ -334,7 +372,7 @@ func runAsyncSim(
 	heap.Init(h)
 
 	schedule := func(c *orchClient, start time.Duration, round int) error {
-		applyRoundBound(coord, cfg.Codec)
+		applyRoundBound(coord, c.codec)
 		version, g := coord.Global()
 		out := c.train(cfg, g, round)
 		if out.err != nil {

@@ -3,92 +3,110 @@ package lossy
 import (
 	"fmt"
 	"sort"
-	"sync"
 )
 
-// The compressor registry maps names to constructors. Built-in
-// compressors self-register from their packages' init functions
-// (sz2, sz3, szx, zfp), and downstream code can plug additional
-// error-bounded compressors in through Register without touching any
-// internal package: a frame recording the registered name decompresses
-// through the same lookup the built-ins use.
-var (
-	registryMu sync.RWMutex
-	registry   = map[string]func() Compressor{}
-	variants   = map[string]bool{}
-)
+// The name-keyed compressor API predates the typed family registry
+// (family.go) and survives as thin shims over it: Register wraps a
+// bare Compressor factory in a single-setting KindEBLC family, and New
+// resolves a name to its family's default-setting compressor. Every
+// historical call site — and every frame ever written, since frames
+// record only names — keeps working byte-identically, while new code
+// and the adaptive control plane see one registry of typed families.
 
-// Register makes factory available to New under name. Registering an
-// empty name, a nil factory or a name that is already taken is an
-// error; a process registers each compressor exactly once (typically
-// from init).
+// legacyFamily adapts a pre-family Compressor factory: one
+// configuration (the zero Setting), error bounded, classified by the
+// kind the registration shim chose.
+type legacyFamily struct {
+	name    string
+	kind    string
+	factory func() Compressor
+}
+
+func (f legacyFamily) Name() string         { return f.name }
+func (f legacyFamily) Kind() string         { return f.kind }
+func (f legacyFamily) Grid() []Setting      { return nil }
+func (f legacyFamily) Bounded(Setting) bool { return true }
+func (f legacyFamily) Compressor(s Setting) (Compressor, error) {
+	if !s.IsZero() {
+		return nil, fmt.Errorf("lossy: compressor %q has no setting %v", f.name, s)
+	}
+	return f.factory(), nil
+}
+
+// Register makes factory available to New under name, as a
+// single-configuration error-bounded family. Registering an empty
+// name, a nil factory or a name that is already taken is an error; a
+// process registers each compressor exactly once (typically from
+// init).
+//
+// Deprecated: new compressors should implement Family and call
+// RegisterFamily, which additionally exposes a parameter grid to the
+// adaptive control plane. Register remains for single-configuration
+// error-bounded compressors and existing callers.
 func Register(name string, factory func() Compressor) error {
-	return register(name, factory, false)
-}
-
-// RegisterVariant registers a non-canonical configuration of an
-// existing compressor (e.g. "szx-artifact"): it resolves through New
-// like any other name but is excluded from Names, so suite sweeps
-// iterate only canonical compressors.
-func RegisterVariant(name string, factory func() Compressor) error {
-	return register(name, factory, true)
-}
-
-func register(name string, factory func() Compressor, variant bool) error {
 	if name == "" {
 		return fmt.Errorf("lossy: register: empty name")
 	}
 	if factory == nil {
 		return fmt.Errorf("lossy: register %q: nil factory", name)
 	}
-	registryMu.Lock()
-	defer registryMu.Unlock()
-	if _, dup := registry[name]; dup {
-		return fmt.Errorf("lossy: register %q: already registered", name)
-	}
-	registry[name] = factory
-	variants[name] = variant
-	return nil
+	return RegisterFamily(legacyFamily{name: name, kind: KindEBLC, factory: factory})
 }
 
-// mustRegister is the init-time form of Register/RegisterVariant.
-func mustRegister(name string, factory func() Compressor, variant bool) {
-	if err := register(name, factory, variant); err != nil {
-		panic(err)
+// RegisterVariant registers a non-canonical configuration of an
+// existing compressor (e.g. "szx-artifact"): it resolves through New
+// like any other name but is excluded from Names and Families, so
+// suite sweeps iterate only canonical compressors.
+//
+// Deprecated: new variants should implement Family and call
+// RegisterFamilyVariant.
+func RegisterVariant(name string, factory func() Compressor) error {
+	if name == "" {
+		return fmt.Errorf("lossy: register: empty name")
 	}
+	if factory == nil {
+		return fmt.Errorf("lossy: register %q: nil factory", name)
+	}
+	return RegisterFamilyVariant(legacyFamily{name: name, kind: KindEBLC, factory: factory})
 }
 
 // MustRegister registers name or panics — the init-time form of
 // Register for built-in compressor packages.
 func MustRegister(name string, factory func() Compressor) {
-	mustRegister(name, factory, false)
+	if err := Register(name, factory); err != nil {
+		panic(err)
+	}
 }
 
 // MustRegisterVariant is the init-time form of RegisterVariant.
 func MustRegisterVariant(name string, factory func() Compressor) {
-	mustRegister(name, factory, true)
-}
-
-// New constructs the compressor registered under name.
-func New(name string) (Compressor, error) {
-	registryMu.RLock()
-	factory, ok := registry[name]
-	registryMu.RUnlock()
-	if !ok {
-		return nil, fmt.Errorf("lossy: unknown compressor %q", name)
+	if err := RegisterVariant(name, factory); err != nil {
+		panic(err)
 	}
-	return factory(), nil
 }
 
-// Names lists the canonical registered compressor names in sorted
-// order (for the built-ins that is the paper's Table I order: sz2,
-// sz3, szx, zfp). Variant registrations are omitted.
+// New constructs the compressor registered under name at its family's
+// default setting. This is the resolution path frame decoding uses:
+// payloads are self-describing, so the default-setting Decompress
+// decodes every Setting of the family.
+func New(name string) (Compressor, error) {
+	f, err := FamilyByName(name)
+	if err != nil {
+		return nil, err
+	}
+	return f.Compressor(Setting{})
+}
+
+// Names lists the canonical registered KindEBLC compressor names in
+// sorted order (for the built-ins that is the paper's Table I order:
+// sz2, sz3, szx, zfp). Variant registrations and non-EBLC families
+// are omitted — use Families for the full cross-kind listing.
 func Names() []string {
-	registryMu.RLock()
-	defer registryMu.RUnlock()
-	out := make([]string, 0, len(registry))
-	for name := range registry {
-		if !variants[name] {
+	familyMu.RLock()
+	defer familyMu.RUnlock()
+	out := make([]string, 0, len(familyRegistry))
+	for name, f := range familyRegistry {
+		if !familyVariant[name] && f.Kind() == KindEBLC {
 			out = append(out, name)
 		}
 	}

@@ -121,6 +121,9 @@ func (c *Coordinator) AsyncContributor(id string, weight float64, trainedVersion
 		}
 		c.mu.Unlock()
 		c.notifyAsyncCommit(res)
+		// The aborted update never reached the global model; withdraw
+		// the client's pending per-encoder state.
+		c.notifyDrop(id)
 	}
 	commit := func() (AsyncCommit, error) {
 		if err := ct.Commit(); err != nil {

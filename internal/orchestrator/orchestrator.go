@@ -92,6 +92,16 @@ type Config struct {
 	// directly should not also count hook invocations, or they will
 	// observe commits twice.
 	OnAsyncCommit func(AsyncCommit)
+	// OnDrop, if non-nil, observes every client whose pending work the
+	// coordinator withdraws: a registry Leave, a sync-round straggler
+	// Drop, or an aborted contribution (sync or async). It is invoked
+	// outside the coordinator and round locks, on the goroutine that
+	// triggered the withdrawal. Drivers use it to discard per-client
+	// encoder state whose accounting the lost update invalidated —
+	// error-feedback residuals above all (core.ResidualStore.Withdraw):
+	// a residual measured against an update the server never applied
+	// would be replayed against the wrong baseline.
+	OnDrop func(clientID string)
 	// Bound, if non-nil, schedules the round-level error bound: every
 	// commit (sync round or async buffer) feeds it the global model's
 	// movement, and drivers read RoundBound to broadcast the bound for
@@ -198,14 +208,14 @@ func (c *Coordinator) Join(id string) error {
 	return nil
 }
 
-// Leave removes a client from the registry. An in-flight round keeps
-// its own participant set: the departed client simply never commits
-// and is accounted as dropped at round close.
+// Leave removes a client from the registry and notifies OnDrop. An
+// in-flight round keeps its own participant set: the departed client
+// simply never commits and is accounted as dropped at round close.
 func (c *Coordinator) Leave(id string) {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	i, ok := c.clients[id]
 	if !ok {
+		c.mu.Unlock()
 		return
 	}
 	last := len(c.order) - 1
@@ -213,6 +223,16 @@ func (c *Coordinator) Leave(id string) {
 	c.clients[c.order[i]] = i
 	c.order = c.order[:last]
 	delete(c.clients, id)
+	c.mu.Unlock()
+	c.notifyDrop(id)
+}
+
+// notifyDrop delivers a withdrawal to the OnDrop hook. Callers must
+// not hold coordinator or round locks.
+func (c *Coordinator) notifyDrop(id string) {
+	if c.cfg.OnDrop != nil {
+		c.cfg.OnDrop(id)
+	}
 }
 
 // NumClients returns the current registry size.

@@ -118,10 +118,15 @@ func (r *Round) Contributor(id string, weight float64) (*Contributor, error) {
 	}
 	ct.onAbort = func() {
 		r.mu.Lock()
-		defer r.mu.Unlock()
+		dropped := false
 		if st := r.state[id]; st == participantFolding {
 			r.state[id] = participantDropped
 			r.dropped++
+			dropped = true
+		}
+		r.mu.Unlock()
+		if dropped {
+			r.coord.notifyDrop(id)
 		}
 	}
 	return ct, nil
@@ -142,15 +147,20 @@ func (r *Round) Submit(id string, sd *model.StateDict, weight float64) error {
 }
 
 // Drop marks a sampled participant as cut from the round (straggler
-// past the driver's deadline, disconnect before submitting). A
-// participant with an in-flight Contributor must be aborted through
-// it instead.
+// past the driver's deadline, disconnect before submitting) and
+// notifies the coordinator's OnDrop hook. A participant with an
+// in-flight Contributor must be aborted through it instead.
 func (r *Round) Drop(id string) {
 	r.mu.Lock()
-	defer r.mu.Unlock()
+	dropped := false
 	if st, ok := r.state[id]; ok && st == participantSampled {
 		r.state[id] = participantDropped
 		r.dropped++
+		dropped = true
+	}
+	r.mu.Unlock()
+	if dropped {
+		r.coord.notifyDrop(id)
 	}
 }
 
