@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench fmt vet fuzz parallel-bench scale-bench adapt-bench families-bench
+.PHONY: all build test race bench fmt vet fuzz parallel-bench scale-bench adapt-bench families-bench chaos-bench
 
 all: build test
 
@@ -27,10 +27,11 @@ fmt:
 vet:
 	$(GO) vet ./...
 
-# Short fuzz smoke over the five decoder fuzz targets (matches CI).
+# Short fuzz smoke over the six decoder fuzz targets (matches CI).
 fuzz:
 	$(GO) test -run=^$$ -fuzz=FuzzDecompress -fuzztime=10s ./internal/core
 	$(GO) test -run=^$$ -fuzz=FuzzDecoderStream -fuzztime=10s ./internal/core
+	$(GO) test -run=^$$ -fuzz=FuzzFrameIntegrity -fuzztime=10s ./internal/core
 	$(GO) test -run=^$$ -fuzz=FuzzHuffmanDecode -fuzztime=10s ./internal/huffman
 	$(GO) test -run=^$$ -fuzz=FuzzLZHDecompress -fuzztime=10s ./internal/lossless
 	$(GO) test -run=^$$ -fuzz=FuzzFamilyDecode -fuzztime=10s ./internal/family
@@ -67,6 +68,13 @@ adapt-bench:
 # one frame on the mixed-statistics workload).
 families-bench:
 	$(GO) run ./cmd/fedszbench -exp families -scale $(SCALE) -format json -o BENCH_families.json
+
+# Regenerate the committed fault-injection datapoint (the robustness
+# acceptance criterion: every fault regime — frame corruption,
+# connection kills, coordinator crash/restore — completes its round
+# budget with zero corrupt frames folded into the global model).
+chaos-bench:
+	$(GO) run ./cmd/fedszbench -exp chaos -scale $(SCALE) -format json -o BENCH_chaos.json
 
 # Profile an experiment, e.g.: make profile EXP=throughput
 # then: go tool pprof cpu.pprof

@@ -4,6 +4,13 @@
 // Uploads stream through the pipelined codec path: each tensor's
 // compressed section goes onto the socket while the next tensor is
 // still compressing, hiding compression time behind transmission.
+//
+// The session is resilient: a dropped connection re-dials under
+// jittered exponential backoff (-retries/-backoff), re-registers and
+// resumes participation — surviving coordinator restarts — and the
+// process exits nonzero only once the retry budget is exhausted.
+// -checksum emits CRC32C-checked frames so wire corruption is
+// quarantined server-side instead of folded into the global model.
 package main
 
 import (
@@ -12,6 +19,7 @@ import (
 	"net"
 	"os"
 	"strings"
+	"time"
 
 	"fedsz"
 	"fedsz/internal/dataset"
@@ -49,6 +57,9 @@ func run() error {
 		adaptive = flag.Bool("adaptive", false, "pick compressor/bound per tensor at runtime and follow server bound directives")
 		families = flag.String("families", "", "adaptive: comma-separated compressor families to adapt over (empty = all registered; see fedszcompress -list)")
 		uplink   = flag.Float64("uplink", 0, "adaptive: modeled uplink bandwidth in Mbps for Eqn. 1 scoring (0 = unknown)")
+		checksum = flag.Bool("checksum", false, "emit CRC32C-checked frames (must match server)")
+		retries  = flag.Int("retries", 5, "reconnect attempts after a connection failure (-1 = retry forever)")
+		backoff  = flag.Duration("backoff", 100*time.Millisecond, "base reconnect backoff (doubles per attempt, jittered, capped at 100x)")
 		seed     = flag.Int64("seed", 42, "seed (must match server)")
 	)
 	flag.Parse()
@@ -60,6 +71,9 @@ func run() error {
 	// policy shapes are self-describing, and a bound-scheduling server
 	// reaches the policy through the codec's round-bound hook.
 	opts := []fedsz.Option{fedsz.WithCompressor(*comp), fedsz.WithRelBound(*bound)}
+	if *checksum {
+		opts = append(opts, fedsz.WithChecksum())
+	}
 	if *adaptive {
 		policy, err := fedsz.NewAdaptivePolicy(fedsz.AdaptiveConfig{
 			Families:     splitFamilies(*families),
@@ -86,24 +100,37 @@ func run() error {
 	}).Split(*shards)[*shard]
 	net_ := nn.MobileNetV2Mini(spec.Dim, spec.Classes, *seed)
 
-	conn, err := net.Dial("tcp", *addr)
-	if err != nil {
-		return err
-	}
-	defer conn.Close()
-	fmt.Printf("shard %d/%d connected to %s (%d local samples)\n", *shard, *shards, *addr, data.N)
+	fmt.Printf("shard %d/%d joining %s (%d local samples, %d retries)\n",
+		*shard, *shards, *addr, data.N, *retries)
 
-	return transport.RunClient(conn, codec, func(round int, global *model.StateDict) (*model.StateDict, int, error) {
-		if err := net_.LoadStateDict(global); err != nil {
-			return nil, 0, err
-		}
-		data.Shuffle(*seed + int64(round))
-		var loss float32
-		for lo := 0; lo+20 <= data.N; lo += 20 {
-			x, y := data.Batch(lo, lo+20)
-			loss = net_.TrainBatch(x, y, 0.01, 0.9)
-		}
-		fmt.Printf("round %d: local loss %.4f\n", round, loss)
-		return net_.StateDict(), data.N, nil
+	// The resilient session survives coordinator restarts and transient
+	// network faults: a dropped connection backs off exponentially
+	// (jittered) and redials, any session that completes at least one
+	// round refills the retry budget, and the process exits nonzero
+	// only once the budget is truly exhausted — or on a protocol error,
+	// which no amount of retrying fixes.
+	return transport.RunResilientClient(transport.ClientConfig{
+		Dial:        func() (net.Conn, error) { return net.Dial("tcp", *addr) },
+		Codec:       codec,
+		MaxRetries:  *retries,
+		BaseBackoff: *backoff,
+		MaxBackoff:  100 * *backoff,
+		Seed:        *seed + int64(*shard),
+		Logf: func(format string, args ...interface{}) {
+			fmt.Printf(format+"\n", args...)
+		},
+		Train: func(round int, global *model.StateDict) (*model.StateDict, int, error) {
+			if err := net_.LoadStateDict(global); err != nil {
+				return nil, 0, err
+			}
+			data.Shuffle(*seed + int64(round))
+			var loss float32
+			for lo := 0; lo+20 <= data.N; lo += 20 {
+				x, y := data.Batch(lo, lo+20)
+				loss = net_.TrainBatch(x, y, 0.01, 0.9)
+			}
+			fmt.Printf("round %d: local loss %.4f\n", round, loss)
+			return net_.StateDict(), data.N, nil
+		},
 	})
 }

@@ -11,9 +11,17 @@
 // streaming sharded aggregator as its tensor sections decompress — the
 // server never materializes a client's full state dict.
 //
+// The server is durable and fault-tolerant: -checksum requires
+// CRC32C-checked frames (corrupt uplinks quarantine the client for
+// the round instead of folding poison), -checkpoint snapshots
+// coordinator state atomically every -checkpoint-every commits,
+// SIGINT/SIGTERM drain the in-flight round and write a final
+// checkpoint, and -restore resumes a killed run from its last
+// snapshot while clients ride their retry loop across the restart.
+//
 // Pair with cmd/fedszclient:
 //
-//	fedszserver -addr :9000 -min-clients 2 -rounds 5 &
+//	fedszserver -addr :9000 -min-clients 2 -rounds 5 -checkpoint ck.bin &
 //	fedszclient -addr localhost:9000 -shard 0 -shards 2 &
 //	fedszclient -addr localhost:9000 -shard 1 -shards 2
 package main
@@ -23,7 +31,9 @@ import (
 	"fmt"
 	"net"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"fedsz"
@@ -68,12 +78,20 @@ func run() error {
 		minBound  = flag.Float64("min-bound", 0, "adaptive: tightest scheduled bound (0 = bound/10)")
 		bandwidth = flag.Float64("bandwidth", 0, "per-connection rate limit in Mbps (0 = unlimited)")
 		shards    = flag.Int("shards", 0, "aggregator shard count (0 = auto)")
+		checksum  = flag.Bool("checksum", false, "require CRC32C-checked frames (clients must pass -checksum too)")
+		ckpt      = flag.String("checkpoint", "", "checkpoint file: snapshot coordinator state here periodically and on shutdown")
+		ckptEvery = flag.Int("checkpoint-every", 1, "committed rounds between checkpoints")
+		restore   = flag.Bool("restore", false, "resume from -checkpoint instead of starting fresh (file must exist)")
 		seed      = flag.Int64("seed", 42, "seed (must match clients)")
 		verbose   = flag.Bool("v", false, "log joins, leaves and drops")
 	)
 	flag.Parse()
 
-	codec, err := fedsz.NewCodec(fedsz.WithCompressor(*comp), fedsz.WithRelBound(*bound))
+	codecOpts := []fedsz.Option{fedsz.WithCompressor(*comp), fedsz.WithRelBound(*bound)}
+	if *checksum {
+		codecOpts = append(codecOpts, fedsz.WithChecksum())
+	}
+	codec, err := fedsz.NewCodec(codecOpts...)
 	if err != nil {
 		return err
 	}
@@ -119,6 +137,8 @@ func run() error {
 		RoundDeadline:   *deadline,
 		BandwidthBps:    fedsz.Mbps(*bandwidth),
 		Shards:          *shards,
+		CheckpointPath:  *ckpt,
+		CheckpointEvery: *ckptEvery,
 		Logf:            logf,
 		OnRound: func(round int, global *model.StateDict, st orchestrator.RoundStats) {
 			if err := evalNet.LoadStateDict(global); err != nil {
@@ -137,10 +157,35 @@ func run() error {
 	if policy != nil {
 		cfg.Bound = policy
 	}
+	if *restore {
+		if *ckpt == "" {
+			return fmt.Errorf("-restore needs -checkpoint")
+		}
+		ck, err := orchestrator.LoadCheckpoint(*ckpt)
+		if err != nil {
+			return fmt.Errorf("restore: %w", err)
+		}
+		cfg.Resume = ck
+		fmt.Printf("resuming from %s: %d/%d rounds already committed, model version %d\n",
+			*ckpt, ck.Commits, *rounds, ck.Version)
+	}
 	srv, err := transport.NewOrchestrated(cfg)
 	if err != nil {
 		return err
 	}
+
+	// SIGINT/SIGTERM drain gracefully: the round in flight commits, a
+	// final checkpoint is written when -checkpoint is set, and clients
+	// get a proper shutdown message. A second signal kills the process
+	// the usual way (the handler resets after one shot).
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		sig := <-sigc
+		signal.Stop(sigc)
+		fmt.Printf("caught %v: draining round and shutting down (repeat to force)\n", sig)
+		srv.Shutdown()
+	}()
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {

@@ -241,6 +241,17 @@ func WithParallelism(n int) Option {
 	return func(c *core.Config) { c.Parallelism = n }
 }
 
+// WithChecksum emits checked frames: a CRC32C trailer after the header
+// and after every tensor section, verified before any data is handed
+// to the aggregation path, so a bit flip in transit surfaces as a
+// typed corrupt-frame error instead of silently poisoning the global
+// model. Checked frames are self-describing — receivers need no
+// matching option — but legacy decoders reject them, so enable it
+// fleet-wide. Costs 4 bytes per section plus one CRC pass.
+func WithChecksum() Option {
+	return func(c *core.Config) { c.Checksum = true }
+}
+
 // Adaptive compression control plane: the runtime replacement for the
 // paper's offline grid search. An AdaptivePolicy probes candidate
 // (compressor, bound, lossless backend) triples on sampled tensor

@@ -263,6 +263,15 @@ func (p *Policy) ObserveCommit(prev, next *model.StateDict, _ orchestrator.Round
 // bound the coordinator broadcasts for the upcoming round.
 func (p *Policy) NextBound() float64 { return p.sched.Bound() }
 
+// SnapshotBoundState implements the orchestrator's optional
+// BoundStateSnapshotter hook: it serializes the schedule's convergence
+// state so a restarted coordinator resumes the bound schedule instead
+// of re-warming from the base bound.
+func (p *Policy) SnapshotBoundState() []byte { return p.sched.snapshotState() }
+
+// RestoreBoundState installs a SnapshotBoundState blob.
+func (p *Policy) RestoreBoundState(raw []byte) error { return p.sched.restoreState(raw) }
+
 // SelectTensor implements core.Selector: serve the cached plan, and
 // when the plan is missing, stale, or was probed under a materially
 // different scheduled bound, hand the tensor to the background probe

@@ -1,6 +1,8 @@
 package adapt
 
 import (
+	"encoding/binary"
+	"fmt"
 	"math"
 	"sync"
 
@@ -78,6 +80,51 @@ func (s *Scheduler) SetBound(b float64) {
 	} else {
 		s.override = 0
 	}
+}
+
+// schedulerStateVersion tags the snapshot wire format below.
+const schedulerStateVersion = 1
+
+// snapshotState serializes the scheduler's mutable convergence state
+// (EMA value and count, first-norm anchor, directive override) for the
+// coordinator checkpoint. Clamps and alpha are configuration, rebuilt
+// from Config on restore.
+func (s *Scheduler) snapshotState() []byte {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	value, count := s.ema.Snapshot()
+	out := []byte{schedulerStateVersion}
+	out = binary.BigEndian.AppendUint64(out, math.Float64bits(value))
+	out = binary.AppendUvarint(out, uint64(count))
+	out = binary.BigEndian.AppendUint64(out, math.Float64bits(s.norm0))
+	out = binary.BigEndian.AppendUint64(out, math.Float64bits(s.override))
+	return out
+}
+
+// restoreState installs a snapshotState blob.
+func (s *Scheduler) restoreState(raw []byte) error {
+	if len(raw) < 1 || raw[0] != schedulerStateVersion {
+		return fmt.Errorf("adapt: unknown scheduler state version")
+	}
+	raw = raw[1:]
+	if len(raw) < 8 {
+		return fmt.Errorf("adapt: truncated scheduler state")
+	}
+	value := math.Float64frombits(binary.BigEndian.Uint64(raw))
+	raw = raw[8:]
+	count, n := binary.Uvarint(raw)
+	if n <= 0 || len(raw[n:]) < 16 {
+		return fmt.Errorf("adapt: truncated scheduler state")
+	}
+	raw = raw[n:]
+	norm0 := math.Float64frombits(binary.BigEndian.Uint64(raw))
+	override := math.Float64frombits(binary.BigEndian.Uint64(raw[8:]))
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.ema.Restore(value, int(count))
+	s.norm0 = norm0
+	s.override = override
+	return nil
 }
 
 // UpdateNorm measures how much next moved from prev: the L2 norm of

@@ -131,6 +131,7 @@ func experiments() map[string]Runner {
 	return map[string]Runner{
 		"ablations":  Ablations,
 		"adapt":      Adapt,
+		"chaos":      Chaos,
 		"families":   Families,
 		"parallel":   Parallel,
 		"scale":      Scale,

@@ -286,6 +286,46 @@ func TestAdaptShape(t *testing.T) {
 	}
 }
 
+// TestChaosShape pins the fault-tolerance acceptance criteria: every
+// fault regime — including frame corruption, connection kills, and a
+// coordinator crash/restore — commits its full round budget with the
+// integrity check green (the runner itself errors on any poisoned
+// element), and the injectors demonstrably fired where configured.
+func TestChaosShape(t *testing.T) {
+	tab := runExperiment(t, "chaos")
+	if len(tab.Rows) != 4 {
+		t.Fatalf("expected 4 scenarios, got %d", len(tab.Rows))
+	}
+	sawRestart := false
+	for r := range tab.Rows {
+		name := cell(t, tab, r, "scenario")
+		roundsCell := cell(t, tab, r, "rounds")
+		parts := strings.SplitN(roundsCell, "/", 2)
+		if len(parts) != 2 || parts[0] != parts[1] {
+			t.Errorf("%s: committed %s of its round budget", name, roundsCell)
+		}
+		if got := cell(t, tab, r, "integrity"); got != "ok" {
+			t.Errorf("%s: integrity %q", name, got)
+		}
+		flips, _ := strconv.Atoi(cell(t, tab, r, "flips"))
+		corruptPct := parseF(t, cell(t, tab, r, "corrupt%/frame"))
+		// At 1%/frame over a quick run's handful of frames, zero flips
+		// is the likely draw — only the heavy regimes must visibly fire.
+		if corruptPct >= 10 && flips == 0 {
+			t.Errorf("%s: heavy corruption configured but no bits flipped", name)
+		}
+		if corruptPct == 0 && flips != 0 {
+			t.Errorf("%s: clean scenario flipped %d bits", name, flips)
+		}
+		if restarts, _ := strconv.Atoi(cell(t, tab, r, "restarts")); restarts > 0 {
+			sawRestart = true
+		}
+	}
+	if !sawRestart {
+		t.Error("no scenario exercised the coordinator crash/restore path")
+	}
+}
+
 func parseMB(t *testing.T, s string) float64 {
 	t.Helper()
 	return parseF(t, strings.TrimSuffix(s, "MB"))

@@ -281,7 +281,7 @@ func runScaleSync(base *model.StateDict, codec fl.Codec, payloads [][]byte, nVar
 	}
 	for i := range arrivals {
 		if deadline > 0 && arrivals[i] > deadline {
-			round.Drop(ids[i])
+			round.Drop(ids[i], orchestrator.DropDeadline)
 			continue
 		}
 		jobs <- job{idx: i}

@@ -41,9 +41,25 @@ import (
 // ErrCorrupt reports a malformed FedSZ bitstream.
 var ErrCorrupt = errors.New("core: corrupt bitstream")
 
+// ErrCorruptFrame reports a checksummed frame whose stored CRC32C does
+// not match the received bytes — the frame was valid when written and
+// damaged in flight (bit flip, truncation, torn write), as opposed to
+// the structural corruption ErrCorrupt alone covers. It wraps
+// ErrCorrupt, so errors.Is(err, ErrCorrupt) matches both.
+var ErrCorruptFrame = fmt.Errorf("%w: checksum mismatch", ErrCorrupt)
+
 const (
 	pipelineMagic = "FDSZ"
 	formatVersion = 1
+	// formatVersionChecked marks the integrity-checked frame layout:
+	// identical to formatVersion except a CRC32C (Castagnoli) trailer
+	// follows the header and every section (each lossy tensor and the
+	// lossless metadata), computed over that region's bytes excluding
+	// the magic+version prefix. Checksums are opt-in (Config.Checksum)
+	// so existing frames stay byte-identical; decoders accept both
+	// versions and verify checked frames before any payload is decoded
+	// or emitted.
+	formatVersionChecked = 2
 
 	// DefaultThreshold is Algorithm 1's size threshold: weight-named
 	// tensors with more elements than this go through the lossy path.
@@ -89,6 +105,13 @@ type Config struct {
 	// adaptive candidates (fractional sparsification, fixed-width
 	// quantization) convergent.
 	Feedback *Feedback
+	// Checksum, when true, emits the integrity-checked frame version:
+	// a CRC32C trailer after the header and after every section, so a
+	// receiver detects in-flight corruption before folding a single
+	// tensor (decode fails with ErrCorruptFrame). Costs 4 bytes per
+	// section plus one table-driven CRC pass over the frame; the
+	// default (false) keeps the legacy byte-identical format.
+	Checksum bool
 }
 
 func (c Config) withDefaults() Config {
@@ -239,8 +262,14 @@ func (p *Pipeline) Compress(sd *model.StateDict) ([]byte, Stats, error) {
 		frameSize += varintMax + len(e.Name) + varintLen(uint64(len(shape))) +
 			len(shape)*varintMax + varintLen(uint64(len(comps[i]))) + len(comps[i])
 	}
+	if p.cfg.Checksum {
+		// One CRC32C trailer per checksummed region: header, each
+		// lossy section, and the metadata section.
+		frameSize += 4 * (2 + len(lossyEntries))
+	}
 	sw := &sliceWriter{buf: make([]byte, 0, frameSize)}
 	fw := newFrameWriter(sw)
+	fw.checked = p.cfg.Checksum
 	fw.header(lossyName, losslessName, p.cfg.Threshold, len(tags), tags, len(lossyEntries))
 	for i, e := range lossyEntries {
 		st.LossyOutBytes += int64(len(comps[i]))

@@ -86,6 +86,30 @@ func (f *Feedback) Reset() {
 	f.res = make(map[string][]float32)
 }
 
+// Snapshot returns a deep copy of every residual buffer, for the
+// durability layer that persists per-client state across coordinator
+// restarts.
+func (f *Feedback) Snapshot() map[string][]float32 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make(map[string][]float32, len(f.res))
+	for name, r := range f.res {
+		out[name] = append([]float32(nil), r...)
+	}
+	return out
+}
+
+// RestoreSnapshot replaces the feedback state with a deep copy of the
+// snapshot.
+func (f *Feedback) RestoreSnapshot(res map[string][]float32) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.res = make(map[string][]float32, len(res))
+	for name, r := range res {
+		f.res[name] = append([]float32(nil), r...)
+	}
+}
+
 // ResidualStore keys Feedback state by client ID for the server side
 // of a federation: each client's residuals live exactly as long as
 // the client does. Withdraw drops a departed or aborted client's
@@ -128,4 +152,35 @@ func (s *ResidualStore) Len() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return len(s.m)
+}
+
+// Snapshot returns a deep copy of every client's residual state keyed
+// by client ID. Take it between rounds (no encodes in flight) for a
+// consistent checkpoint.
+func (s *ResidualStore) Snapshot() map[string]map[string][]float32 {
+	s.mu.Lock()
+	feedbacks := make(map[string]*Feedback, len(s.m))
+	for id, f := range s.m {
+		feedbacks[id] = f
+	}
+	s.mu.Unlock()
+	out := make(map[string]map[string][]float32, len(feedbacks))
+	for id, f := range feedbacks {
+		out[id] = f.Snapshot()
+	}
+	return out
+}
+
+// RestoreSnapshot replaces the store's contents with a deep copy of
+// the snapshot, dropping any state not in it.
+func (s *ResidualStore) RestoreSnapshot(snap map[string]map[string][]float32) {
+	m := make(map[string]*Feedback, len(snap))
+	for id, res := range snap {
+		f := NewFeedback()
+		f.RestoreSnapshot(res)
+		m[id] = f
+	}
+	s.mu.Lock()
+	s.m = m
+	s.mu.Unlock()
 }

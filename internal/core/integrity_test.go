@@ -1,0 +1,265 @@
+package core
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"fedsz/internal/model"
+	"fedsz/internal/nn"
+	"fedsz/internal/tensor"
+)
+
+// checksumTestDict builds a small dict with two lossy tensors and one
+// metadata entry — enough to exercise every checksummed region.
+func checksumTestDict(t testing.TB) *model.StateDict {
+	rng := rand.New(rand.NewSource(11))
+	sd := model.NewStateDict()
+	for _, name := range []string{"conv1.weight", "conv2.weight"} {
+		data := make([]float32, DefaultThreshold+100)
+		for i := range data {
+			data[i] = float32(rng.NormFloat64())
+		}
+		wt, err := tensor.FromData(data, len(data))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sd.Add(model.Entry{Name: name, DType: model.Float32, Tensor: wt}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sd.Add(model.Entry{Name: "bn1.num_batches_tracked", DType: model.Int64, Ints: []int64{3}}); err != nil {
+		t.Fatal(err)
+	}
+	return sd
+}
+
+// TestChecksumRoundTrip: a checksummed frame decodes to exactly what
+// the legacy frame of the same dict decodes to, through both the
+// whole-buffer and the streaming path, and costs exactly one 4-byte
+// trailer per region.
+func TestChecksumRoundTrip(t *testing.T) {
+	sd := checksumTestDict(t)
+	legacyP, err := NewPipeline(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkedP, err := NewPipeline(Config{Checksum: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	legacy, _, err := legacyP.Compress(sd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checked, st, err := checkedP.Compress(sd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// header + 2 lossy sections + metadata = 4 trailers.
+	if want := len(legacy) + 4*4; len(checked) != want {
+		t.Fatalf("checked frame %d bytes, want %d (legacy %d + 4 CRCs)", len(checked), want, len(legacy))
+	}
+	if st.CompressedBytes != int64(len(checked)) {
+		t.Fatalf("stats bytes %d != frame %d", st.CompressedBytes, len(checked))
+	}
+
+	wantDict, err := Decompress(legacy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, decode := range []struct {
+		name string
+		fn   func() (*model.StateDict, error)
+	}{
+		{"buffer", func() (*model.StateDict, error) { return Decompress(checked) }},
+		{"stream", func() (*model.StateDict, error) {
+			return DecompressFrom(bufio.NewReader(bytes.NewReader(checked)), 2)
+		}},
+	} {
+		got, err := decode.fn()
+		if err != nil {
+			t.Fatalf("%s decode: %v", decode.name, err)
+		}
+		assertDictsExact(t, decode.name, wantDict, got)
+	}
+
+	// The streaming encoder must stay byte-identical to Compress.
+	var buf bytes.Buffer
+	if _, err := checkedP.CompressTo(&buf, sd); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), checked) {
+		t.Fatal("CompressTo and Compress disagree on the checked frame bytes")
+	}
+}
+
+func assertDictsExact(t *testing.T, path string, want, got *model.StateDict) {
+	t.Helper()
+	if got.Len() != want.Len() {
+		t.Fatalf("%s: %d entries, want %d", path, got.Len(), want.Len())
+	}
+	gotEntries := got.Entries()
+	for i, w := range want.Entries() {
+		g := gotEntries[i]
+		if g.Name != w.Name || g.DType != w.DType {
+			t.Fatalf("%s entry %d: structure mismatch", path, i)
+		}
+		if w.DType != model.Float32 {
+			continue
+		}
+		wd, gd := w.Tensor.Data(), g.Tensor.Data()
+		if len(wd) != len(gd) {
+			t.Fatalf("%s entry %q: length mismatch", path, w.Name)
+		}
+		for j := range wd {
+			if wd[j] != gd[j] {
+				t.Fatalf("%s entry %q[%d]: %v != %v", path, w.Name, j, gd[j], wd[j])
+			}
+		}
+	}
+}
+
+// TestChecksumDetectsEveryBitFlip flips every bit past the
+// magic+version prefix of a checksummed frame; CRC32C detects any
+// single-bit error, so every mutation must fail decode (wrapping
+// ErrCorrupt), never silently succeed.
+func TestChecksumDetectsEveryBitFlip(t *testing.T) {
+	p, err := NewPipeline(Config{Checksum: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	valid, _, err := p.Compress(checksumTestDict(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	frameErrs := 0
+	for i := 5; i < len(valid); i++ {
+		for bit := uint(0); bit < 8; bit++ {
+			buf := append([]byte(nil), valid...)
+			buf[i] ^= 1 << bit
+			_, err := Decompress(buf)
+			if err == nil {
+				t.Fatalf("bit flip at byte %d bit %d decoded successfully", i, bit)
+			}
+			if !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("bit flip at byte %d bit %d: error %v does not wrap ErrCorrupt", i, bit, err)
+			}
+			if errors.Is(err, ErrCorruptFrame) {
+				frameErrs++
+			}
+		}
+	}
+	if frameErrs == 0 {
+		t.Fatal("no mutation surfaced ErrCorruptFrame")
+	}
+}
+
+// TestChecksumVerifiesBeforeEmit corrupts one tensor section and runs
+// the streaming entry decoder: the decode must fail with
+// ErrCorruptFrame and the damaged tensor must never reach emit — the
+// property that keeps poison out of the streaming aggregator.
+func TestChecksumVerifiesBeforeEmit(t *testing.T) {
+	p, err := NewPipeline(Config{Checksum: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sd := checksumTestDict(t)
+	valid, _, err := p.Compress(sd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip a byte three quarters in — inside the second tensor section
+	// for this dict, past the regions the first tensor occupies.
+	buf := append([]byte(nil), valid...)
+	buf[3*len(buf)/4] ^= 0x40
+
+	var mu sync.Mutex
+	emitted := map[string]bool{}
+	err = DecompressEntriesFrom(bufio.NewReader(bytes.NewReader(buf)), 4, func(e model.Entry) error {
+		mu.Lock()
+		emitted[e.Name] = true
+		mu.Unlock()
+		return nil
+	})
+	if err == nil {
+		t.Fatal("corrupted frame streamed without error")
+	}
+	if !errors.Is(err, ErrCorruptFrame) {
+		t.Fatalf("error %v does not wrap ErrCorruptFrame", err)
+	}
+	if emitted["conv2.weight"] {
+		t.Fatal("corrupted tensor section was emitted before verification")
+	}
+}
+
+// TestChecksumMutationsNeverPanic mirrors the legacy mutation test on
+// the checked format: random damage must never panic the decoder, on
+// either decode path.
+func TestChecksumMutationsNeverPanic(t *testing.T) {
+	p, err := NewPipeline(Config{Checksum: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	valid, _, err := p.Compress(nn.MobileNetV2Mini(64, 4, 1).StateDict())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(23))
+	defer func() {
+		if r := recover(); r != nil {
+			t.Fatalf("decoder panicked: %v", r)
+		}
+	}()
+	for trial := 0; trial < 300; trial++ {
+		buf := append([]byte(nil), valid...)
+		buf[rng.Intn(len(buf))] ^= byte(1 + rng.Intn(255))
+		_, _ = Decompress(buf)
+		_, _ = DecompressFrom(bufio.NewReader(bytes.NewReader(buf)), 2)
+	}
+	for _, cut := range []int{0, 5, 9, len(valid) / 2, len(valid) - 4, len(valid) - 1} {
+		_, _ = Decompress(valid[:cut])
+	}
+}
+
+// FuzzFrameIntegrity is the checksummed-decoder fuzz target (CI runs
+// it alongside FuzzDecompress): arbitrary bytes must never panic or
+// return (nil, nil), and any nonzero mutation past the magic+version
+// prefix of a valid checked frame must fail decode — a CRC-protected
+// frame never silently yields wrong data.
+func FuzzFrameIntegrity(f *testing.F) {
+	p, err := NewPipeline(Config{Checksum: true})
+	if err != nil {
+		f.Fatal(err)
+	}
+	valid, _, err := p.Compress(checksumTestDict(f))
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(0, byte(1), valid)
+	f.Add(len(valid)/2, byte(0x80), valid[:len(valid)/2])
+	f.Add(len(valid)-1, byte(0xff), []byte(pipelineMagic+"\x02"))
+	f.Fuzz(func(t *testing.T, pos int, mask byte, raw []byte) {
+		// Arbitrary bytes: error or dict, never panic, never (nil, nil).
+		if got, err := Decompress(raw); err == nil && got == nil {
+			t.Fatal("Decompress returned nil dict with nil error")
+		}
+		// Point mutation of the valid frame past the version byte: the
+		// CRC must catch it.
+		if mask == 0 {
+			return
+		}
+		if pos < 0 {
+			pos = -pos
+		}
+		buf := append([]byte(nil), valid...)
+		i := 5 + pos%(len(buf)-5)
+		buf[i] ^= mask
+		if _, err := Decompress(buf); err == nil {
+			t.Fatalf("mutation at byte %d (mask %#x) decoded successfully", i, mask)
+		}
+	})
+}

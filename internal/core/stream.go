@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"encoding/binary"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"runtime"
 	"sync"
@@ -51,14 +52,27 @@ const (
 	streamChunk = 1 << 20
 )
 
+// crcTable is the CRC32C (Castagnoli) table shared by the checked
+// frame writer and both frame sources. Castagnoli over IEEE for its
+// better burst-error detection and hardware support.
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
 // frameWriter emits the FedSZ frame section by section. Field bytes
 // are staged in a scratch buffer and flushed per section; payloads are
 // written through directly. The first write error sticks and turns
 // subsequent calls into no-ops, so callers check err once at the end.
+//
+// With checked set (before the first call), the writer emits the
+// integrity-checked frame version: every byte after the magic+version
+// prefix folds into a running CRC32C, and a 4-byte big-endian trailer
+// closes the header and each section. The streaming encoder stays
+// single-pass — the checksum accumulates as bytes go out.
 type frameWriter struct {
-	w   io.Writer
-	tmp []byte
-	err error
+	w       io.Writer
+	tmp     []byte
+	err     error
+	checked bool
+	crc     uint32
 }
 
 func newFrameWriter(w io.Writer) *frameWriter { return &frameWriter{w: w} }
@@ -72,9 +86,30 @@ func (fw *frameWriter) write(p []byte) {
 	}
 }
 
+// sum folds p into the running section checksum (checked frames only).
+func (fw *frameWriter) sum(p []byte) {
+	if fw.checked {
+		fw.crc = crc32.Update(fw.crc, crcTable, p)
+	}
+}
+
 func (fw *frameWriter) flushTmp() {
+	fw.sum(fw.tmp)
 	fw.write(fw.tmp)
 	fw.tmp = fw.tmp[:0]
+}
+
+// emitCRC closes one checksummed region: it writes the accumulated
+// CRC32C as a big-endian trailer and resets the accumulator for the
+// next region. A no-op on legacy frames.
+func (fw *frameWriter) emitCRC() {
+	if !fw.checked {
+		return
+	}
+	var b [4]byte
+	binary.BigEndian.PutUint32(b[:], fw.crc)
+	fw.write(b[:])
+	fw.crc = 0
 }
 
 // header writes everything up to and including the lossy-section entry
@@ -83,8 +118,16 @@ func (fw *frameWriter) flushTmp() {
 // frame's effective ones — the static configuration, or the adaptive
 // wrapper name plus the selector's metadata-codec plan.
 func (fw *frameWriter) header(lossyName, losslessName string, threshold, nEntries int, tags []bool, nLossy int) {
+	version := byte(formatVersion)
+	if fw.checked {
+		version = formatVersionChecked
+	}
+	// The magic+version prefix stays outside the checksum: a decoder
+	// must read it to learn whether a checksum exists at all.
 	fw.tmp = append(fw.tmp[:0], pipelineMagic...)
-	fw.tmp = append(fw.tmp, formatVersion)
+	fw.tmp = append(fw.tmp, version)
+	fw.write(fw.tmp)
+	fw.tmp = fw.tmp[:0]
 	fw.tmp = appendString(fw.tmp, lossyName)
 	fw.tmp = appendString(fw.tmp, losslessName)
 	fw.tmp = binary.AppendUvarint(fw.tmp, uint64(threshold))
@@ -92,6 +135,7 @@ func (fw *frameWriter) header(lossyName, losslessName string, threshold, nEntrie
 	fw.tmp = appendPackedBools(fw.tmp, tags)
 	fw.tmp = binary.AppendUvarint(fw.tmp, uint64(nLossy))
 	fw.flushTmp()
+	fw.emitCRC()
 }
 
 // lossySection writes one framed tensor: name, shape, payload.
@@ -103,7 +147,9 @@ func (fw *frameWriter) lossySection(name string, shape []int, payload []byte) {
 	}
 	fw.tmp = binary.AppendUvarint(fw.tmp, uint64(len(payload)))
 	fw.flushTmp()
+	fw.sum(payload)
 	fw.write(payload)
+	fw.emitCRC()
 }
 
 // metaSection writes the lossless metadata section that closes the
@@ -111,7 +157,9 @@ func (fw *frameWriter) lossySection(name string, shape []int, payload []byte) {
 func (fw *frameWriter) metaSection(payload []byte) {
 	fw.tmp = binary.AppendUvarint(fw.tmp[:0], uint64(len(payload)))
 	fw.flushTmp()
+	fw.sum(payload)
 	fw.write(payload)
+	fw.emitCRC()
 }
 
 // sliceWriter adapts an append-style buffer to io.Writer; Compress
@@ -250,6 +298,7 @@ func (p *Pipeline) CompressTo(w io.Writer, sd *model.StateDict) (Stats, error) {
 
 	cw := &countingWriter{w: w}
 	fw := newFrameWriter(cw)
+	fw.checked = p.cfg.Checksum
 	fw.header(lossyName, losslessName, p.cfg.Threshold, len(tags), tags, len(lossyEntries))
 	for i, e := range lossyEntries {
 		if err := <-done[i]; err != nil {
@@ -299,16 +348,34 @@ type frameSource interface {
 	// lossyLimit bounds a plausible lossy-tensor count (at least three
 	// bytes of framing per tensor must follow).
 	lossyLimit() uint64
+	// beginCRC starts accumulating CRC32C over every byte the source
+	// hands out, for one checksummed region of a version-2 frame.
+	beginCRC()
+	// verifyCRC stops accumulating, consumes the region's 4-byte
+	// stored trailer, and fails with ErrCorruptFrame (naming what) on
+	// mismatch or truncation.
+	verifyCRC(what string) error
 }
 
 // bufSource parses a frame held fully in memory.
-type bufSource struct{ buf []byte }
+type bufSource struct {
+	buf   []byte
+	crcOn bool
+	crc   uint32
+}
+
+func (s *bufSource) sum(p []byte) {
+	if s.crcOn {
+		s.crc = crc32.Update(s.crc, crcTable, p)
+	}
+}
 
 func (s *bufSource) uvarint() (uint64, error) {
 	v, n := binary.Uvarint(s.buf)
 	if n <= 0 {
 		return 0, ErrCorrupt
 	}
+	s.sum(s.buf[:n])
 	s.buf = s.buf[n:]
 	return v, nil
 }
@@ -319,6 +386,7 @@ func (s *bufSource) readString() (string, error) {
 		return "", ErrCorrupt
 	}
 	out := string(s.buf[:l])
+	s.sum(s.buf[:l])
 	s.buf = s.buf[l:]
 	return out, nil
 }
@@ -328,12 +396,28 @@ func (s *bufSource) payload(n uint64) ([]byte, error) {
 		return nil, ErrCorrupt
 	}
 	p := s.buf[:n]
+	s.sum(p)
 	s.buf = s.buf[n:]
 	return p, nil
 }
 
 func (s *bufSource) entryLimit() uint64 { return uint64(len(s.buf)) * 8 }
 func (s *bufSource) lossyLimit() uint64 { return uint64(len(s.buf)) / 3 }
+
+func (s *bufSource) beginCRC() { s.crcOn, s.crc = true, 0 }
+
+func (s *bufSource) verifyCRC(what string) error {
+	s.crcOn = false
+	if len(s.buf) < 4 {
+		return fmt.Errorf("%w: %s: missing trailer", ErrCorruptFrame, what)
+	}
+	stored := binary.BigEndian.Uint32(s.buf[:4])
+	s.buf = s.buf[4:]
+	if stored != s.crc {
+		return fmt.Errorf("%w: %s", ErrCorruptFrame, what)
+	}
+	return nil
+}
 
 // byteReader is what the streaming reader needs from its source:
 // buffered byte-at-a-time access for varints plus bulk reads.
@@ -354,12 +438,32 @@ func asByteReader(r io.Reader) byteReader {
 }
 
 // streamSource parses a frame incrementally from a reader.
-type streamSource struct{ r byteReader }
+type streamSource struct {
+	r     byteReader
+	crcOn bool
+	crc   uint32
+	one   [1]byte // ReadByte CRC scratch, avoids a per-byte allocation
+}
+
+// ReadByte serves varint reads while folding each byte into the
+// running checksum, so binary.ReadUvarint is handed the source itself
+// rather than the raw reader.
+func (s *streamSource) ReadByte() (byte, error) {
+	b, err := s.r.ReadByte()
+	if err == nil && s.crcOn {
+		s.one[0] = b
+		s.crc = crc32.Update(s.crc, crcTable, s.one[:])
+	}
+	return b, err
+}
 
 func (s *streamSource) uvarint() (uint64, error) {
-	v, err := binary.ReadUvarint(s.r)
+	v, err := binary.ReadUvarint(s)
 	if err != nil {
-		return 0, fmt.Errorf("%w: %v", ErrCorrupt, err)
+		// Keep the transport error in the chain (%w): a read-deadline
+		// timeout mid-frame must stay classifiable as a straggler cut,
+		// not mistaken for corruption.
+		return 0, fmt.Errorf("%w: %w", ErrCorrupt, err)
 	}
 	return v, nil
 }
@@ -400,7 +504,10 @@ func (s *streamSource) payload(n uint64) ([]byte, error) {
 			if err == io.EOF {
 				err = io.ErrUnexpectedEOF
 			}
-			return nil, fmt.Errorf("%w: truncated section: %v", ErrCorrupt, err)
+			return nil, fmt.Errorf("%w: truncated section: %w", ErrCorrupt, err)
+		}
+		if s.crcOn {
+			s.crc = crc32.Update(s.crc, crcTable, buf[off:])
 		}
 		remaining -= k
 	}
@@ -409,6 +516,20 @@ func (s *streamSource) payload(n uint64) ([]byte, error) {
 
 func (s *streamSource) entryLimit() uint64 { return maxStreamEntries }
 func (s *streamSource) lossyLimit() uint64 { return maxStreamEntries }
+
+func (s *streamSource) beginCRC() { s.crcOn, s.crc = true, 0 }
+
+func (s *streamSource) verifyCRC(what string) error {
+	s.crcOn = false
+	var b [4]byte
+	if _, err := io.ReadFull(s.r, b[:]); err != nil {
+		return fmt.Errorf("%w: %s: missing trailer", ErrCorruptFrame, what)
+	}
+	if binary.BigEndian.Uint32(b[:]) != s.crc {
+		return fmt.Errorf("%w: %s", ErrCorruptFrame, what)
+	}
+	return nil
+}
 
 // decodePool fans section decodes across a bounded worker pool as the
 // frame reader produces them, recording the first failure. With
@@ -499,8 +620,16 @@ func decodeFrame(src frameSource, parallelism int, emit func(model.Entry) error)
 	if string(hdr[:4]) != pipelineMagic {
 		return nil, fmt.Errorf("%w: bad magic", ErrCorrupt)
 	}
-	if hdr[4] != formatVersion {
+	checked := false
+	switch hdr[4] {
+	case formatVersion:
+	case formatVersionChecked:
+		checked = true
+	default:
 		return nil, fmt.Errorf("%w: version %d", ErrCorrupt, hdr[4])
+	}
+	if checked {
+		src.beginCRC()
 	}
 
 	lossyName, err := src.readString()
@@ -531,15 +660,6 @@ func decodeFrame(src frameSource, parallelism int, emit func(model.Entry) error)
 	}
 	tags := unpackBools(tagBytes, nEntries)
 
-	lc, err := LossyByName(lossyName)
-	if err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
-	}
-	ll, err := lossless.New(losslessName)
-	if err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
-	}
-
 	nLossy64, err := src.uvarint()
 	if err != nil {
 		return nil, fmt.Errorf("%w: lossy count", ErrCorrupt)
@@ -549,6 +669,23 @@ func decodeFrame(src frameSource, parallelism int, emit func(model.Entry) error)
 	// reject it before sizing the slice by an attacker-controlled value.
 	if nLossy64 > src.lossyLimit() {
 		return nil, fmt.Errorf("%w: lossy count %d exceeds bound", ErrCorrupt, nLossy64)
+	}
+	// Verify the header before acting on anything it claims — a flipped
+	// bit in a codec name must surface as ErrCorruptFrame, not as an
+	// unknown-codec lookup failure.
+	if checked {
+		if err := src.verifyCRC("header"); err != nil {
+			return nil, err
+		}
+	}
+
+	lc, err := LossyByName(lossyName)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	ll, err := lossless.New(losslessName)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
 	}
 
 	type lossyTensor struct {
@@ -573,6 +710,9 @@ func decodeFrame(src frameSource, parallelism int, emit func(model.Entry) error)
 		return nil, err
 	}
 	for i := uint64(0); i < nLossy64; i++ {
+		if checked {
+			src.beginCRC()
+		}
 		name, err := src.readString()
 		if err != nil {
 			return bail(fmt.Errorf("%w: tensor name", ErrCorrupt))
@@ -601,6 +741,13 @@ func decodeFrame(src frameSource, parallelism int, emit func(model.Entry) error)
 		if err != nil {
 			return bail(fmt.Errorf("%w: tensor %q payload", ErrCorrupt, name))
 		}
+		// Verify before dispatch: a damaged section must never reach a
+		// decoder, so in emit mode nothing corrupt is ever folded.
+		if checked {
+			if err := src.verifyCRC(fmt.Sprintf("tensor %q", name)); err != nil {
+				return bail(err)
+			}
+		}
 		lt := &lossyTensor{name: name, shape: shape}
 		lossyTensors = append(lossyTensors, lt)
 		pool.run(func() error {
@@ -620,6 +767,9 @@ func decodeFrame(src frameSource, parallelism int, emit func(model.Entry) error)
 		})
 	}
 
+	if checked {
+		src.beginCRC()
+	}
 	metaLen, err := src.uvarint()
 	if err != nil {
 		return bail(fmt.Errorf("%w: metadata section", ErrCorrupt))
@@ -627,6 +777,11 @@ func decodeFrame(src frameSource, parallelism int, emit func(model.Entry) error)
 	metaPayload, err := src.payload(metaLen)
 	if err != nil {
 		return bail(fmt.Errorf("%w: metadata section", ErrCorrupt))
+	}
+	if checked {
+		if err := src.verifyCRC("metadata"); err != nil {
+			return bail(err)
+		}
 	}
 	var meta *model.StateDict
 	pool.run(func() error {

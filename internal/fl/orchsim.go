@@ -55,10 +55,10 @@ type OrchSimConfig struct {
 	ClientCodec func(id string) Codec
 	// OnDrop, if non-nil, is forwarded to the coordinator: it observes
 	// every client whose pending update is withdrawn (leave, straggler
-	// drop, aborted contribution), outside all locks. Pair it with
-	// core.ResidualStore.Withdraw when ClientCodec attaches
-	// error-feedback state.
-	OnDrop func(clientID string)
+	// drop, aborted contribution), outside all locks, with the typed
+	// reason. Pair it with core.ResidualStore.Withdraw when ClientCodec
+	// attaches error-feedback state.
+	OnDrop func(clientID string, reason orchestrator.DropReason)
 	// Population samples each client's link/compute profile; the zero
 	// profile gives every client cfg.Link at nominal compute.
 	Population netsim.Profile
@@ -240,7 +240,9 @@ func RunOrchestratedSim(cfg OrchSimConfig) (*SimResult, error) {
 			p := &pendings[i]
 			late := cfg.RoundDeadline > 0 && p.arrival > cfg.RoundDeadline
 			if accepted >= r.Target() || (late && accepted > 0) {
-				r.Drop(p.c.id)
+				// Both cases are the virtual-clock deadline cut: the
+				// update arrived after the round no longer wanted it.
+				r.Drop(p.c.id, orchestrator.DropDeadline)
 				continue
 			}
 			ct, err := r.Contributor(p.c.id, float64(p.out.samples))
@@ -249,7 +251,7 @@ func RunOrchestratedSim(cfg OrchSimConfig) (*SimResult, error) {
 			}
 			decodeStart := time.Now()
 			if err := DecodeEntries(cfg.Codec, bytes.NewReader(p.out.payload), ct.Fold); err != nil {
-				ct.Abort()
+				ct.AbortReason(orchestrator.DropCorrupt)
 				return nil, fmt.Errorf("fl: round %d decode %s: %w", round, p.c.id, err)
 			}
 			if err := ct.Commit(); err != nil {
@@ -400,7 +402,7 @@ func runAsyncSim(
 		}
 		decodeStart := time.Now()
 		if err := DecodeEntries(cfg.Codec, bytes.NewReader(ev.out.payload), ct.Fold); err != nil {
-			ct.Abort()
+			ct.AbortReason(orchestrator.DropCorrupt)
 			return fmt.Errorf("fl: async decode %s: %w", ev.client.id, err)
 		}
 		res, err := commit()

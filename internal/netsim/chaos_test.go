@@ -1,0 +1,128 @@
+package netsim
+
+import (
+	"bytes"
+	"net"
+	"sync"
+	"testing"
+	"time"
+)
+
+// memConn is a minimal in-memory net.Conn sink for the write path.
+type memConn struct {
+	net.Conn
+	mu     sync.Mutex
+	buf    bytes.Buffer
+	closed bool
+}
+
+func (c *memConn) Write(p []byte) (int, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return 0, net.ErrClosed
+	}
+	return c.buf.Write(p)
+}
+
+func (c *memConn) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.closed = true
+	return nil
+}
+
+func (c *memConn) SetWriteDeadline(time.Time) error { return nil }
+
+func (c *memConn) bytes() []byte {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]byte(nil), c.buf.Bytes()...)
+}
+
+func TestChaosDisabledPassthrough(t *testing.T) {
+	sink := &memConn{}
+	if got := Chaos(sink, FaultConfig{}); got != net.Conn(sink) {
+		t.Fatal("zero config must return the conn unchanged")
+	}
+}
+
+// TestChaosBitFlips checks rate, determinism, and that the caller's
+// buffer is never mutated.
+func TestChaosBitFlips(t *testing.T) {
+	const n = 1 << 20
+	const rate = 1e-4
+	payload := make([]byte, n)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	orig := append([]byte(nil), payload...)
+
+	run := func(seed int64) ([]byte, int) {
+		sink := &memConn{}
+		cc := Chaos(sink, FaultConfig{BitFlipRate: rate, Seed: seed}).(*ChaosConn)
+		for off := 0; off < n; off += 4096 {
+			if _, err := cc.Write(payload[off : off+4096]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return sink.bytes(), cc.Flipped
+	}
+	out1, flips1 := run(7)
+	out2, flips2 := run(7)
+	if !bytes.Equal(out1, out2) || flips1 != flips2 {
+		t.Fatalf("same seed produced different fault schedules (%d vs %d flips)", flips1, flips2)
+	}
+	if !bytes.Equal(payload, orig) {
+		t.Fatal("caller's buffer was mutated")
+	}
+	// Expected flips n·rate ≈ 105; accept a wide band.
+	if flips1 < 30 || flips1 > 400 {
+		t.Fatalf("%d flips at rate %g over %d bytes, want ≈105", flips1, rate, n)
+	}
+	// Every flip is exactly one bit.
+	diffBits := 0
+	for i := range out1 {
+		d := out1[i] ^ orig[i]
+		for d != 0 {
+			diffBits++
+			d &= d - 1
+		}
+	}
+	if diffBits != flips1 {
+		t.Fatalf("%d bits differ, counter says %d flips", diffBits, flips1)
+	}
+}
+
+// TestChaosKill: a killed connection delivers a strict prefix, closes
+// the underlying conn, and refuses further writes.
+func TestChaosKill(t *testing.T) {
+	sink := &memConn{}
+	cc := Chaos(sink, FaultConfig{KillRate: 0.2, Seed: 3}).(*ChaosConn)
+	payload := make([]byte, 1024)
+	wrote := 0
+	var err error
+	for i := 0; i < 1000; i++ {
+		var n int
+		n, err = cc.Write(payload)
+		wrote += n
+		if err != nil {
+			break
+		}
+	}
+	if err == nil {
+		t.Fatal("kill rate 0.2 never fired in 1000 writes")
+	}
+	if !cc.Killed {
+		t.Fatal("Killed flag not set")
+	}
+	if got := len(sink.bytes()); got != wrote {
+		t.Fatalf("sink holds %d bytes, writer reported %d", got, wrote)
+	}
+	if _, err := cc.Write(payload); err == nil {
+		t.Fatal("write after kill succeeded")
+	}
+	if !sink.closed {
+		t.Fatal("underlying conn not closed on kill")
+	}
+}

@@ -270,7 +270,7 @@ type Contributor struct {
 
 	// round/async hooks, set by the owning scheduler.
 	onCommit func() error
-	onAbort  func()
+	onAbort  func(DropReason)
 }
 
 // foldedEntry records an applied fold for Abort's undo. The tensor
@@ -390,8 +390,14 @@ func (c *Contributor) Commit() error {
 // Abort withdraws the contribution, subtracting every fold already
 // applied. The aggregate is restored to the other contributors'
 // content up to float64 rounding of the add/subtract round trip —
-// negligible against the lossy bounds upstream.
-func (c *Contributor) Abort() {
+// negligible against the lossy bounds upstream. Callers that know why
+// the contribution died should use AbortReason so the coordinator's
+// OnDrop hook sees the classification.
+func (c *Contributor) Abort() { c.AbortReason(DropUnknown) }
+
+// AbortReason is Abort with a typed withdrawal reason carried through
+// to the owning round's or buffer's OnDrop notification.
+func (c *Contributor) AbortReason(reason DropReason) {
 	c.mu.Lock()
 	if c.done {
 		c.mu.Unlock()
@@ -416,6 +422,6 @@ func (c *Contributor) Abort() {
 	c.a.inflight--
 	c.a.mu.Unlock()
 	if c.onAbort != nil {
-		c.onAbort()
+		c.onAbort(reason)
 	}
 }

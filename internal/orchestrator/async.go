@@ -108,7 +108,7 @@ func (c *Coordinator) AsyncContributor(id string, weight float64, trainedVersion
 		c.notifyAsyncCommit(result)
 		return err
 	}
-	ct.onAbort = func() {
+	ct.onAbort = func(reason DropReason) {
 		// An abort can be the settle that makes a full buffer
 		// quiescent; re-check the commit condition. The resulting
 		// commit belongs to no submitter, so OnAsyncCommit is the only
@@ -123,7 +123,7 @@ func (c *Coordinator) AsyncContributor(id string, weight float64, trainedVersion
 		c.notifyAsyncCommit(res)
 		// The aborted update never reached the global model; withdraw
 		// the client's pending per-encoder state.
-		c.notifyDrop(id)
+		c.notifyDrop(id, reason)
 	}
 	commit := func() (AsyncCommit, error) {
 		if err := ct.Commit(); err != nil {

@@ -59,6 +59,47 @@ func (m Mode) String() string {
 	}
 }
 
+// DropReason classifies why a client's pending work was withdrawn, so
+// OnDrop consumers can tell a straggler (re-sample it next round) from
+// a corrupt uplink (quarantine, alert) from an ordinary departure.
+type DropReason int
+
+const (
+	// DropUnknown is the zero reason: the driver did not classify the
+	// withdrawal (legacy call sites, generic aborts).
+	DropUnknown DropReason = iota
+	// DropLeave is a registry departure: the client disconnected or
+	// deregistered outside any contribution.
+	DropLeave
+	// DropDeadline is a straggler cut: the driver's round deadline
+	// fired before the client's update arrived.
+	DropDeadline
+	// DropCorrupt is an integrity rejection: the client's frame failed
+	// decode (checksum mismatch or structural corruption), and its
+	// partial folds were withdrawn before commit.
+	DropCorrupt
+	// DropDisconnect is a mid-round transport death: the connection
+	// failed while an update was expected or in flight.
+	DropDisconnect
+)
+
+func (r DropReason) String() string {
+	switch r {
+	case DropUnknown:
+		return "unknown"
+	case DropLeave:
+		return "leave"
+	case DropDeadline:
+		return "deadline"
+	case DropCorrupt:
+		return "corrupt"
+	case DropDisconnect:
+		return "disconnect"
+	default:
+		return fmt.Sprintf("reason(%d)", int(r))
+	}
+}
+
 // Config parameterizes a Coordinator.
 type Config struct {
 	// Mode selects synchronous rounds or the async buffer.
@@ -100,8 +141,10 @@ type Config struct {
 	// encoder state whose accounting the lost update invalidated —
 	// error-feedback residuals above all (core.ResidualStore.Withdraw):
 	// a residual measured against an update the server never applied
-	// would be replayed against the wrong baseline.
-	OnDrop func(clientID string)
+	// would be replayed against the wrong baseline. The reason
+	// distinguishes stragglers from corruption from departures; drivers
+	// that cannot classify pass DropUnknown.
+	OnDrop func(clientID string, reason DropReason)
 	// Bound, if non-nil, schedules the round-level error bound: every
 	// commit (sync round or async buffer) feeds it the global model's
 	// movement, and drivers read RoundBound to broadcast the bound for
@@ -224,14 +267,14 @@ func (c *Coordinator) Leave(id string) {
 	c.order = c.order[:last]
 	delete(c.clients, id)
 	c.mu.Unlock()
-	c.notifyDrop(id)
+	c.notifyDrop(id, DropLeave)
 }
 
 // notifyDrop delivers a withdrawal to the OnDrop hook. Callers must
 // not hold coordinator or round locks.
-func (c *Coordinator) notifyDrop(id string) {
+func (c *Coordinator) notifyDrop(id string, reason DropReason) {
 	if c.cfg.OnDrop != nil {
-		c.cfg.OnDrop(id)
+		c.cfg.OnDrop(id, reason)
 	}
 }
 

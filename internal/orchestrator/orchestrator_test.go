@@ -301,7 +301,7 @@ func TestStragglerDeadlineProperty(t *testing.T) {
 				onTime = append(onTime, a.sd)
 				counts = append(counts, a.w)
 			} else {
-				round.Drop(a.id)
+				round.Drop(a.id, orchestrator.DropDeadline)
 			}
 		}
 
@@ -397,7 +397,7 @@ func TestConcurrentJoinLeaveSubmit(t *testing.T) {
 				inner.Wait()
 				if abort {
 					ct.Abort()
-					round.Drop(id)
+					round.Drop(id, orchestrator.DropDisconnect)
 					return
 				}
 				if err := ct.Commit(); err != nil {

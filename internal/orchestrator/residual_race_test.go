@@ -50,7 +50,7 @@ func TestResidualWithdrawOnDropRace(t *testing.T) {
 	store := core.NewResidualStore()
 	coord, err := orchestrator.NewCoordinator(orchestrator.Config{
 		Seed:   7,
-		OnDrop: store.Withdraw,
+		OnDrop: func(id string, _ orchestrator.DropReason) { store.Withdraw(id) },
 	}, initial)
 	if err != nil {
 		t.Fatal(err)
@@ -174,7 +174,7 @@ func TestResidualWithdrawAsyncAbortRace(t *testing.T) {
 	coord, err := orchestrator.NewCoordinator(orchestrator.Config{
 		Mode:       orchestrator.ModeAsync,
 		BufferSize: 2,
-		OnDrop:     store.Withdraw,
+		OnDrop:     func(id string, _ orchestrator.DropReason) { store.Withdraw(id) },
 	}, initial)
 	if err != nil {
 		t.Fatal(err)

@@ -116,7 +116,7 @@ func (r *Round) Contributor(id string, weight float64) (*Contributor, error) {
 		r.committed++
 		return nil
 	}
-	ct.onAbort = func() {
+	ct.onAbort = func(reason DropReason) {
 		r.mu.Lock()
 		dropped := false
 		if st := r.state[id]; st == participantFolding {
@@ -126,7 +126,7 @@ func (r *Round) Contributor(id string, weight float64) (*Contributor, error) {
 		}
 		r.mu.Unlock()
 		if dropped {
-			r.coord.notifyDrop(id)
+			r.coord.notifyDrop(id, reason)
 		}
 	}
 	return ct, nil
@@ -148,9 +148,10 @@ func (r *Round) Submit(id string, sd *model.StateDict, weight float64) error {
 
 // Drop marks a sampled participant as cut from the round (straggler
 // past the driver's deadline, disconnect before submitting) and
-// notifies the coordinator's OnDrop hook. A participant with an
-// in-flight Contributor must be aborted through it instead.
-func (r *Round) Drop(id string) {
+// notifies the coordinator's OnDrop hook with the given reason. A
+// participant with an in-flight Contributor must be aborted through it
+// instead (AbortReason carries the classification there).
+func (r *Round) Drop(id string, reason DropReason) {
 	r.mu.Lock()
 	dropped := false
 	if st, ok := r.state[id]; ok && st == participantSampled {
@@ -160,7 +161,7 @@ func (r *Round) Drop(id string) {
 	}
 	r.mu.Unlock()
 	if dropped {
-		r.coord.notifyDrop(id)
+		r.coord.notifyDrop(id, reason)
 	}
 }
 

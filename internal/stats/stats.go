@@ -289,6 +289,20 @@ func (e *EMA) Value() float64 { return e.value }
 // Count returns the number of observations folded in.
 func (e *EMA) Count() int { return e.n }
 
+// Snapshot returns the EMA's internal state (value, count) for
+// durability layers that persist it across restarts.
+func (e *EMA) Snapshot() (value float64, count int) { return e.value, e.n }
+
+// Restore overwrites the EMA's internal state with a snapshot taken by
+// Snapshot. Alpha is construction-time configuration and unaffected.
+func (e *EMA) Restore(value float64, count int) {
+	e.value = value
+	if count < 0 {
+		count = 0
+	}
+	e.n = count
+}
+
 // Quantile returns the q-quantile (0 <= q <= 1) of xs using linear
 // interpolation between order statistics.
 func Quantile(xs []float64, q float64) float64 {

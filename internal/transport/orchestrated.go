@@ -53,8 +53,35 @@ type OrchestratedConfig struct {
 	Bound orchestrator.BoundScheduler
 	// OnRound observes each committed global model.
 	OnRound func(round int, global *model.StateDict, stats orchestrator.RoundStats)
+	// OnDrop observes every withdrawn client with its typed reason
+	// (straggler deadline, corrupt frame, disconnect, departure) —
+	// the chaos harness counts quarantines through it. When Residuals
+	// is configured its per-client state is withdrawn automatically
+	// before OnDrop runs.
+	OnDrop func(clientID string, reason orchestrator.DropReason)
 	// Logf, if non-nil, receives join/leave/drop diagnostics.
 	Logf func(format string, args ...interface{})
+	// CheckpointPath, if non-empty, makes the server durable: after
+	// every CheckpointEvery committed rounds (and on graceful
+	// shutdown) it atomically snapshots the coordinator — counters,
+	// global model, bound-scheduler state, residual store — to this
+	// file. A checkpoint failure is logged, never fatal: losing
+	// durability should not kill a live federation.
+	CheckpointPath string
+	// CheckpointEvery is the commit interval between snapshots
+	// (0 = every round).
+	CheckpointEvery int
+	// Resume, if non-nil, restarts training from a checkpoint: the
+	// coordinator resumes its counters, global model and bound
+	// schedule, Residuals (when present) is restored from the
+	// snapshot, and Serve runs only the remaining Rounds−Commits
+	// rounds. The initial model passed to Serve is ignored.
+	Resume *orchestrator.Checkpoint
+	// Residuals, if non-nil, is the server-side error-feedback store
+	// to persist in checkpoints and restore on Resume. The caller
+	// remains its owner (it is the one wiring it into its codec and
+	// the coordinator's OnDrop quarantine).
+	Residuals *core.ResidualStore
 }
 
 // Orchestrated is the orchestrator-backed federated server: clients
@@ -66,12 +93,16 @@ type OrchestratedConfig struct {
 type Orchestrated struct {
 	cfg OrchestratedConfig
 
+	stop     chan struct{} // closed by Shutdown
+	stopOnce sync.Once
+
 	mu        sync.Mutex
 	conns     map[string]*connStream
 	pending   map[*connStream]struct{} // accepted, join not yet read
 	nextID    int
 	joined    chan struct{} // signaled on every join
 	closed    bool
+	abandon   bool  // Abort: crash semantics, no graceful courtesies
 	acceptErr error // sticky: the accept loop died with this error
 }
 
@@ -96,10 +127,54 @@ func NewOrchestrated(cfg OrchestratedConfig) (*Orchestrated, error) {
 	}
 	return &Orchestrated{
 		cfg:     cfg,
+		stop:    make(chan struct{}),
 		conns:   make(map[string]*connStream),
 		pending: make(map[*connStream]struct{}),
 		joined:  make(chan struct{}, 1),
 	}, nil
+}
+
+// Shutdown asks Serve to stop gracefully: the round in flight (if
+// any) drains and commits, a final checkpoint is written when
+// durability is configured, and Serve returns the current global
+// model with no error. Safe to call from any goroutine (a signal
+// handler is the intended caller) and idempotent.
+func (s *Orchestrated) Shutdown() {
+	s.stopOnce.Do(func() { close(s.stop) })
+}
+
+// ErrAborted is Serve's result after Abort: the coordinator died
+// without completing its round budget.
+var ErrAborted = errors.New("transport: server aborted")
+
+// Abort simulates a coordinator crash for the chaos harness: Serve
+// stops at the next round boundary WITHOUT the graceful-exit
+// courtesies — no final checkpoint (recovery must come from the last
+// periodic snapshot) and no MsgShutdown to clients (they see their
+// connections die, exactly as after a kill -9). Serve returns
+// ErrAborted.
+func (s *Orchestrated) Abort() {
+	s.mu.Lock()
+	s.abandon = true
+	s.mu.Unlock()
+	s.stopOnce.Do(func() { close(s.stop) })
+}
+
+// aborted reports whether Abort was requested.
+func (s *Orchestrated) aborted() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.abandon
+}
+
+// stopping reports whether Shutdown has been requested.
+func (s *Orchestrated) stopping() bool {
+	select {
+	case <-s.stop:
+		return true
+	default:
+		return false
+	}
 }
 
 // Serve accepts clients on ln for as long as training runs, executes
@@ -107,16 +182,43 @@ func NewOrchestrated(cfg OrchestratedConfig) (*Orchestrated, error) {
 // the final global model. It owns accepted connections and closes
 // them (after a best-effort shutdown message) on return.
 func (s *Orchestrated) Serve(ln net.Listener, initial *model.StateDict) (*model.StateDict, error) {
-	coord, err := orchestrator.NewCoordinator(orchestrator.Config{
+	coordCfg := orchestrator.Config{
 		Mode:            orchestrator.ModeSync,
 		ClientsPerRound: s.cfg.ClientsPerRound,
 		OverProvision:   s.cfg.OverProvision,
 		RoundDeadline:   s.cfg.RoundDeadline,
 		Shards:          s.cfg.Shards,
 		Bound:           s.cfg.Bound,
-	}, initial)
-	if err != nil {
-		return nil, err
+		OnDrop: func(id string, reason orchestrator.DropReason) {
+			// A dropped client's residual accounting is invalidated by
+			// the lost update; quarantine it before the caller's hook.
+			if s.cfg.Residuals != nil {
+				s.cfg.Residuals.Withdraw(id)
+			}
+			if s.cfg.OnDrop != nil {
+				s.cfg.OnDrop(id, reason)
+			}
+		},
+	}
+	var coord *orchestrator.Coordinator
+	var err error
+	committed := 0
+	if s.cfg.Resume != nil {
+		coord, err = orchestrator.NewCoordinatorFromCheckpoint(coordCfg, s.cfg.Resume)
+		if err != nil {
+			return nil, err
+		}
+		committed = s.cfg.Resume.Commits
+		if s.cfg.Residuals != nil && s.cfg.Resume.Residuals != nil {
+			s.cfg.Residuals.RestoreSnapshot(s.cfg.Resume.Residuals)
+		}
+		s.cfg.Logf("resumed from checkpoint: %d rounds committed, model v%d",
+			committed, s.cfg.Resume.Version)
+	} else {
+		coord, err = orchestrator.NewCoordinator(coordCfg, initial)
+		if err != nil {
+			return nil, err
+		}
 	}
 
 	acceptDone := make(chan error, 1)
@@ -124,6 +226,7 @@ func (s *Orchestrated) Serve(ln net.Listener, initial *model.StateDict) (*model.
 	defer func() {
 		s.mu.Lock()
 		s.closed = true
+		abandon := s.abandon
 		conns := make([]*connStream, 0, len(s.conns))
 		for _, cs := range s.conns {
 			conns = append(conns, cs)
@@ -134,7 +237,9 @@ func (s *Orchestrated) Serve(ln net.Listener, initial *model.StateDict) (*model.
 		}
 		s.mu.Unlock()
 		for _, cs := range conns {
-			_ = cs.writeMsg(MsgShutdown, nil)
+			if !abandon {
+				_ = cs.writeMsg(MsgShutdown, nil)
+			}
 			_ = cs.conn.Close()
 		}
 		// Never-joined connections get no shutdown courtesy — closing
@@ -144,15 +249,29 @@ func (s *Orchestrated) Serve(ln net.Listener, initial *model.StateDict) (*model.
 		}
 	}()
 
-	for committed := 0; committed < s.cfg.Rounds; {
-		// MinClients gates only the first round; once training is under
-		// way the federation keeps going with whoever remains.
+	every := s.cfg.CheckpointEvery
+	if every <= 0 {
+		every = 1
+	}
+	roundsRun := 0
+	for committed < s.cfg.Rounds {
+		if s.stopping() {
+			break
+		}
+		// MinClients gates only this process's first round — including
+		// the first round after a resume, so a restarted coordinator
+		// re-gathers its population instead of racing ahead with the
+		// first reconnector while the rest are mid-handshake. Once
+		// training is under way it keeps going with whoever remains.
 		need := s.cfg.MinClients
-		if committed > 0 {
+		if roundsRun > 0 {
 			need = 1
 		}
 		if err := s.waitForClients(coord, need, acceptDone); err != nil {
 			return nil, err
+		}
+		if s.stopping() {
+			break
 		}
 		global, stats, err := s.runRound(coord)
 		if err == orchestrator.ErrNoUpdates {
@@ -169,9 +288,36 @@ func (s *Orchestrated) Serve(ln net.Listener, initial *model.StateDict) (*model.
 			s.cfg.OnRound(committed, global, stats)
 		}
 		committed++
+		roundsRun++
+		if s.cfg.CheckpointPath != "" && committed%every == 0 {
+			s.saveCheckpoint(coord)
+		}
+	}
+	if s.aborted() {
+		return nil, ErrAborted
+	}
+	// A final snapshot on graceful exit — whether the round budget ran
+	// out or Shutdown drained us — so a restart resumes exactly here.
+	if s.cfg.CheckpointPath != "" {
+		s.saveCheckpoint(coord)
 	}
 	_, global := coord.Global()
 	return global, nil
+}
+
+// saveCheckpoint snapshots the coordinator (plus the residual store,
+// when configured) to cfg.CheckpointPath. Must be called between
+// rounds. Failures are logged, not fatal.
+func (s *Orchestrated) saveCheckpoint(coord *orchestrator.Coordinator) {
+	ck := coord.Checkpoint()
+	if s.cfg.Residuals != nil {
+		ck.Residuals = s.cfg.Residuals.Snapshot()
+	}
+	if err := orchestrator.SaveCheckpoint(s.cfg.CheckpointPath, ck); err != nil {
+		s.cfg.Logf("checkpoint failed: %v", err)
+		return
+	}
+	s.cfg.Logf("checkpoint: %d rounds, model v%d -> %s", ck.Commits, ck.Version, s.cfg.CheckpointPath)
 }
 
 // acceptLoop registers incoming connections until the listener closes.
@@ -212,7 +358,7 @@ func (s *Orchestrated) acceptLoop(ln net.Listener, coord *orchestrator.Coordinat
 			s.mu.Unlock()
 			_ = cs.conn.SetReadDeadline(time.Time{})
 			if err := coord.Join(id); err != nil {
-				s.dropClient(coord, nil, id, err)
+				s.dropClient(coord, nil, id, err, orchestrator.DropDisconnect)
 				return
 			}
 			s.cfg.Logf("%s joined", id)
@@ -235,7 +381,7 @@ func (s *Orchestrated) waitForClients(coord *orchestrator.Coordinator, need int,
 	tick := time.NewTicker(10 * time.Millisecond)
 	defer tick.Stop()
 	for {
-		if coord.NumClients() >= need {
+		if coord.NumClients() >= need || s.stopping() {
 			return nil
 		}
 		s.mu.Lock()
@@ -250,6 +396,8 @@ func (s *Orchestrated) waitForClients(coord *orchestrator.Coordinator, need int,
 		select {
 		case <-s.joined:
 		case <-tick.C:
+		case <-s.stop:
+			return nil
 		case err := <-acceptDone:
 			s.mu.Lock()
 			s.acceptErr = err
@@ -259,8 +407,11 @@ func (s *Orchestrated) waitForClients(coord *orchestrator.Coordinator, need int,
 }
 
 // dropClient removes a client everywhere: round accounting (when a
-// round is open), registry, connection table. Safe to call twice.
-func (s *Orchestrated) dropClient(coord *orchestrator.Coordinator, round *orchestrator.Round, id string, cause error) {
+// round is open), registry, connection table. Safe to call twice. The
+// reason classifies the withdrawal for the coordinator's OnDrop hook
+// (and quarantines the client for the round — it must reconnect and
+// re-register before participating again).
+func (s *Orchestrated) dropClient(coord *orchestrator.Coordinator, round *orchestrator.Round, id string, cause error, reason orchestrator.DropReason) {
 	s.mu.Lock()
 	cs, ok := s.conns[id]
 	delete(s.conns, id)
@@ -269,12 +420,29 @@ func (s *Orchestrated) dropClient(coord *orchestrator.Coordinator, round *orches
 		_ = cs.conn.Close()
 	}
 	if round != nil {
-		round.Drop(id)
+		round.Drop(id, reason)
 	}
 	coord.Leave(id)
 	if ok {
-		s.cfg.Logf("%s dropped: %v", id, cause)
+		s.cfg.Logf("%s dropped (%v): %v", id, reason, cause)
 	}
+}
+
+// dropReasonFor classifies a collection failure: a read-deadline
+// timeout is a straggler cut, a frame that failed structural or
+// checksum validation is corruption, anything else is a transport
+// death. Timeout wins over corruption — a deadline firing mid-frame
+// truncates the stream, which the decoder also reports as ErrCorrupt,
+// but the timeout in the chain names the true cause.
+func dropReasonFor(err error) orchestrator.DropReason {
+	var ne net.Error
+	if errors.As(err, &ne) && ne.Timeout() {
+		return orchestrator.DropDeadline
+	}
+	if errors.Is(err, core.ErrCorrupt) {
+		return orchestrator.DropCorrupt
+	}
+	return orchestrator.DropDisconnect
 }
 
 // runRound executes one orchestrated round: broadcast to the sampled
@@ -309,7 +477,7 @@ func (s *Orchestrated) runRound(coord *orchestrator.Coordinator) (*model.StateDi
 		cs, ok := s.conns[id]
 		s.mu.Unlock()
 		if !ok {
-			round.Drop(id)
+			round.Drop(id, orchestrator.DropDisconnect)
 			continue
 		}
 		bwg.Add(1)
@@ -333,7 +501,7 @@ func (s *Orchestrated) runRound(coord *orchestrator.Coordinator) (*model.StateDi
 				})
 			}
 			if err != nil {
-				s.dropClient(coord, round, id, err)
+				s.dropClient(coord, round, id, err, dropReasonFor(err))
 				return
 			}
 			_ = cs.conn.SetWriteDeadline(time.Time{})
@@ -363,14 +531,14 @@ func (s *Orchestrated) runRound(coord *orchestrator.Coordinator) (*model.StateDi
 		cs := s.conns[id]
 		s.mu.Unlock()
 		if cs == nil {
-			round.Drop(id)
+			round.Drop(id, orchestrator.DropDisconnect)
 			continue
 		}
 		wg.Add(1)
 		go func(id string, cs *connStream) {
 			defer wg.Done()
 			if err := s.collectUpdate(round, id, cs, deadline); err != nil {
-				s.dropClient(coord, round, id, err)
+				s.dropClient(coord, round, id, err, dropReasonFor(err))
 			}
 		}(id, cs)
 	}
@@ -401,7 +569,11 @@ func (s *Orchestrated) collectUpdate(round *orchestrator.Round, id string, cs *c
 		return err
 	}
 	if err := fl.DecodeEntries(s.cfg.Codec, cs.r, ct.Fold); err != nil {
-		ct.Abort()
+		// Withdraw any folds the aggregate already took (verified
+		// sections of a frame whose later section was damaged), tagged
+		// with why: a checksum failure quarantines the client as
+		// corrupt, not as a straggler.
+		ct.AbortReason(dropReasonFor(err))
 		return err
 	}
 	if err := ct.Commit(); err != nil {

@@ -27,6 +27,7 @@ import (
 	"math"
 	"net"
 	"sync"
+	"time"
 
 	"fedsz/internal/core"
 	"fedsz/internal/fl"
@@ -273,26 +274,43 @@ func RunClient(conn net.Conn, codec fl.Codec, train TrainFunc) error {
 	if codec == nil {
 		codec = fl.PlainCodec{}
 	}
-	cs := newConnStream(conn)
-	if err := cs.writeMsg(MsgJoin, nil); err != nil {
-		return err
+	_, err := runClientSession(newConnStream(conn), codec, train, 0, 0)
+	return err
+}
+
+// runClientSession joins and runs federated rounds on one connection
+// until MsgShutdown (nil error) or a failure. It returns the number
+// of rounds whose update was fully written, so a resilient caller can
+// distinguish a session that made progress from one that never got
+// off the ground; train sees round numbers starting at baseRound.
+// When writeTimeout > 0 every protocol write runs under a deadline.
+func runClientSession(cs *connStream, codec fl.Codec, train TrainFunc, baseRound int, writeTimeout time.Duration) (int, error) {
+	write := func(t MsgType, payload func(io.Writer) error) error {
+		if writeTimeout > 0 {
+			_ = cs.conn.SetWriteDeadline(time.Now().Add(writeTimeout))
+			defer cs.conn.SetWriteDeadline(time.Time{})
+		}
+		return cs.writeMsg(t, payload)
+	}
+	if err := write(MsgJoin, nil); err != nil {
+		return 0, err
 	}
 	for round := 0; ; {
 		t, err := cs.readMsgType()
 		if err != nil {
-			return err
+			return round, err
 		}
 		switch t {
 		case MsgShutdown:
-			return nil
+			return round, nil
 		case MsgRoundBound:
 			var raw [8]byte
 			if _, err := io.ReadFull(cs.r, raw[:]); err != nil {
-				return fmt.Errorf("%w: round bound: %v", ErrProtocol, err)
+				return round, fmt.Errorf("%w: round bound: %v", ErrProtocol, err)
 			}
 			bound := math.Float64frombits(binary.BigEndian.Uint64(raw[:]))
 			if bound <= 0 || math.IsNaN(bound) || math.IsInf(bound, 0) {
-				return fmt.Errorf("%w: round bound %v", ErrProtocol, bound)
+				return round, fmt.Errorf("%w: round bound %v", ErrProtocol, bound)
 			}
 			if ba, ok := codec.(fl.BoundAware); ok {
 				ba.SetRoundBound(bound)
@@ -300,16 +318,16 @@ func RunClient(conn net.Conn, codec fl.Codec, train TrainFunc) error {
 		case MsgGlobalModel:
 			global, err := core.UnmarshalStateDictFrom(cs.r)
 			if err != nil {
-				return err
+				return round, err
 			}
 			if ra, ok := codec.(fl.ReferenceAware); ok {
 				ra.SetReference(global)
 			}
-			update, samples, err := train(round, global)
+			update, samples, err := train(baseRound+round, global)
 			if err != nil {
-				return fmt.Errorf("transport: client train: %w", err)
+				return round, fmt.Errorf("transport: client train: %w", err)
 			}
-			err = cs.writeMsg(MsgUpdate, func(w io.Writer) error {
+			err = write(MsgUpdate, func(w io.Writer) error {
 				var hdr [binary.MaxVarintLen64]byte
 				n := binary.PutUvarint(hdr[:], uint64(samples))
 				if _, err := w.Write(hdr[:n]); err != nil {
@@ -319,11 +337,11 @@ func RunClient(conn net.Conn, codec fl.Codec, train TrainFunc) error {
 				return err
 			})
 			if err != nil {
-				return err
+				return round, err
 			}
 			round++
 		default:
-			return fmt.Errorf("%w: unexpected message %v", ErrProtocol, t)
+			return round, fmt.Errorf("%w: unexpected message %v", ErrProtocol, t)
 		}
 	}
 }
