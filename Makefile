@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench fmt vet fuzz parallel-bench scale-bench adapt-bench families-bench chaos-bench
+.PHONY: all build test race bench fmt vet fuzz parallel-bench scale-bench hier-bench hier-smoke adapt-bench families-bench chaos-bench
 
 all: build test
 
@@ -51,9 +51,23 @@ stream-bench:
 	$(GO) run ./cmd/fedszbench -exp stream -scale $(SCALE) -format json -o BENCH_stream.json
 
 # Regenerate the committed 1000-client orchestration datapoint (sync vs
-# async, sequential vs streaming sharded aggregation).
+# async, sequential vs streaming sharded aggregation) — including the
+# hierarchical per-tier rows (100k virtual clients folding through
+# regional edge aggregators into partial-sum frames).
 scale-bench:
 	$(GO) run ./cmd/fedszbench -exp scale -scale $(SCALE) -format json -o BENCH_scale.json
+
+# The hierarchical rows live in the scale experiment; hier-bench
+# regenerates BENCH_scale.json with them (alias kept so the tier work
+# has its own entry point).
+hier-bench: scale-bench
+
+# CI smoke for the edge tier: a real 3-edge / 30-client federation over
+# TCP loopback with checksummed partial frames, under the race
+# detector, plus the edge-death and empty-region withdrawal tests.
+hier-smoke:
+	$(GO) test -race -run 'TestEdge' ./internal/transport/
+	$(GO) test -run 'TestHierSim' ./internal/fl/
 
 # Regenerate the committed adaptive-vs-static selection datapoint
 # (the control plane's acceptance criterion: adaptive within 5% of the

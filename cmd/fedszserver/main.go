@@ -19,7 +19,14 @@
 // checkpoint, and -restore resumes a killed run from its last
 // snapshot while clients ride their retry loop across the restart.
 //
-// Pair with cmd/fedszclient:
+// The listener accepts BOTH direct clients and regional edge
+// aggregators (cmd/fedszedge) — an edge joins like a client but
+// uploads one checksummed partial sum covering its whole region, so
+// -min-clients counts participants (edges and direct clients alike)
+// and the coordinator's fan-in stays small however many devices sit
+// behind the edges.
+//
+// Pair with cmd/fedszclient (and optionally cmd/fedszedge):
 //
 //	fedszserver -addr :9000 -min-clients 2 -rounds 5 -checkpoint ck.bin &
 //	fedszclient -addr localhost:9000 -shard 0 -shards 2 &

@@ -1,9 +1,12 @@
-// Example scale runs the orchestrated federated simulation both ways
+// Example scale runs the orchestrated federated simulation three ways
 // — synchronous rounds with over-provisioned sampling and a straggler
-// deadline, then FedBuff-style asynchronous buffering — over a
-// heterogeneous client population (the paper's 10/100/500 Mbps
-// bandwidths plus a slow-device tail), with FedSZ-compressed uplinks
-// folding into the streaming sharded aggregator.
+// deadline, FedBuff-style asynchronous buffering, and a hierarchical
+// 2-tier run where regional edge aggregators fold their clients and
+// forward one partial sum each — over a heterogeneous client
+// population, with FedSZ-compressed uplinks folding into the
+// streaming sharded aggregator. The hierarchical section prints
+// per-tier bytes-on-wire: the client→edge uplink traffic next to the
+// (much smaller count of) edge→core partial frames.
 //
 //	go run ./examples/scale
 package main
@@ -69,4 +72,35 @@ func main() {
 		fmt.Printf("  commit %d: acc %.3f at %.1fs virtual\n",
 			m.Round, m.TestAccuracy, m.CommTime.Seconds())
 	}
+
+	// Hierarchical 2-tier: the same 24 clients behind 4 regional edge
+	// aggregators on fast LAN uplinks; every edge forwards ONE
+	// checksummed partial-sum frame over a WAN trunk shared by the 4
+	// forwarding edges. The coordinator folds 4 partials instead of 24
+	// uplinks — and commits the exact same models the flat run would.
+	hier := fedsz.HierSimConfig{
+		OrchSimConfig: fedsz.OrchSimConfig{
+			SimConfig:  base,
+			Population: fedsz.EdgeMix(),
+		},
+		Edges:    4,
+		Wire:     fedsz.PartialWireOptions{Checksum: true},
+		EdgeLink: fedsz.ContendedWAN(fedsz.Link{BandwidthBps: fedsz.Mbps(500)}, 4),
+	}
+	res, hs, err := fedsz.RunHierSim(hier)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("hierarchical rounds (%d edges, checksummed partials):\n", hs.Edges)
+	for _, m := range res.Rounds {
+		fmt.Printf("  round %d: acc %.3f, %d updates via %d regions, %.1fs virtual\n",
+			m.Round, m.TestAccuracy, m.Participants, hs.Edges, m.CommTime.Seconds())
+	}
+	fmt.Println("per-tier bytes on wire:")
+	fmt.Printf("  tier 1 client->edge: %.2f MB across %d uplinks\n",
+		float64(hs.ClientBytes)/1e6, base.Clients*base.Rounds)
+	fmt.Printf("  tier 2 edge->core:   %.2f MB across %d partial frames (fan-in %d->%d)\n",
+		float64(hs.PartialBytes)/1e6, hs.Partials, base.Clients, hs.Edges)
+	fmt.Printf("  peak aggregator memory: edge %.1f KB, core %.1f KB\n",
+		float64(hs.PeakEdgeMemory)/1e3, float64(hs.PeakCoreMemory)/1e3)
 }

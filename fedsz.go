@@ -122,12 +122,14 @@ import (
 	"fedsz/internal/core"
 	"fedsz/internal/dataset"
 	"fedsz/internal/fl"
+	"fedsz/internal/hier"
 	"fedsz/internal/lossless"
 	"fedsz/internal/lossy"
 	"fedsz/internal/model"
 	"fedsz/internal/netsim"
 	"fedsz/internal/orchestrator"
 	"fedsz/internal/tensor"
+	"fedsz/internal/transport"
 )
 
 // Re-exported types. Aliases keep the internal packages private while
@@ -643,6 +645,70 @@ func RunOrchestratedSim(cfg OrchSimConfig) (*SimResult, error) {
 // experiment: the paper's 10/100/500 Mbps bandwidths as deployment
 // strata plus a slow-device straggler tail.
 func PaperMix() Population { return netsim.PaperMix() }
+
+// Hierarchical aggregation re-exports: the regional edge tier that
+// folds each region's updates into ONE unnormalized partial sum and
+// forwards it upstream, taking a federation's coordinator fan-in from
+// the population size to the region count without changing the
+// committed model by a single bit.
+type (
+	// Edge is a regional fold-and-forward aggregator node: it serves a
+	// region of clients (or nested edges) on the ordinary transport
+	// protocol and participates upstream as a single member.
+	Edge = transport.Edge
+	// EdgeConfig parameterizes an Edge.
+	EdgeConfig = transport.EdgeConfig
+	// PartialSum is a region's unnormalized aggregation state
+	// (Σ weight·value sums, total weight, update count, plan prior).
+	PartialSum = orchestrator.Partial
+	// PartialWireOptions controls partial-sum frames on the wire
+	// (CRC32C stamping, optional lossless packing).
+	PartialWireOptions = hier.WireOptions
+	// HierSimConfig parameterizes the 2-tier hierarchical simulation.
+	HierSimConfig = fl.HierSimConfig
+	// HierStats reports a hierarchical simulation's per-tier outcomes.
+	HierStats = fl.HierStats
+)
+
+// NewEdge builds a regional edge aggregator. Its Serve folds each
+// round's regional updates through the streaming sharded aggregator
+// and forwards one partial-sum frame upstream.
+func NewEdge(cfg EdgeConfig) (*Edge, error) { return transport.NewEdge(cfg) }
+
+// EncodePartialSum frames a regional partial sum for the wire.
+func EncodePartialSum(p *PartialSum, opts PartialWireOptions) ([]byte, error) {
+	return hier.EncodePartial(p, opts)
+}
+
+// DecodePartialSum reads one partial-sum frame, verifying its CRC32C
+// before any content is trusted when the frame is checksummed.
+func DecodePartialSum(r io.Reader) (*PartialSum, error) {
+	if br, ok := r.(hier.Reader); ok {
+		return hier.DecodePartialFrom(br)
+	}
+	return hier.DecodePartialFrom(bufio.NewReader(r))
+}
+
+// RunHierSim executes the 2-tier hierarchical federated simulation:
+// regional edge aggregators fold their clients' codec-encoded updates
+// and forward partial-sum frames to the coordinator on a virtual
+// clock. The committed models are bit-identical to the flat
+// simulation's under the same seed.
+func RunHierSim(cfg HierSimConfig) (*SimResult, *HierStats, error) {
+	return fl.RunHierSim(cfg)
+}
+
+// EdgeMix is the client→edge population of a hierarchical tier: fast
+// local-network strata (campus LAN, 5G cell) with the same compute
+// heterogeneity as PaperMix.
+func EdgeMix() Population { return netsim.EdgeMix() }
+
+// ContendedWAN divides a link's bandwidth across sharers concurrent
+// senders — the edge→core trunk at the round boundary, when every
+// region forwards its partial at once.
+func ContendedWAN(l Link, sharers int) Link {
+	return netsim.ContendedWAN(l, sharers)
+}
 
 // Datasets returns the synthetic dataset specs mirroring the paper's
 // CIFAR-10 / Fashion-MNIST / Caltech101 tasks.

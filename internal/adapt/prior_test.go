@@ -1,0 +1,240 @@
+package adapt_test
+
+import (
+	"math"
+	"testing"
+
+	"fedsz/internal/adapt"
+	"fedsz/internal/core"
+	"fedsz/internal/lossy"
+)
+
+// TestPriorEncodeDecodeRoundTrip: the wire blob must carry every vote
+// field bit-exactly.
+func TestPriorEncodeDecodeRoundTrip(t *testing.T) {
+	pr := &adapt.Prior{Tensors: map[string]adapt.PriorPlan{
+		"conv1.weight": {Lossy: "sz3", Setting: lossy.Setting{}, Factor: 1, Votes: 7, MeanRate: 0.11},
+		"fc.weight":    {Lossy: "topk", Setting: lossy.Setting{Fraction: 0.05}, Factor: 0.5, Votes: 3, MeanRate: 0.04},
+		"fc.bias":      {Lossy: "quant", Setting: lossy.Setting{Bits: 6}, Factor: 0.25, Votes: 1, MeanRate: 0.19},
+	}}
+	blob := adapt.EncodePrior(pr)
+	if len(blob) == 0 {
+		t.Fatal("encode produced nothing")
+	}
+	got, err := adapt.DecodePrior(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != pr.Len() {
+		t.Fatalf("decoded %d tensors, want %d", got.Len(), pr.Len())
+	}
+	for name, want := range pr.Tensors {
+		g, ok := got.Tensors[name]
+		if !ok {
+			t.Fatalf("missing tensor %q", name)
+		}
+		if g.Lossy != want.Lossy || g.Setting != want.Setting || g.Votes != want.Votes ||
+			math.Float64bits(g.Factor) != math.Float64bits(want.Factor) ||
+			math.Float64bits(g.MeanRate) != math.Float64bits(want.MeanRate) {
+			t.Fatalf("tensor %q decoded %+v, want %+v", name, g, want)
+		}
+	}
+	// Nil and empty priors encode to nothing and decode to nil.
+	if b := adapt.EncodePrior(nil); b != nil {
+		t.Fatalf("nil prior encoded to %d bytes", len(b))
+	}
+	if pr, err := adapt.DecodePrior(nil); err != nil || pr != nil {
+		t.Fatalf("empty blob decoded to %v, %v", pr, err)
+	}
+}
+
+// TestDecodePriorTruncation: every prefix must fail cleanly.
+func TestDecodePriorTruncation(t *testing.T) {
+	blob := adapt.EncodePrior(&adapt.Prior{Tensors: map[string]adapt.PriorPlan{
+		"w": {Lossy: "sz3", Factor: 1, Votes: 2, MeanRate: 0.1},
+	}})
+	for cut := 1; cut < len(blob); cut++ {
+		if _, err := adapt.DecodePrior(blob[:cut]); err == nil {
+			t.Fatalf("truncation at %d/%d decoded successfully", cut, len(blob))
+		}
+	}
+}
+
+// TestMergePriorsMajority pins the consensus rules: most votes wins,
+// ties break lexically, factors and rates are vote-weighted means,
+// and votes accumulate so a merge of merges weighs regions by size.
+func TestMergePriorsMajority(t *testing.T) {
+	a := &adapt.Prior{Tensors: map[string]adapt.PriorPlan{
+		"w": {Lossy: "sz3", Factor: 1.0, Votes: 2, MeanRate: 0.10},
+		"b": {Lossy: "quant", Setting: lossy.Setting{Bits: 8}, Factor: 0.5, Votes: 1, MeanRate: 0.30},
+	}}
+	b := &adapt.Prior{Tensors: map[string]adapt.PriorPlan{
+		"w": {Lossy: "sz3", Factor: 0.5, Votes: 1, MeanRate: 0.40},
+		"b": {Lossy: "topk", Setting: lossy.Setting{Fraction: 0.1}, Factor: 1, Votes: 1, MeanRate: 0.05},
+	}}
+	c := &adapt.Prior{Tensors: map[string]adapt.PriorPlan{
+		"w": {Lossy: "szx", Factor: 0.25, Votes: 1, MeanRate: 0.20},
+	}}
+	m := adapt.MergePriors(a, b, c, nil)
+	if m.Len() != 2 {
+		t.Fatalf("merged %d tensors, want 2", m.Len())
+	}
+	// "w": sz3 has 3 votes vs szx's 1 → sz3 wins; factor mean over the
+	// winning pair's votes = (1.0·2 + 0.5·1)/3.
+	w := m.Tensors["w"]
+	if w.Lossy != "sz3" || w.Votes != 3 {
+		t.Fatalf("w merged to %+v, want sz3 with 3 votes", w)
+	}
+	if want := (1.0*2 + 0.5*1) / 3; math.Abs(w.Factor-want) > 1e-12 {
+		t.Fatalf("w factor %v, want %v", w.Factor, want)
+	}
+	if want := (0.10*2 + 0.40*1) / 3; math.Abs(w.MeanRate-want) > 1e-12 {
+		t.Fatalf("w rate %v, want %v", w.MeanRate, want)
+	}
+	// "b": 1 vote each — the lexically smaller pair key wins,
+	// deterministically ("quant|bits=8" < "topk|frac=0.1").
+	bm := m.Tensors["b"]
+	if bm.Lossy != "quant" || bm.Votes != 1 {
+		t.Fatalf("b merged to %+v, want the deterministic tie-break winner", bm)
+	}
+	// Merging merged priors accumulates votes (region weighting).
+	mm := adapt.MergePriors(m, m)
+	if mm.Tensors["w"].Votes != 6 {
+		t.Fatalf("merge of merges has %d votes, want 6", mm.Tensors["w"].Votes)
+	}
+}
+
+// TestMergePriorBlobsDropsGarbage: undecodable blobs must not poison
+// the consensus.
+func TestMergePriorBlobsDropsGarbage(t *testing.T) {
+	good := adapt.EncodePrior(&adapt.Prior{Tensors: map[string]adapt.PriorPlan{
+		"w": {Lossy: "sz3", Factor: 1, Votes: 1, MeanRate: 0.2},
+	}})
+	merged := adapt.MergePriorBlobs(good, []byte{0xFF, 0x01, 0x02}, nil, good)
+	pr, err := adapt.DecodePrior(merged)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pr.Len() != 1 || pr.Tensors["w"].Votes != 2 {
+		t.Fatalf("merged blob decoded to %+v, want w with 2 votes", pr)
+	}
+}
+
+// TestExportApplyPrior drives the full plan-sharing loop: a policy
+// that actually probed exports votes; a cold policy seeded from them
+// serves the voted plans immediately — but refuses to re-export them
+// as its own votes (no hearsay laundering), and keeps its local plan
+// when it already has one.
+func TestExportApplyPrior(t *testing.T) {
+	sd := randomDict(t, 21)
+
+	probed, err := adapt.NewPolicy(adapt.Config{SampleElems: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pipe, err := core.NewPipeline(core.Config{Selector: probed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := pipe.Compress(sd); err != nil {
+		t.Fatal(err)
+	}
+	probed.WaitProbes()
+	// Second pass serves the probed plans, so the cache is measured.
+	if _, _, err := pipe.Compress(sd); err != nil {
+		t.Fatal(err)
+	}
+	probed.WaitProbes()
+
+	pr := probed.ExportPrior()
+	if pr.Len() == 0 {
+		t.Fatal("probed policy exported no votes")
+	}
+	for name, vote := range pr.Tensors {
+		if vote.Votes != 1 || vote.Lossy == "" {
+			t.Fatalf("vote %q = %+v, want a single local vote", name, vote)
+		}
+	}
+
+	cold, err := adapt.NewPolicy(adapt.Config{SampleElems: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold.ApplyPrior(pr)
+	plans := cold.Plans()
+	if len(plans) != pr.Len() {
+		t.Fatalf("cold policy cached %d seeded plans, want %d", len(plans), pr.Len())
+	}
+	for _, pl := range plans {
+		vote := pr.Tensors[pl.Tensor]
+		if pl.Lossy != vote.Lossy {
+			t.Fatalf("seeded plan %q uses %q, vote said %q", pl.Tensor, pl.Lossy, vote.Lossy)
+		}
+	}
+	// Seeded ≠ probed: the cold policy must not echo the fleet's votes.
+	if echo := cold.ExportPrior(); echo != nil {
+		t.Fatalf("cold policy re-exported %d seeded plans as votes", echo.Len())
+	}
+
+	// Local measurement outranks the fleet: a policy with its own plan
+	// for a tensor ignores the vote for it.
+	warm, err := adapt.NewPolicy(adapt.Config{SampleElems: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wp, err := core.NewPipeline(core.Config{Selector: warm})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := wp.Compress(sd); err != nil {
+		t.Fatal(err)
+	}
+	warm.WaitProbes()
+	before := warm.Plans()
+	hostile := &adapt.Prior{Tensors: map[string]adapt.PriorPlan{}}
+	for _, pl := range before {
+		hostile.Tensors[pl.Tensor] = adapt.PriorPlan{Lossy: "nosuchfamily", Factor: 1, Votes: 99}
+	}
+	warm.ApplyPrior(hostile)
+	after := warm.Plans()
+	for i := range before {
+		if after[i].Lossy != before[i].Lossy || after[i].Setting != before[i].Setting {
+			t.Fatalf("plan %q changed from %+v to %+v under a prior", before[i].Tensor, before[i], after[i])
+		}
+	}
+}
+
+// TestPolicyPriorBytes covers the []byte convenience layer the fl
+// codec hooks call.
+func TestPolicyPriorBytes(t *testing.T) {
+	sd := randomDict(t, 23)
+	policy, err := adapt.NewPolicy(adapt.Config{SampleElems: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pipe, err := core.NewPipeline(core.Config{Selector: policy})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := pipe.Compress(sd); err != nil {
+		t.Fatal(err)
+	}
+	policy.WaitProbes()
+	blob := policy.ExportPriorBytes()
+	if len(blob) == 0 {
+		t.Fatal("no prior bytes exported")
+	}
+	cold, err := adapt.NewPolicy(adapt.Config{SampleElems: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cold.ApplyPriorBytes(blob); err != nil {
+		t.Fatal(err)
+	}
+	if len(cold.Plans()) == 0 {
+		t.Fatal("prior bytes seeded no plans")
+	}
+	if err := cold.ApplyPriorBytes([]byte{0xFF}); err == nil {
+		t.Fatal("garbage prior blob applied without error")
+	}
+}

@@ -5,11 +5,13 @@ import (
 	"fmt"
 	"runtime"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
 	"fedsz/internal/core"
 	"fedsz/internal/fl"
+	"fedsz/internal/hier"
 	"fedsz/internal/lossy"
 	"fedsz/internal/model"
 	"fedsz/internal/netsim"
@@ -203,6 +205,48 @@ func Scale(opts Options) (*Table, error) {
 		})
 	}
 
+	// Hierarchical section: the same data path scaled two orders of
+	// magnitude past the flat rows by folding regionally and forwarding
+	// partial sums — one row per tier, so fan-in, wire bytes and peak
+	// aggregator memory of each level are visible side by side.
+	hierClients := 100_000
+	hierShapes := [][]int{{100}, {1000, 32}}
+	if opts.Quick {
+		hierClients = 2000
+		hierShapes = [][]int{{10}, {50, 8}}
+	}
+	fedszLens := make([]int, nVariants)
+	for v, p := range payloads[fedszCodec.Name()] {
+		fedszLens[v] = len(p)
+	}
+	for _, shape := range hierShapes {
+		tiersName := fmt.Sprintf("%d-tier", len(shape)+1)
+		rows, span, err := runScaleHier(base, variants, fedszLens, hierClients, shape, wireScale, nominalCompute, opts.Seed+3)
+		if err != nil {
+			return nil, err
+		}
+		for _, tr := range rows {
+			t.Rows = append(t.Rows, []string{
+				fmt.Sprintf("hier %s %s", tiersName, tr.name), fedszCodec.Name(), "none",
+				secs(span.Seconds()),
+				f2(float64(tr.folds) / span.Seconds()),
+				"0",
+				mb(tr.wireBytes),
+				mb(tr.peakMem),
+			})
+		}
+		var parts []string
+		for _, tr := range rows {
+			parts = append(parts, fmt.Sprintf("%s %.0f folds/s over %d aggregators", tr.name, float64(tr.folds)/tr.wall.Seconds(), tr.aggs))
+		}
+		t.Notes = append(t.Notes, fmt.Sprintf("hier %s measured wall fold throughput: %s", tiersName, strings.Join(parts, "; ")))
+	}
+	t.Config["hier_clients"] = fmt.Sprintf("%d", hierClients)
+	for _, shape := range hierShapes {
+		key := fmt.Sprintf("hier_%dtier_shape", len(shape)+1)
+		t.Config[key] = fmt.Sprint(shape)
+	}
+
 	t.Notes = append(t.Notes,
 		fmt.Sprintf("%d clients, MobileNetV2/%d fold model (%d entries, %s decoded), wire bytes scaled ×%d to paper-size updates, nominal compute %v scaled per client by the PaperMix compute factor",
 			clients, opts.Scale*4, base.Len(), mb(decodedBytes), wireScale, nominalCompute),
@@ -210,6 +254,8 @@ func Scale(opts Options) (*Table, error) {
 		"sync round time = last accepted virtual arrival (the barrier); async round time = mean gap between buffer commits; Upd/s = committed updates per virtual second",
 		fmt.Sprintf("peak agg mem: sequential = clients×decoded + float64 accumulator; streaming = sharded accumulator + %d-uplink in-flight window (updates fold and release as sections decode)", inflightWindow),
 		"every streaming row folds real decoded tensors through orchestrator.Aggregator contributors; the equivalence test in internal/orchestrator pins the result byte-identical to sequential FedAvg",
+		fmt.Sprintf("hier rows: %d virtual clients on netsim.EdgeMix LAN uplinks fold into regional aggregators; every region forwards ONE checksummed partial-sum frame over a 10 Gbps aggregation trunk shared by each parent's children (netsim.ContendedWAN); the core folds partial frames, so its fan-in is the top-tier width instead of the population — %d→%d (%.0f×) in the 2-tier run", hierClients, hierClients, hierShapes[0][0], float64(hierClients)/float64(hierShapes[0][0])),
+		"hier Uplink column = bytes arriving into the tier (client payloads at the edge tier, partial frames above); Peak agg mem = one aggregator of that tier; equivalence with the flat fold is pinned bit-identical by internal/orchestrator's partial tests",
 	)
 	return t, nil
 }
@@ -349,6 +395,196 @@ func runScaleAsync(base *model.StateDict, codec fl.Codec, payloads [][]byte, nVa
 		res.meanCommitGap = lastGapTotal / time.Duration(commits)
 	}
 	return res, nil
+}
+
+// hierTierRow is one tier's measurement from a hierarchical round.
+type hierTierRow struct {
+	name      string        // "edge", "mid", "core"
+	aggs      int           // aggregators at this tier
+	folds     int           // contributions folded (clients or partials)
+	wireBytes int64         // scaled bytes this tier sent upstream
+	peakMem   int64         // largest single aggregator footprint seen
+	wall      time.Duration // wall clock spent folding the tier
+}
+
+// runScaleHier drives one hierarchical round over clientsH virtual
+// clients: the leaf tier folds pre-decoded client updates into
+// shape[0] regional aggregators, every region forwards one checksummed
+// partial frame through the real hier codec, each further shape level
+// folds the frames of the tier below, and the core folds the top
+// tier's partials and finalizes. Folding runs in parallel inside each
+// tier (regions are independent); the virtual timeline — EdgeMix LAN
+// uplinks, then a contended WAN hop per forwarding tier — is drawn
+// sequentially so the schedule is a function of the seed alone.
+func runScaleHier(base *model.StateDict, variants []*model.StateDict, payloadLens []int, clientsH int, shape []int, wireScale int64, nominalCompute time.Duration, seed int64) ([]hierTierRow, time.Duration, error) {
+	nVariants := len(variants)
+	popRNG := stats.NewRNG(seed)
+	jitterRNG := stats.NewRNG(seed + 1)
+	weights := make([]int, clientsH)
+	arrivals := make([]time.Duration, clientsH)
+	mix := netsim.EdgeMix()
+	for i := range weights {
+		p := mix.Sample(popRNG)
+		weights[i] = 50 + popRNG.Intn(150)
+		bytes := int64(payloadLens[i%nVariants]) * wireScale
+		compute := time.Duration(float64(nominalCompute) * p.ComputeFactor)
+		arrivals[i] = compute + p.Link.SampleTransferTime(bytes, jitterRNG)
+	}
+
+	// split cuts n items into k contiguous groups, remainder spread
+	// over the leading groups.
+	split := func(n, k int) [][2]int {
+		out := make([][2]int, k)
+		per, rem := n/k, n%k
+		lo := 0
+		for g := range out {
+			sz := per
+			if g < rem {
+				sz++
+			}
+			out[g] = [2]int{lo, lo + sz}
+			lo += sz
+		}
+		return out
+	}
+	// eachRegion runs fn over every group on a worker pool and returns
+	// the tier's wall time and peak single-aggregator memory.
+	eachRegion := func(k int, fn func(g int) (int64, error)) (time.Duration, int64, error) {
+		start := time.Now()
+		var wg sync.WaitGroup
+		var mu sync.Mutex
+		var firstErr error
+		var peak int64
+		jobs := make(chan int, k)
+		for w := 0; w < runtime.GOMAXPROCS(0); w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for g := range jobs {
+					mem, err := fn(g)
+					mu.Lock()
+					if err != nil && firstErr == nil {
+						firstErr = err
+					}
+					if mem > peak {
+						peak = mem
+					}
+					mu.Unlock()
+				}
+			}()
+		}
+		for g := 0; g < k; g++ {
+			jobs <- g
+		}
+		close(jobs)
+		wg.Wait()
+		return time.Since(start), peak, firstErr
+	}
+
+	wire := hier.WireOptions{Checksum: true}
+	var rows []hierTierRow
+
+	// Leaf tier: fold the clients.
+	leafGroups := split(clientsH, shape[0])
+	frames := make([][]byte, shape[0])
+	spans := make([]time.Duration, shape[0])
+	var clientBytes int64
+	for i := range arrivals {
+		clientBytes += int64(payloadLens[i%nVariants]) * wireScale
+	}
+	wall, peak, err := eachRegion(shape[0], func(g int) (int64, error) {
+		agg := orchestrator.NewAggregator(base, 0)
+		var span time.Duration
+		for i := leafGroups[g][0]; i < leafGroups[g][1]; i++ {
+			if err := agg.FoldStateDict(variants[i%nVariants], float64(weights[i])); err != nil {
+				return 0, err
+			}
+			if arrivals[i] > span {
+				span = arrivals[i]
+			}
+		}
+		frame, err := hier.EncodePartial(agg.Partial(), wire)
+		if err != nil {
+			return 0, err
+		}
+		frames[g], spans[g] = frame, span
+		return agg.MemoryBytes(), nil
+	})
+	if err != nil {
+		return nil, 0, err
+	}
+	rows = append(rows, hierTierRow{name: "edge", aggs: shape[0], folds: clientsH, wireBytes: clientBytes, peakMem: peak, wall: wall})
+
+	// Upper tiers fold the frames of the tier below; the core is the
+	// implicit last level with a single aggregator.
+	trunk := netsim.Link{BandwidthBps: netsim.Gbps(10), Latency: 10 * time.Millisecond, Jitter: 2 * time.Millisecond}
+	levels := append(append([]int(nil), shape[1:]...), 1)
+	for li, k := range levels {
+		// The tier below forwards: every aggregator's ingress trunk is
+		// shared by its own children, all sending at the round boundary.
+		hop := netsim.ContendedWAN(trunk, (len(frames)+k-1)/k)
+		childArrival := make([]time.Duration, len(frames))
+		var tierBytes int64
+		for j, f := range frames {
+			scaled := int64(len(f)) * wireScale
+			tierBytes += scaled
+			childArrival[j] = spans[j] + hop.SampleTransferTime(scaled, jitterRNG)
+		}
+
+		groups := split(len(frames), k)
+		nextFrames := make([][]byte, k)
+		nextSpans := make([]time.Duration, k)
+		folds := len(frames)
+		wall, peak, err := eachRegion(k, func(g int) (int64, error) {
+			agg := orchestrator.NewAggregator(base, 0)
+			var span time.Duration
+			for j := groups[g][0]; j < groups[g][1]; j++ {
+				pt, err := hier.DecodePartialFrom(bytes.NewReader(frames[j]))
+				if err != nil {
+					return 0, err
+				}
+				ct, err := agg.PartialContributor(pt.TotalWeight, pt.Updates)
+				if err != nil {
+					return 0, err
+				}
+				for _, e := range pt.Entries {
+					if err := ct.FoldPartial(e); err != nil {
+						return 0, err
+					}
+				}
+				if err := ct.Commit(); err != nil {
+					return 0, err
+				}
+				if childArrival[j] > span {
+					span = childArrival[j]
+				}
+			}
+			if li == len(levels)-1 {
+				// The core finalizes instead of forwarding.
+				if _, err := agg.Finalize(); err != nil {
+					return 0, err
+				}
+				nextSpans[g] = span
+				return agg.MemoryBytes(), nil
+			}
+			frame, err := hier.EncodePartial(agg.Partial(), wire)
+			if err != nil {
+				return 0, err
+			}
+			nextFrames[g], nextSpans[g] = frame, span
+			return agg.MemoryBytes(), nil
+		})
+		if err != nil {
+			return nil, 0, err
+		}
+		name := "mid"
+		if li == len(levels)-1 {
+			name = "core"
+		}
+		rows = append(rows, hierTierRow{name: name, aggs: k, folds: folds, wireBytes: tierBytes, peakMem: peak, wall: wall})
+		frames, spans = nextFrames, nextSpans
+	}
+	return rows, spans[0], nil
 }
 
 // perturbDict returns a copy of sd with small uniform noise added to

@@ -61,6 +61,19 @@ type BoundAware interface {
 	SetRoundBound(bound float64)
 }
 
+// PriorAware is implemented by codecs whose control plane can share
+// plan priors across the federation (package adapt's Policy, reached
+// through the FedSZ codec's selector). ExportPriorBytes snapshots the
+// client's locally probed plans as an opaque blob the edge tier
+// aggregates; ApplyPriorBytes seeds cold tensors from the merged
+// population prior the coordinator broadcasts alongside the round
+// bound. Both are declared structurally so this package never imports
+// the control plane.
+type PriorAware interface {
+	ExportPriorBytes() []byte
+	ApplyPriorBytes(raw []byte) error
+}
+
 // EntryStreamer is the streaming-aggregation decode contract: codecs
 // that implement it can decode one update from r directly into emit,
 // entry by entry, without ever materializing the client's full state
@@ -250,6 +263,26 @@ func (c *FedSZCodec) Name() string {
 // SetRoundBound implements BoundAware by forwarding a round-level
 // bound directive to the pipeline's adaptive selector; a static
 // pipeline ignores it (its bound is part of the immutable config).
+// ExportPriorBytes implements PriorAware by forwarding to the
+// pipeline's adaptive selector; a static pipeline has no plans to
+// share and returns nil.
+func (c *FedSZCodec) ExportPriorBytes() []byte {
+	if pa, ok := c.pipeline.Config().Selector.(PriorAware); ok {
+		return pa.ExportPriorBytes()
+	}
+	return nil
+}
+
+// ApplyPriorBytes implements PriorAware by seeding the pipeline's
+// adaptive selector with the population prior; a static pipeline
+// ignores it.
+func (c *FedSZCodec) ApplyPriorBytes(raw []byte) error {
+	if pa, ok := c.pipeline.Config().Selector.(PriorAware); ok {
+		return pa.ApplyPriorBytes(raw)
+	}
+	return nil
+}
+
 func (c *FedSZCodec) SetRoundBound(bound float64) {
 	if ba, ok := c.pipeline.Config().Selector.(BoundAware); ok {
 		ba.SetRoundBound(bound)

@@ -1,0 +1,294 @@
+package fl
+
+import (
+	"bytes"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"fedsz/internal/dataset"
+	"fedsz/internal/hier"
+	"fedsz/internal/netsim"
+	"fedsz/internal/nn"
+	"fedsz/internal/orchestrator"
+	"fedsz/internal/stats"
+)
+
+// HierSimConfig parameterizes the hierarchical (2-tier) simulation:
+// clients are partitioned into Edges contiguous regions, each region
+// folds its clients' codec-encoded updates into a regional aggregator
+// on a fast local link, and each edge forwards one partial-sum frame
+// over the contended WAN to the coordinator, which folds partials the
+// way a flat round folds clients. Because partials carry unnormalized
+// float64 sums verbatim, the committed global models are byte-
+// identical to the flat simulation's under the same seed — the tier
+// changes fan-in and wire traffic, never the arithmetic.
+type HierSimConfig struct {
+	OrchSimConfig
+
+	// Edges is the number of regional edge aggregators. Clients are
+	// split into this many contiguous regions (uneven when it does not
+	// divide the client count). 0 defaults to 1.
+	Edges int
+	// EdgeShards is each regional aggregator's shard count (0 = auto).
+	EdgeShards int
+	// Wire controls the partial frames edges forward upstream
+	// (checksum stamping, optional lossless packing).
+	Wire hier.WireOptions
+	// EdgeLink models the edge→core hop each partial frame crosses
+	// (zero = instantaneous). Wrap it in netsim.ContendedWAN to share
+	// the trunk across the forwarding edges.
+	EdgeLink netsim.Link
+}
+
+// HierStats aggregates the tier-level outcomes of a hierarchical run.
+type HierStats struct {
+	Edges          int   // regions in the tier
+	ClientBytes    int64 // tier-1 wire bytes: every client→edge uplink
+	PartialBytes   int64 // tier-2 wire bytes: every edge→core partial
+	Partials       int   // partial frames folded at the core
+	EmptyRegions   int   // regions withdrawn for a round (no updates)
+	ClientDrops    int   // clients cut at the edge tier (stragglers)
+	PeakEdgeMemory int64 // largest regional aggregator footprint seen
+	PeakCoreMemory int64 // largest coordinator aggregator footprint seen
+}
+
+// RunHierSim executes a 2-tier federated simulation on a virtual
+// clock. The coordinator's registry holds the edges; every round fans
+// out through them to their regions, regional folds run through the
+// real codec wire format, and each region's partial sum travels
+// through the real hier frame codec (encode, then decode at the core)
+// so checksums and lossless packing are exercised end to end.
+func RunHierSim(cfg HierSimConfig) (*SimResult, *HierStats, error) {
+	cfg.SimConfig = cfg.SimConfig.withDefaults()
+	if cfg.Mode == orchestrator.ModeAsync {
+		return nil, nil, fmt.Errorf("fl: hierarchical simulation is sync-only")
+	}
+	edges := cfg.Edges
+	if edges <= 0 {
+		edges = 1
+	}
+	if edges > cfg.Clients {
+		edges = cfg.Clients
+	}
+
+	full := cfg.Dataset.Generate(cfg.Clients*cfg.SamplesPerClient+cfg.TestSamples, cfg.Seed)
+	trainFrac := float64(cfg.Clients*cfg.SamplesPerClient) / float64(full.N)
+	trainSet, testSet := full.TrainTest(trainFrac, cfg.Seed+1)
+	var shards []*dataset.Dataset
+	if cfg.NonIIDAlpha > 0 {
+		shards = trainSet.SplitDirichlet(cfg.Clients, cfg.NonIIDAlpha, cfg.Seed+2)
+	} else {
+		shards = trainSet.Split(cfg.Clients)
+	}
+
+	profileRNG := stats.NewRNG(cfg.Seed + 4)
+	clients := make([]*orchClient, cfg.Clients)
+	for i := range clients {
+		profile := netsim.ClientProfile{Link: cfg.Link, ComputeFactor: 1}
+		if !cfg.Population.IsZero() {
+			profile = cfg.Population.Sample(profileRNG)
+		}
+		id := fmt.Sprintf("client-%04d", i)
+		codec := cfg.Codec
+		if cfg.ClientCodec != nil {
+			codec = cfg.ClientCodec(id)
+		}
+		clients[i] = &orchClient{
+			id:      id,
+			net:     nn.MiniByName(cfg.Model, cfg.Dataset.Dim, cfg.Dataset.Classes, cfg.Seed),
+			data:    shards[i],
+			profile: profile,
+			codec:   codec,
+		}
+	}
+	server := nn.MiniByName(cfg.Model, cfg.Dataset.Dim, cfg.Dataset.Classes, cfg.Seed)
+	global := server.StateDict()
+
+	// The coordinator registers the EDGES: its fan-in is the region
+	// count, not the population — the whole point of the tier.
+	coord, err := orchestrator.NewCoordinator(orchestrator.Config{
+		Mode:   orchestrator.ModeSync,
+		Shards: cfg.Shards,
+		Bound:  cfg.Bound,
+		OnDrop: cfg.OnDrop,
+		Seed:   cfg.Seed + 5,
+	}, global)
+	if err != nil {
+		return nil, nil, err
+	}
+	// Contiguous regions: region e owns clients [e*per, ...) with the
+	// remainder spread over the leading regions.
+	regions := make([][]*orchClient, edges)
+	per, rem := cfg.Clients/edges, cfg.Clients%edges
+	lo := 0
+	for e := range regions {
+		n := per
+		if e < rem {
+			n++
+		}
+		regions[e] = clients[lo : lo+n]
+		lo += n
+	}
+	edgeIDs := make([]string, edges)
+	for e := range edgeIDs {
+		edgeIDs[e] = fmt.Sprintf("edge-%04d", e)
+		if err := coord.Join(edgeIDs[e]); err != nil {
+			return nil, nil, err
+		}
+	}
+
+	testX, testY := testSet.Batch(0, testSet.N)
+	result := &SimResult{Config: cfg.SimConfig}
+	hs := &HierStats{Edges: edges}
+	jitterRNG := stats.NewRNG(cfg.Seed + 6)
+
+	for round := 0; round < cfg.Rounds; round++ {
+		if ra, ok := cfg.Codec.(ReferenceAware); ok {
+			_, g := coord.Global()
+			ra.SetReference(g)
+		}
+		applyRoundBound(coord, cfg.Codec)
+		r, err := coord.StartRound()
+		if err != nil {
+			return nil, nil, err
+		}
+		_, g := coord.Global()
+		if cfg.ClientCodec != nil {
+			for _, c := range clients {
+				if ra, ok := c.codec.(ReferenceAware); ok {
+					ra.SetReference(g)
+				}
+				applyRoundBound(coord, c.codec)
+			}
+		}
+
+		// Tier 1 trains everywhere at once (wall clock); the virtual
+		// timeline orders arrivals per region below.
+		type pending struct {
+			c       *orchClient
+			arrival time.Duration
+			out     clientResult
+		}
+		pendings := make([]pending, len(clients))
+		var wg sync.WaitGroup
+		sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+		for i, c := range clients {
+			wg.Add(1)
+			go func(i int, c *orchClient) {
+				defer wg.Done()
+				sem <- struct{}{}
+				defer func() { <-sem }()
+				pendings[i] = pending{c: c, out: c.train(cfg.OrchSimConfig, g, round)}
+			}(i, c)
+		}
+		wg.Wait()
+		for i := range pendings {
+			p := &pendings[i]
+			if p.out.err != nil {
+				return nil, nil, fmt.Errorf("fl: round %d client %s: %w", round, p.c.id, p.out.err)
+			}
+			virtualTrain := cfg.virtualTrainTime(p.out.samples, p.c.profile.ComputeFactor)
+			p.arrival = virtualTrain + p.c.profile.Link.SampleTransferTime(p.out.stats.CompressedBytes, jitterRNG)
+		}
+
+		// Tier 2: every region folds its arrivals in virtual order,
+		// cuts its stragglers at the regional deadline, and forwards
+		// one partial frame whose WAN transfer lands at the core.
+		m := RoundMetrics{Round: round}
+		var roundSpan time.Duration
+		accepted := 0
+		base := 0
+		for e, region := range regions {
+			regional := pendings[base : base+len(region)]
+			base += len(region)
+			sort.Slice(regional, func(i, j int) bool { return regional[i].arrival < regional[j].arrival })
+
+			agg := orchestrator.NewAggregator(g, cfg.EdgeShards)
+			var regionSpan time.Duration
+			folded := 0
+			for i := range regional {
+				p := &regional[i]
+				if cfg.RoundDeadline > 0 && p.arrival > cfg.RoundDeadline && folded > 0 {
+					hs.ClientDrops++
+					m.Dropped++
+					continue
+				}
+				ct, err := agg.Contributor(float64(p.out.samples))
+				if err != nil {
+					return nil, nil, fmt.Errorf("fl: round %d region %d: %w", round, e, err)
+				}
+				decodeStart := time.Now()
+				if err := DecodeEntries(cfg.Codec, bytes.NewReader(p.out.payload), ct.Fold); err != nil {
+					ct.AbortReason(orchestrator.DropCorrupt)
+					return nil, nil, fmt.Errorf("fl: round %d decode %s: %w", round, p.c.id, err)
+				}
+				if err := ct.Commit(); err != nil {
+					return nil, nil, fmt.Errorf("fl: round %d commit %s: %w", round, p.c.id, err)
+				}
+				folded++
+				accepted++
+				regionSpan = p.arrival
+				m.TrainTime += p.out.train
+				m.EncodeTime += p.out.stats.EncodeTime
+				m.DecodeTime += time.Since(decodeStart)
+				m.BytesUplink += p.out.stats.CompressedBytes
+				m.OriginalBytes += p.out.stats.OriginalBytes
+				hs.ClientBytes += p.out.stats.CompressedBytes
+			}
+			if mem := agg.MemoryBytes(); mem > hs.PeakEdgeMemory {
+				hs.PeakEdgeMemory = mem
+			}
+
+			// Fold-and-forward through the real partial frame codec.
+			frame, err := hier.EncodePartial(agg.Partial(), cfg.Wire)
+			if err != nil {
+				return nil, nil, fmt.Errorf("fl: round %d region %d: %w", round, e, err)
+			}
+			hs.PartialBytes += int64(len(frame))
+			pt, err := hier.DecodePartialFrom(bytes.NewReader(frame))
+			if err != nil {
+				return nil, nil, fmt.Errorf("fl: round %d region %d decode: %w", round, e, err)
+			}
+			if pt.Updates == 0 {
+				hs.EmptyRegions++
+				r.Drop(edgeIDs[e], orchestrator.DropDeadline)
+				continue
+			}
+			if err := r.SubmitPartial(edgeIDs[e], pt); err != nil {
+				return nil, nil, fmt.Errorf("fl: round %d region %d fold: %w", round, e, err)
+			}
+			hs.Partials++
+			arrival := regionSpan + cfg.EdgeLink.SampleTransferTime(int64(len(frame)), jitterRNG)
+			if arrival > roundSpan {
+				roundSpan = arrival
+			}
+		}
+
+		g, st, err := r.Commit()
+		if err != nil {
+			return nil, nil, fmt.Errorf("fl: round %d: %w", round, err)
+		}
+		if st.AggMemory > hs.PeakCoreMemory {
+			hs.PeakCoreMemory = st.AggMemory
+		}
+		m.CommTime = roundSpan
+		m.Participants = accepted
+		m.Dropped += st.Dropped
+		if n := time.Duration(accepted); n > 0 {
+			m.TrainTime /= n
+			m.EncodeTime /= n
+			m.DecodeTime /= n
+		}
+		valStart := time.Now()
+		if err := server.LoadStateDict(g); err != nil {
+			return nil, nil, fmt.Errorf("fl: hier load: %w", err)
+		}
+		m.TestAccuracy = server.Accuracy(testX, testY)
+		m.ValidationTime = time.Since(valStart)
+		result.Rounds = append(result.Rounds, m)
+	}
+	return result, hs, nil
+}

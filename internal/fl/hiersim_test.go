@@ -1,0 +1,162 @@
+package fl
+
+import (
+	"testing"
+	"time"
+
+	"fedsz/internal/hier"
+	"fedsz/internal/lossless"
+	"fedsz/internal/netsim"
+)
+
+// hierConfig builds a small 2-tier sim config on top of the shared
+// orchestrated-sim base.
+func hierConfig(t *testing.T, edges int) HierSimConfig {
+	t.Helper()
+	return HierSimConfig{
+		OrchSimConfig: smallOrchConfig(t),
+		Edges:         edges,
+		Wire:          hier.WireOptions{Checksum: true},
+		EdgeLink:      netsim.Link{BandwidthBps: netsim.Gbps(1)},
+	}
+}
+
+// TestHierSimMatchesAcrossFanIn is the simulator-level equivalence
+// check: the SAME population partitioned into 1, 2, or 3 regions must
+// commit the same global models — the accuracy trajectory is identical
+// because partial sums compose exactly, whatever the fan-in.
+func TestHierSimMatchesAcrossFanIn(t *testing.T) {
+	run := func(edges int) *SimResult {
+		res, hs, err := RunHierSim(hierConfig(t, edges))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if hs.Edges != edges {
+			t.Fatalf("ran %d edges, want %d", hs.Edges, edges)
+		}
+		return res
+	}
+	base := run(1)
+	for _, edges := range []int{2, 3} {
+		res := run(edges)
+		if len(res.Rounds) != len(base.Rounds) {
+			t.Fatalf("%d edges committed %d rounds, 1 edge committed %d", edges, len(res.Rounds), len(base.Rounds))
+		}
+		for i := range base.Rounds {
+			if res.Rounds[i].TestAccuracy != base.Rounds[i].TestAccuracy {
+				t.Fatalf("round %d accuracy diverged with %d edges: %v vs %v — regional folding changed the model",
+					i, edges, res.Rounds[i].TestAccuracy, base.Rounds[i].TestAccuracy)
+			}
+			if res.Rounds[i].BytesUplink != base.Rounds[i].BytesUplink {
+				t.Fatalf("round %d client bytes diverged with %d edges: %d vs %d",
+					i, edges, res.Rounds[i].BytesUplink, base.Rounds[i].BytesUplink)
+			}
+		}
+	}
+}
+
+// TestHierSimMatchesFlatSim: a 1-edge hierarchical run trains the same
+// population as the flat orchestrated sim — the committed models (and
+// so the accuracy trajectory) must agree, because the edge tier only
+// regroups the same unnormalized sums.
+func TestHierSimMatchesFlatSim(t *testing.T) {
+	flat, err := RunOrchestratedSim(smallOrchConfig(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tiered, _, err := RunHierSim(hierConfig(t, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(flat.Rounds) != len(tiered.Rounds) {
+		t.Fatalf("flat committed %d rounds, tiered %d", len(flat.Rounds), len(tiered.Rounds))
+	}
+	for i := range flat.Rounds {
+		if flat.Rounds[i].TestAccuracy != tiered.Rounds[i].TestAccuracy {
+			t.Fatalf("round %d: flat accuracy %v, tiered %v — the tier changed the arithmetic",
+				i, flat.Rounds[i].TestAccuracy, tiered.Rounds[i].TestAccuracy)
+		}
+	}
+}
+
+// TestHierSimTierStats checks the tier-level accounting: one partial
+// per region per round, both tiers' wire bytes measured, both tiers'
+// aggregator memory observed, and the coordinator's fan-in equal to
+// the region count rather than the population.
+func TestHierSimTierStats(t *testing.T) {
+	cfg := hierConfig(t, 3)
+	cfg.Wire = hier.WireOptions{Checksum: true, Lossless: lossless.NameZlib}
+	res, hs, err := RunHierSim(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hs.Partials != cfg.Edges*cfg.Rounds {
+		t.Fatalf("folded %d partials, want %d (edges × rounds)", hs.Partials, cfg.Edges*cfg.Rounds)
+	}
+	if hs.EmptyRegions != 0 || hs.ClientDrops != 0 {
+		t.Fatalf("unexpected withdrawals: %+v", hs)
+	}
+	if hs.ClientBytes <= 0 || hs.PartialBytes <= 0 {
+		t.Fatalf("wire bytes not measured: %+v", hs)
+	}
+	if hs.PeakEdgeMemory <= 0 || hs.PeakCoreMemory <= 0 {
+		t.Fatalf("aggregator memory not measured: %+v", hs)
+	}
+	// Fan-in at the core is regions, not clients.
+	for _, m := range res.Rounds {
+		if m.Participants != cfg.Clients {
+			t.Fatalf("round %d accepted %d client updates, want %d", m.Round, m.Participants, cfg.Clients)
+		}
+	}
+}
+
+// TestHierSimRegionalDeadline: with a crushing regional deadline, each
+// region still forwards its earliest arrival (progress guarantee) and
+// cuts the rest at the edge — stragglers never cross the WAN.
+func TestHierSimRegionalDeadline(t *testing.T) {
+	cfg := hierConfig(t, 3)
+	cfg.Link = netsim.Link{BandwidthBps: netsim.Mbps(0.1)}
+	cfg.RoundDeadline = time.Nanosecond
+	res, hs, err := RunHierSim(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rounds) != cfg.Rounds {
+		t.Fatalf("committed %d rounds, want %d", len(res.Rounds), cfg.Rounds)
+	}
+	// 6 clients, 3 regions, 1 survivor per region per round.
+	wantDrops := (cfg.Clients - cfg.Edges) * cfg.Rounds
+	if hs.ClientDrops != wantDrops {
+		t.Fatalf("edge tier cut %d stragglers, want %d", hs.ClientDrops, wantDrops)
+	}
+	if hs.Partials != cfg.Edges*cfg.Rounds {
+		t.Fatalf("folded %d partials, want every region's survivor forwarded", hs.Partials)
+	}
+}
+
+// TestHierSimDeterministic: the virtual schedule, wire accounting and
+// model trajectory are functions of the seed alone.
+func TestHierSimDeterministic(t *testing.T) {
+	run := func() (*SimResult, *HierStats) {
+		cfg := hierConfig(t, 3)
+		cfg.Population = netsim.EdgeMix()
+		cfg.EdgeLink = netsim.ContendedWAN(netsim.Link{BandwidthBps: netsim.Mbps(500)}, 3)
+		res, hs, err := RunHierSim(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res, hs
+	}
+	ra, ha := run()
+	rb, hb := run()
+	if *ha != *hb {
+		t.Fatalf("tier stats diverged: %+v vs %+v", ha, hb)
+	}
+	for i := range ra.Rounds {
+		ma, mb := ra.Rounds[i], rb.Rounds[i]
+		if ma.CommTime != mb.CommTime || ma.BytesUplink != mb.BytesUplink || ma.TestAccuracy != mb.TestAccuracy {
+			t.Fatalf("round %d diverged: (%v,%d,%v) vs (%v,%d,%v)",
+				i, ma.CommTime, ma.BytesUplink, ma.TestAccuracy, mb.CommTime, mb.BytesUplink, mb.TestAccuracy)
+		}
+	}
+}

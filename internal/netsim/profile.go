@@ -91,3 +91,41 @@ func PaperMix() Profile {
 		}},
 	}}
 }
+
+// EdgeMix is the client→edge population of a hierarchical tier:
+// clients reach their regional edge over a fast local network (campus
+// LAN, 5G cell, factory floor), so the strata are bandwidth-rich and
+// low-latency compared to PaperMix's WAN uplinks. Compute
+// heterogeneity stays — the devices are the same, only the first hop
+// got shorter.
+func EdgeMix() Profile {
+	return Profile{Choices: []ProfileChoice{
+		{Weight: 0.5, Profile: ClientProfile{
+			Link:          Link{BandwidthBps: Mbps(300), Latency: 3 * time.Millisecond, Jitter: 2 * time.Millisecond},
+			ComputeFactor: 1.2,
+		}},
+		{Weight: 0.35, Profile: ClientProfile{
+			Link:          Link{BandwidthBps: Gbps(1), Latency: 1 * time.Millisecond, Jitter: 500 * time.Microsecond},
+			ComputeFactor: 1,
+		}},
+		{Weight: 0.1, Profile: ClientProfile{
+			Link:          Link{BandwidthBps: Mbps(100), Latency: 8 * time.Millisecond, Jitter: 4 * time.Millisecond},
+			ComputeFactor: 2,
+		}},
+		{Weight: 0.05, Profile: ClientProfile{
+			Link:          Link{BandwidthBps: Mbps(50), Latency: 15 * time.Millisecond, Jitter: 10 * time.Millisecond},
+			ComputeFactor: 6,
+		}},
+	}}
+}
+
+// ContendedWAN models the edge→core hop: a WAN link whose capacity is
+// shared by sharers concurrent senders (the edges all forwarding their
+// partials at the round boundary), with latency left untouched. A
+// non-positive sharers count means an uncontended link.
+func ContendedWAN(l Link, sharers int) Link {
+	if sharers > 1 && l.BandwidthBps > 0 {
+		l.BandwidthBps /= float64(sharers)
+	}
+	return l
+}

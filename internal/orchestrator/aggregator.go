@@ -167,9 +167,10 @@ func (a *Aggregator) Contributor(weight float64) (*Contributor, error) {
 	a.inflight++
 	a.mu.Unlock()
 	return &Contributor{
-		a:      a,
-		weight: weight,
-		seen:   make([]bool, len(a.names)),
+		a:       a,
+		weight:  weight,
+		commits: 1,
+		seen:    make([]bool, len(a.names)),
 	}, nil
 }
 
@@ -259,8 +260,9 @@ func (a *Aggregator) Finalize() (*model.StateDict, error) {
 // concurrently (the streaming decoders emit entries from parallel
 // decode workers); Commit and Abort are each called once.
 type Contributor struct {
-	a      *Aggregator
-	weight float64
+	a       *Aggregator
+	weight  float64
+	commits int // client-level updates this contribution carries (1; a regional partial carries its region's count)
 
 	mu     sync.Mutex
 	seen   []bool
@@ -274,10 +276,13 @@ type Contributor struct {
 }
 
 // foldedEntry records an applied fold for Abort's undo. The tensor
-// reference is the decoder's own allocation — no copy is taken.
+// reference is the decoder's own allocation — no copy is taken. A
+// partial fold records the raw float64 sums instead (added without
+// weight scaling, so undo subtracts them verbatim).
 type foldedEntry struct {
 	idx int
 	t   *tensor.Tensor
+	raw []float64
 }
 
 // Weight returns the contribution's aggregation weight.
@@ -373,9 +378,10 @@ func (c *Contributor) Commit() error {
 	a := c.a
 	a.mu.Lock()
 	a.totalWeight += c.weight
-	a.updates++
+	first := a.updates == 0
+	a.updates += c.commits
 	a.inflight--
-	if a.updates == 1 {
+	if first {
 		for idx, ints := range intsAt {
 			a.ints[idx] = append([]int64(nil), ints...)
 		}
@@ -412,9 +418,15 @@ func (c *Contributor) AbortReason(reason DropReason) {
 		shard := &c.a.shards[c.a.shardOf[f.idx]]
 		shard.mu.Lock()
 		sum := shard.sums[f.idx]
-		w := c.weight
-		for j, v := range f.t.Data() {
-			sum[j] -= w * float64(v)
+		if f.raw != nil {
+			for j, v := range f.raw {
+				sum[j] -= v
+			}
+		} else {
+			w := c.weight
+			for j, v := range f.t.Data() {
+				sum[j] -= w * float64(v)
+			}
 		}
 		shard.mu.Unlock()
 	}

@@ -231,6 +231,7 @@ func (c *Coordinator) asyncCommitLocked(result *AsyncCommit) error {
 			Version:   c.version,
 			Sampled:   c.cfg.BufferSize,
 			Committed: buf.buffered,
+			Folded:    buf.buffered,
 			AggMemory: buf.agg.MemoryBytes(),
 		},
 		prev: prev,

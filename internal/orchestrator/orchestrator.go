@@ -189,7 +189,8 @@ type RoundStats struct {
 	Round     int   // commit sequence number
 	Version   int   // global model version after the commit
 	Sampled   int   // clients asked to train (sync) / buffered target (async)
-	Committed int   // updates folded into the commit
+	Committed int   // participants whose contribution committed
+	Folded    int   // client-level updates inside the commit (> Committed when regional partial sums fold whole regions)
 	Dropped   int   // sampled clients that never committed (stragglers, deaths)
 	AggMemory int64 // aggregator resident bytes during the round
 }
@@ -369,6 +370,7 @@ func (c *Coordinator) commitRound(r *Round, agg *model.StateDict) (int, RoundSta
 		Version:   c.version,
 		Sampled:   len(r.participants),
 		Committed: r.committed,
+		Folded:    r.agg.Updates(),
 		Dropped:   len(r.participants) - r.committed,
 		AggMemory: r.agg.MemoryBytes(),
 	}

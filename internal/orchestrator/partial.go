@@ -1,0 +1,230 @@
+package orchestrator
+
+import (
+	"errors"
+	"fmt"
+
+	"fedsz/internal/model"
+)
+
+// Partial is the unnormalized state of an Aggregator: the weighted
+// float64 sums, the total committed weight and the contributor count —
+// everything an upstream aggregator needs to fold a whole region's
+// work as if each client had committed directly. Because FedAvg here
+// is sum/total arithmetic (PR 4), partial sums compose exactly: the
+// raw float64 bits travel upstream, the upstream fold adds them
+// without rescaling, and integer sample-count weights sum exactly in
+// float64, so a 2-tier aggregation is byte-equivalent to the flat one
+// up to float64 addition regrouping absorbed by the final float32
+// projection.
+type Partial struct {
+	// TotalWeight is the region's committed weight (Σ sample counts).
+	TotalWeight float64
+	// Updates is the number of client updates folded into the sums.
+	Updates int
+	// Entries carry the per-tensor partial state in reference order.
+	Entries []PartialEntry
+	// Prior is an opaque population plan-prior blob the region
+	// aggregated from its clients (see package adapt); nil when the
+	// region runs no adaptive policies.
+	Prior []byte
+}
+
+// PartialEntry is one entry's partially folded state.
+type PartialEntry struct {
+	Name  string
+	DType model.DType
+	Shape []int     // Float32 entries: tensor shape
+	Sums  []float64 // Float32 entries: unnormalized weighted sums
+	Ints  []int64   // Int64 entries: first committed update's values
+}
+
+// NumElements returns the entry's element count.
+func (e PartialEntry) NumElements() int {
+	if e.DType == model.Int64 {
+		return len(e.Ints)
+	}
+	return len(e.Sums)
+}
+
+// Partial snapshots the aggregator's unnormalized state. The sums are
+// copied under the shard locks, so a snapshot taken after every
+// contributor settled is a consistent region total. The aggregator
+// stays usable.
+func (a *Aggregator) Partial() *Partial {
+	a.mu.Lock()
+	p := &Partial{TotalWeight: a.totalWeight, Updates: a.updates}
+	ints := make([][]int64, len(a.ints))
+	copy(ints, a.ints)
+	a.mu.Unlock()
+
+	p.Entries = make([]PartialEntry, len(a.names))
+	for i, name := range a.names {
+		e := PartialEntry{Name: name, DType: a.dtypes[i]}
+		if a.dtypes[i] == model.Int64 {
+			e.Ints = append([]int64(nil), ints[i]...)
+			if e.Ints == nil {
+				e.Ints = make([]int64, a.nInts[i])
+			}
+		} else {
+			e.Shape = append([]int(nil), a.shapes[i]...)
+			shard := &a.shards[a.shardOf[i]]
+			shard.mu.Lock()
+			e.Sums = append([]float64(nil), shard.sums[i]...)
+			shard.mu.Unlock()
+		}
+		p.Entries[i] = e
+	}
+	return p
+}
+
+// PartialContributor opens a contribution that folds another
+// aggregator's Partial: the sums add in raw (they are already
+// weighted), Commit adds totalWeight to the aggregate total and
+// accounts updates client-level contributions, and Abort subtracts
+// exactly the raw sums that were folded — a region that dies
+// mid-stream withdraws wholesale, like a single client would.
+func (a *Aggregator) PartialContributor(totalWeight float64, updates int) (*Contributor, error) {
+	if updates <= 0 {
+		return nil, fmt.Errorf("orchestrator: partial contribution with %d updates", updates)
+	}
+	ct, err := a.Contributor(totalWeight)
+	if err != nil {
+		return nil, err
+	}
+	ct.commits = updates
+	return ct, nil
+}
+
+// FoldPartial applies one partial entry: the already-weighted float64
+// sums add in verbatim (no weight scaling), preserving the downstream
+// aggregator's bits exactly. The sums slice is referenced for
+// potential Abort undo — callers must not mutate it afterwards.
+func (c *Contributor) FoldPartial(e PartialEntry) error {
+	idx, ok := c.a.index[e.Name]
+	if !ok {
+		return fmt.Errorf("orchestrator: partial entry %q not in reference model", e.Name)
+	}
+	c.mu.Lock()
+	if c.done {
+		c.mu.Unlock()
+		return errors.New("orchestrator: fold on a closed contribution")
+	}
+	if c.seen[idx] {
+		c.mu.Unlock()
+		return fmt.Errorf("orchestrator: duplicate partial entry %q", e.Name)
+	}
+	c.seen[idx] = true
+	c.mu.Unlock()
+
+	unsee := func() {
+		c.mu.Lock()
+		c.seen[idx] = false
+		c.mu.Unlock()
+	}
+
+	if c.a.dtypes[idx] == model.Int64 {
+		if e.DType != model.Int64 || len(e.Ints) != c.a.nInts[idx] {
+			unsee()
+			return fmt.Errorf("orchestrator: partial entry %q incompatible", e.Name)
+		}
+		c.mu.Lock()
+		if c.intsAt == nil {
+			c.intsAt = make(map[int][]int64)
+		}
+		c.intsAt[idx] = e.Ints
+		c.mu.Unlock()
+		return nil
+	}
+
+	shard := &c.a.shards[c.a.shardOf[idx]]
+	shard.mu.Lock()
+	sum := shard.sums[idx]
+	if e.DType != model.Float32 || len(e.Sums) != len(sum) {
+		shard.mu.Unlock()
+		unsee()
+		return fmt.Errorf("orchestrator: partial entry %q incompatible", e.Name)
+	}
+	for j, v := range e.Sums {
+		sum[j] += v
+	}
+	shard.mu.Unlock()
+
+	c.mu.Lock()
+	c.folded = append(c.folded, foldedEntry{idx: idx, raw: e.Sums})
+	c.mu.Unlock()
+	return nil
+}
+
+// PartialContributor opens a regional partial-sum contribution for one
+// sampled participant (an edge aggregator standing in for its whole
+// region). The round accounts one committed participant; the
+// aggregator accounts updates client-level contributions, surfaced in
+// RoundStats.Folded.
+func (r *Round) PartialContributor(id string, totalWeight float64, updates int) (*Contributor, error) {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return nil, fmt.Errorf("orchestrator: round %d already closed", r.number)
+	}
+	st, ok := r.state[id]
+	if !ok {
+		r.mu.Unlock()
+		return nil, fmt.Errorf("orchestrator: client %q not sampled for round %d", id, r.number)
+	}
+	if st != participantSampled {
+		r.mu.Unlock()
+		return nil, fmt.Errorf("orchestrator: client %q already submitted in round %d", id, r.number)
+	}
+	r.state[id] = participantFolding
+	r.mu.Unlock()
+
+	ct, err := r.agg.PartialContributor(totalWeight, updates)
+	if err != nil {
+		r.mu.Lock()
+		r.state[id] = participantSampled
+		r.mu.Unlock()
+		return nil, err
+	}
+	ct.onCommit = func() error {
+		r.mu.Lock()
+		defer r.mu.Unlock()
+		if r.closed {
+			return fmt.Errorf("orchestrator: round %d closed before commit", r.number)
+		}
+		r.state[id] = participantDone
+		r.committed++
+		return nil
+	}
+	ct.onAbort = func(reason DropReason) {
+		r.mu.Lock()
+		dropped := false
+		if st := r.state[id]; st == participantFolding {
+			r.state[id] = participantDropped
+			r.dropped++
+			dropped = true
+		}
+		r.mu.Unlock()
+		if dropped {
+			r.coord.notifyDrop(id, reason)
+		}
+	}
+	return ct, nil
+}
+
+// SubmitPartial folds a complete regional partial in one call —
+// contributor, per-entry folds, commit — the partial-sum counterpart
+// of Round.Submit.
+func (r *Round) SubmitPartial(id string, p *Partial) error {
+	ct, err := r.PartialContributor(id, p.TotalWeight, p.Updates)
+	if err != nil {
+		return err
+	}
+	for _, e := range p.Entries {
+		if err := ct.FoldPartial(e); err != nil {
+			ct.Abort()
+			return err
+		}
+	}
+	return ct.Commit()
+}

@@ -1,0 +1,507 @@
+package transport
+
+import (
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"fedsz/internal/core"
+	"fedsz/internal/fl"
+	"fedsz/internal/hier"
+	"fedsz/internal/model"
+	"fedsz/internal/nn"
+	"fedsz/internal/orchestrator"
+)
+
+// tcpListener opens a loopback TCP listener or fails the test.
+func tcpListener(t *testing.T) net.Listener {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	return ln
+}
+
+// dialTCP returns an Upstream dialer for addr.
+func dialTCP(addr string) func() (net.Conn, error) {
+	return func() (net.Conn, error) { return net.Dial("tcp", addr) }
+}
+
+// TestEdgeLoopback is the CI smoke test: a full 2-tier federation over
+// real TCP loopback — 3 edge aggregators, 10 clients each, partial
+// frames checksummed — runs two rounds end to end. Every client sends
+// the same update with equal weight, so the committed global must be
+// bit-identical to that update: the unnormalized sums and the final
+// division are exact in float64 for identical addends, regardless of
+// arrival order.
+func TestEdgeLoopback(t *testing.T) {
+	const (
+		edges          = 3
+		clientsPerEdge = 10
+		rounds         = 2
+	)
+	initial := nn.MobileNetV2Mini(48, 4, 7).StateDict()
+	upd := nn.MobileNetV2Mini(48, 4, 8).StateDict()
+
+	var stats []orchestrator.RoundStats
+	srv, err := NewOrchestrated(OrchestratedConfig{
+		MinClients: edges,
+		Rounds:     rounds,
+		OnRound: func(round int, global *model.StateDict, st orchestrator.RoundStats) {
+			stats = append(stats, st)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	coreLn := tcpListener(t)
+
+	var wg sync.WaitGroup
+	var partialBytes atomic.Int64
+	for e := 0; e < edges; e++ {
+		edgeLn := tcpListener(t)
+		edge, err := NewEdge(EdgeConfig{
+			Upstream:   dialTCP(coreLn.Addr().String()),
+			MinClients: clientsPerEdge,
+			Checksum:   true,
+			OnPartial: func(round, updates, wireBytes int) {
+				partialBytes.Add(int64(wireBytes))
+				if updates != clientsPerEdge {
+					t.Errorf("partial carries %d updates, want %d", updates, clientsPerEdge)
+				}
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer edgeLn.Close()
+			if err := edge.Serve(edgeLn); err != nil {
+				t.Errorf("edge: %v", err)
+			}
+		}()
+		for c := 0; c < clientsPerEdge; c++ {
+			wg.Add(1)
+			go func(addr string) {
+				defer wg.Done()
+				conn, err := net.Dial("tcp", addr)
+				if err != nil {
+					t.Errorf("client dial: %v", err)
+					return
+				}
+				defer conn.Close()
+				err = RunClient(conn, nil, func(round int, global *model.StateDict) (*model.StateDict, int, error) {
+					return upd, 10, nil
+				})
+				if err != nil {
+					t.Errorf("client: %v", err)
+				}
+			}(edgeLn.Addr().String())
+		}
+	}
+
+	final, err := srv.Serve(coreLn, initial)
+	if err != nil {
+		t.Fatalf("server: %v", err)
+	}
+	wg.Wait()
+
+	if len(stats) != rounds {
+		t.Fatalf("committed %d rounds, want %d", len(stats), rounds)
+	}
+	for i, st := range stats {
+		if st.Committed != edges {
+			t.Errorf("round %d Committed = %d, want %d edges", i, st.Committed, edges)
+		}
+		if st.Folded != edges*clientsPerEdge {
+			t.Errorf("round %d Folded = %d, want %d client updates", i, st.Folded, edges*clientsPerEdge)
+		}
+	}
+	if partialBytes.Load() == 0 {
+		t.Error("no partial frames observed")
+	}
+	// Identical updates with equal weights average to the update
+	// itself, exactly.
+	for _, want := range upd.Entries() {
+		got, ok := final.Get(want.Name)
+		if !ok {
+			t.Fatalf("final model missing %q", want.Name)
+		}
+		if want.DType == model.Int64 {
+			for j := range want.Ints {
+				if got.Ints[j] != want.Ints[j] {
+					t.Fatalf("entry %q int %d: %d != %d", want.Name, j, got.Ints[j], want.Ints[j])
+				}
+			}
+			continue
+		}
+		gd, wd := got.Tensor.Data(), want.Tensor.Data()
+		for j := range wd {
+			if gd[j] != wd[j] {
+				t.Fatalf("entry %q element %d: %v != %v", want.Name, j, gd[j], wd[j])
+			}
+		}
+	}
+}
+
+// TestEdgeDeathMidRound kills an edge halfway through its partial-sum
+// upload: the coordinator must withdraw the WHOLE region (no torn
+// folds linger in the sums), classify the drop, and commit the round
+// from the surviving region alone — the committed global is exactly
+// the survivors' average, untouched by the dead region's half-folded
+// partial.
+func TestEdgeDeathMidRound(t *testing.T) {
+	const clientsPerEdge = 5
+	initial := nn.MobileNetV2Mini(48, 4, 7).StateDict()
+	upd := nn.MobileNetV2Mini(48, 4, 8).StateDict()
+	poison := nn.MobileNetV2Mini(48, 4, 9).StateDict()
+
+	var drops sync.Map
+	var stats []orchestrator.RoundStats
+	srv, err := NewOrchestrated(OrchestratedConfig{
+		MinClients: 2, // the healthy edge and the dier
+		Rounds:     1,
+		OnDrop: func(id string, reason orchestrator.DropReason) {
+			drops.Store(id, reason)
+		},
+		OnRound: func(round int, global *model.StateDict, st orchestrator.RoundStats) {
+			stats = append(stats, st)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	coreLn := tcpListener(t)
+
+	var wg sync.WaitGroup
+	// Healthy region: a real edge with its clients.
+	edgeLn := tcpListener(t)
+	edge, err := NewEdge(EdgeConfig{
+		Upstream:   dialTCP(coreLn.Addr().String()),
+		MinClients: clientsPerEdge,
+		Checksum:   true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer edgeLn.Close()
+		if err := edge.Serve(edgeLn); err != nil {
+			t.Errorf("edge: %v", err)
+		}
+	}()
+	for c := 0; c < clientsPerEdge; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			conn, err := net.Dial("tcp", edgeLn.Addr().String())
+			if err != nil {
+				t.Errorf("client dial: %v", err)
+				return
+			}
+			defer conn.Close()
+			err = RunClient(conn, nil, func(int, *model.StateDict) (*model.StateDict, int, error) {
+				return upd, 10, nil
+			})
+			if err != nil {
+				t.Errorf("client: %v", err)
+			}
+		}()
+	}
+
+	// Dying region: joins as an edge, folds a poisoned region locally,
+	// then sends only half its partial frame and slams the connection.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		conn, err := net.Dial("tcp", coreLn.Addr().String())
+		if err != nil {
+			t.Errorf("dier dial: %v", err)
+			return
+		}
+		cs := newConnStream(conn)
+		if err := cs.writeMsg(MsgJoinEdge, nil); err != nil {
+			t.Errorf("dier join: %v", err)
+			return
+		}
+		if tp, err := cs.readMsgType(); err != nil || tp != MsgGlobalModel {
+			t.Errorf("dier: expected global model, got %v (%v)", tp, err)
+			return
+		}
+		global, err := core.UnmarshalStateDictFrom(cs.r)
+		if err != nil {
+			t.Errorf("dier: read global: %v", err)
+			return
+		}
+		agg := orchestrator.NewAggregator(global, 0)
+		for i := 0; i < 3; i++ {
+			if err := agg.FoldStateDict(poison, 1000); err != nil {
+				t.Errorf("dier fold: %v", err)
+				return
+			}
+		}
+		frame, err := hier.EncodePartial(agg.Partial(), hier.WireOptions{Checksum: true})
+		if err != nil {
+			t.Errorf("dier encode: %v", err)
+			return
+		}
+		_ = cs.writeMsg(MsgPartialSum, func(w io.Writer) error {
+			_, err := w.Write(frame[:len(frame)/2])
+			return err
+		})
+		_ = conn.Close()
+	}()
+
+	final, err := srv.Serve(coreLn, initial)
+	if err != nil {
+		t.Fatalf("server: %v", err)
+	}
+	wg.Wait()
+
+	if len(stats) != 1 {
+		t.Fatalf("committed %d rounds, want 1", len(stats))
+	}
+	st := stats[0]
+	if st.Committed != 1 || st.Dropped != 1 {
+		t.Fatalf("stats %+v, want committed 1 dropped 1", st)
+	}
+	if st.Folded != clientsPerEdge {
+		t.Fatalf("Folded = %d, want the surviving region's %d updates", st.Folded, clientsPerEdge)
+	}
+	dropped := false
+	drops.Range(func(k, v interface{}) bool {
+		id := k.(string)
+		if len(id) >= 4 && id[:4] == "edge" {
+			dropped = true
+		}
+		return true
+	})
+	if !dropped {
+		t.Fatal("no edge drop observed")
+	}
+	// The survivors' identical updates must average to exactly upd —
+	// any residue of the dier's 1000-weighted poison region would show.
+	for _, want := range upd.Entries() {
+		if want.DType != model.Float32 {
+			continue
+		}
+		got, ok := final.Get(want.Name)
+		if !ok {
+			t.Fatalf("final model missing %q", want.Name)
+		}
+		gd, wd := got.Tensor.Data(), want.Tensor.Data()
+		for j := range wd {
+			if gd[j] != wd[j] {
+				t.Fatalf("entry %q element %d: %v != %v (dead region leaked into the sums?)",
+					want.Name, j, gd[j], wd[j])
+			}
+		}
+	}
+}
+
+// TestEdgeEmptyRegion: an edge whose region produced nothing ships an
+// Updates==0 partial; the coordinator withdraws it for the round but
+// keeps the connection — an idle region is not a dead aggregator.
+func TestEdgeEmptyRegion(t *testing.T) {
+	const rounds = 2
+	initial := nn.MobileNetV2Mini(48, 4, 7).StateDict()
+	upd := nn.MobileNetV2Mini(48, 4, 8).StateDict()
+
+	var stats []orchestrator.RoundStats
+	srv, err := NewOrchestrated(OrchestratedConfig{
+		MinClients: 2,
+		Rounds:     rounds,
+		OnRound: func(round int, global *model.StateDict, st orchestrator.RoundStats) {
+			stats = append(stats, st)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	coreLn := tcpListener(t)
+
+	var wg sync.WaitGroup
+	// One direct client keeps rounds committing.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		conn, err := net.Dial("tcp", coreLn.Addr().String())
+		if err != nil {
+			t.Errorf("client dial: %v", err)
+			return
+		}
+		defer conn.Close()
+		err = RunClient(conn, nil, func(int, *model.StateDict) (*model.StateDict, int, error) {
+			return upd, 10, nil
+		})
+		if err != nil {
+			t.Errorf("client: %v", err)
+		}
+	}()
+	// The idle edge answers every broadcast with an empty partial.
+	broadcasts := 0
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		conn, err := net.Dial("tcp", coreLn.Addr().String())
+		if err != nil {
+			t.Errorf("idle edge dial: %v", err)
+			return
+		}
+		defer conn.Close()
+		cs := newConnStream(conn)
+		if err := cs.writeMsg(MsgJoinEdge, nil); err != nil {
+			t.Errorf("idle edge join: %v", err)
+			return
+		}
+		for {
+			tp, err := cs.readMsgType()
+			if err != nil {
+				t.Errorf("idle edge read: %v", err)
+				return
+			}
+			if tp == MsgShutdown {
+				return
+			}
+			if tp != MsgGlobalModel {
+				t.Errorf("idle edge: unexpected %v", tp)
+				return
+			}
+			if _, err := core.UnmarshalStateDictFrom(cs.r); err != nil {
+				t.Errorf("idle edge: read global: %v", err)
+				return
+			}
+			broadcasts++
+			frame, err := hier.EncodePartial(&orchestrator.Partial{}, hier.WireOptions{Checksum: true})
+			if err != nil {
+				t.Errorf("idle edge encode: %v", err)
+				return
+			}
+			err = cs.writeMsg(MsgPartialSum, func(w io.Writer) error {
+				_, werr := w.Write(frame)
+				return werr
+			})
+			if err != nil {
+				t.Errorf("idle edge send: %v", err)
+				return
+			}
+		}
+	}()
+
+	done := make(chan struct{})
+	var final *model.StateDict
+	var serveErr error
+	go func() {
+		final, serveErr = srv.Serve(coreLn, initial)
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("server stuck")
+	}
+	wg.Wait()
+	if serveErr != nil {
+		t.Fatalf("server: %v", serveErr)
+	}
+	if final == nil || len(stats) != rounds {
+		t.Fatalf("committed %d rounds, want %d", len(stats), rounds)
+	}
+	// Every round: the client commits, the idle edge is withdrawn but
+	// stays connected — it must have seen EVERY round's broadcast.
+	for i, st := range stats {
+		if st.Committed != 1 || st.Dropped != 1 {
+			t.Fatalf("round %d stats %+v, want committed 1 dropped 1", i, st)
+		}
+	}
+	if broadcasts != rounds {
+		t.Fatalf("idle edge saw %d broadcasts, want %d (was its connection killed?)", broadcasts, rounds)
+	}
+}
+
+// TestEdgeRelaysPriorAndBound: a bound-scheduled, prior-carrying
+// federation relays MsgRoundBound and MsgPlanPrior through the edge
+// tier — the directives clients see behind an edge must match what
+// direct clients would see.
+func TestEdgeRelaysPriorAndBound(t *testing.T) {
+	const clientsPerEdge = 2
+	initial := nn.MobileNetV2Mini(48, 4, 7).StateDict()
+	upd := nn.MobileNetV2Mini(48, 4, 8).StateDict()
+
+	srv, err := NewOrchestrated(OrchestratedConfig{
+		MinClients: 1,
+		Rounds:     2,
+		Bound:      &stubBoundScheduler{bounds: []float64{1e-3, 5e-4}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	coreLn := tcpListener(t)
+
+	var wg sync.WaitGroup
+	edgeLn := tcpListener(t)
+	edge, err := NewEdge(EdgeConfig{
+		Upstream:   dialTCP(coreLn.Addr().String()),
+		MinClients: clientsPerEdge,
+		Checksum:   true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer edgeLn.Close()
+		if err := edge.Serve(edgeLn); err != nil {
+			t.Errorf("edge: %v", err)
+		}
+	}()
+
+	codecs := make([]*boundRecordingCodec, clientsPerEdge)
+	for c := 0; c < clientsPerEdge; c++ {
+		codecs[c] = &boundRecordingCodec{Codec: fl.PlainCodec{}}
+		wg.Add(1)
+		go func(codec *boundRecordingCodec) {
+			defer wg.Done()
+			conn, err := net.Dial("tcp", edgeLn.Addr().String())
+			if err != nil {
+				t.Errorf("client dial: %v", err)
+				return
+			}
+			defer conn.Close()
+			err = RunClient(conn, codec, func(int, *model.StateDict) (*model.StateDict, int, error) {
+				return upd, 10, nil
+			})
+			if err != nil {
+				t.Errorf("client: %v", err)
+			}
+		}(codecs[c])
+	}
+
+	if _, err := srv.Serve(coreLn, initial); err != nil {
+		t.Fatalf("server: %v", err)
+	}
+	wg.Wait()
+	want := []float64{1e-3, 5e-4}
+	for i, codec := range codecs {
+		codec.mu.Lock()
+		got := append([]float64(nil), codec.bounds...)
+		codec.mu.Unlock()
+		if len(got) != len(want) {
+			t.Fatalf("client %d behind the edge saw %d bound directives (%v), want %d", i, len(got), got, len(want))
+		}
+		for r := range want {
+			if got[r] != want[r] {
+				t.Fatalf("client %d round %d saw bound %g, want %g", i, r, got[r], want[r])
+			}
+		}
+	}
+}

@@ -10,8 +10,10 @@ import (
 	"sync"
 	"time"
 
+	"fedsz/internal/adapt"
 	"fedsz/internal/core"
 	"fedsz/internal/fl"
+	"fedsz/internal/hier"
 	"fedsz/internal/model"
 	"fedsz/internal/netsim"
 	"fedsz/internal/orchestrator"
@@ -96,14 +98,20 @@ type Orchestrated struct {
 	stop     chan struct{} // closed by Shutdown
 	stopOnce sync.Once
 
-	mu        sync.Mutex
-	conns     map[string]*connStream
-	pending   map[*connStream]struct{} // accepted, join not yet read
-	nextID    int
-	joined    chan struct{} // signaled on every join
-	closed    bool
-	abandon   bool  // Abort: crash semantics, no graceful courtesies
-	acceptErr error // sticky: the accept loop died with this error
+	mu         sync.Mutex
+	conns      map[string]*connStream
+	pending    map[*connStream]struct{} // accepted, join not yet read
+	edges      map[string]bool          // ids that joined as edge aggregators (MsgJoinEdge)
+	nextID     int
+	nextEdgeID int
+	joined     chan struct{} // signaled on every join
+	closed     bool
+	abandon    bool  // Abort: crash semantics, no graceful courtesies
+	acceptErr  error // sticky: the accept loop died with this error
+
+	priorMu    sync.Mutex
+	roundPrior [][]byte // plan-prior blobs collected this round
+	priorBlob  []byte   // merged population prior broadcast next round
 }
 
 // joinTimeout bounds how long an accepted connection may sit silent
@@ -130,6 +138,7 @@ func NewOrchestrated(cfg OrchestratedConfig) (*Orchestrated, error) {
 		stop:    make(chan struct{}),
 		conns:   make(map[string]*connStream),
 		pending: make(map[*connStream]struct{}),
+		edges:   make(map[string]bool),
 		joined:  make(chan struct{}, 1),
 	}, nil
 }
@@ -346,14 +355,25 @@ func (s *Orchestrated) acceptLoop(ln net.Listener, coord *orchestrator.Coordinat
 			// neither.
 			s.mu.Lock()
 			delete(s.pending, cs)
-			if err != nil || t != MsgJoin || s.closed {
+			if err != nil || (t != MsgJoin && t != MsgJoinEdge) || s.closed {
 				s.mu.Unlock()
 				s.cfg.Logf("rejecting connection: expected join, got %v (err %v)", t, err)
 				_ = conn.Close()
 				return
 			}
-			s.nextID++
-			id := fmt.Sprintf("client-%04d", s.nextID)
+			// Edge aggregators and direct clients share the listener —
+			// the join type byte is the whole protocol difference. An
+			// edge participates in rounds like any client; its uplink is
+			// one MsgPartialSum carrying its entire region.
+			var id string
+			if t == MsgJoinEdge {
+				s.nextEdgeID++
+				id = fmt.Sprintf("edge-%04d", s.nextEdgeID)
+				s.edges[id] = true
+			} else {
+				s.nextID++
+				id = fmt.Sprintf("client-%04d", s.nextID)
+			}
 			s.conns[id] = cs
 			s.mu.Unlock()
 			_ = cs.conn.SetReadDeadline(time.Time{})
@@ -415,6 +435,7 @@ func (s *Orchestrated) dropClient(coord *orchestrator.Coordinator, round *orches
 	s.mu.Lock()
 	cs, ok := s.conns[id]
 	delete(s.conns, id)
+	delete(s.edges, id)
 	s.mu.Unlock()
 	if ok {
 		_ = cs.conn.Close()
@@ -469,6 +490,9 @@ func (s *Orchestrated) runRound(coord *orchestrator.Coordinator) (*model.StateDi
 	// configured, the round's error-bound directive precedes the model
 	// on each connection, so clients apply it before encoding.
 	roundBound := coord.RoundBound()
+	s.priorMu.Lock()
+	priorBlob := s.priorBlob
+	s.priorMu.Unlock()
 	var live []string
 	var bmu sync.Mutex
 	var bwg sync.WaitGroup
@@ -487,7 +511,15 @@ func (s *Orchestrated) runRound(coord *orchestrator.Coordinator) (*model.StateDi
 				_ = cs.conn.SetWriteDeadline(time.Now().Add(d))
 			}
 			var err error
-			if roundBound > 0 {
+			if len(priorBlob) > 0 {
+				// The merged population plan prior precedes the bound:
+				// edges relay it region-wide, adaptive clients seed their
+				// cold tensors from it, static clients skip the blob.
+				err = cs.writeMsg(MsgPlanPrior, func(w io.Writer) error {
+					return writePrior(w, priorBlob)
+				})
+			}
+			if err == nil && roundBound > 0 {
 				err = cs.writeMsg(MsgRoundBound, func(w io.Writer) error {
 					var raw [8]byte
 					binary.BigEndian.PutUint64(raw[:], math.Float64bits(roundBound))
@@ -544,18 +576,57 @@ func (s *Orchestrated) runRound(coord *orchestrator.Coordinator) (*model.StateDi
 	}
 	wg.Wait()
 
+	s.mergeRoundPriors()
 	return round.Commit()
 }
 
-// collectUpdate reads one client's round reply and folds it into the
-// round's aggregator as it decodes.
+// mergeRoundPriors folds the plan-prior blobs collected this round
+// into the population prior broadcast next round. A round that
+// produced no priors keeps the previous consensus — an all-static or
+// all-cold round should not erase what the fleet already learned.
+func (s *Orchestrated) mergeRoundPriors() {
+	s.priorMu.Lock()
+	defer s.priorMu.Unlock()
+	if len(s.roundPrior) == 0 {
+		return
+	}
+	if merged := adapt.MergePriorBlobs(s.roundPrior...); len(merged) > 0 {
+		s.priorBlob = merged
+	}
+	s.roundPrior = nil
+}
+
+// collectPrior stashes one participant's plan-prior blob for the
+// post-round merge.
+func (s *Orchestrated) collectPrior(blob []byte) {
+	if len(blob) == 0 {
+		return
+	}
+	s.priorMu.Lock()
+	s.roundPrior = append(s.roundPrior, blob)
+	s.priorMu.Unlock()
+}
+
+// collectUpdate reads one participant's round reply and folds it into
+// the round's aggregator. Direct clients stream a MsgUpdate (decoded
+// tensor-by-tensor); edge aggregators send one MsgPartialSum carrying
+// their whole region's fold.
 func (s *Orchestrated) collectUpdate(round *orchestrator.Round, id string, cs *connStream, deadline time.Time) error {
 	if err := cs.conn.SetReadDeadline(deadline); err != nil {
 		return fmt.Errorf("transport: set deadline: %w", err)
 	}
+	s.mu.Lock()
+	isEdge := s.edges[id]
+	s.mu.Unlock()
 	t, err := cs.readMsgType()
 	if err != nil {
 		return err
+	}
+	if isEdge {
+		if t != MsgPartialSum {
+			return fmt.Errorf("%w: expected partial sum, got %v", ErrProtocol, t)
+		}
+		return s.collectPartial(round, id, cs)
 	}
 	if t != MsgUpdate {
 		return fmt.Errorf("%w: expected update, got %v", ErrProtocol, t)
@@ -576,9 +647,48 @@ func (s *Orchestrated) collectUpdate(round *orchestrator.Round, id string, cs *c
 		ct.AbortReason(dropReasonFor(err))
 		return err
 	}
+	// The plan-prior trailer rides behind the codec frame so the
+	// update path stays one uplink write per round.
+	prior, err := readPrior(cs.r)
+	if err != nil {
+		return err
+	}
 	if err := ct.Commit(); err != nil {
 		return err
 	}
+	s.collectPrior(prior)
 	// The client survived the round; clear its deadline.
+	return cs.conn.SetReadDeadline(time.Time{})
+}
+
+// collectPartial folds one edge aggregator's regional partial sum
+// into the round. The frame is checksum-verified before any of it
+// touches the aggregator, so a corrupt region withdraws cleanly; an
+// empty region (Updates == 0) is a round-level miss that keeps the
+// edge's connection alive.
+func (s *Orchestrated) collectPartial(round *orchestrator.Round, id string, cs *connStream) error {
+	p, err := hier.DecodePartialFrom(cs.r)
+	if err != nil {
+		return err
+	}
+	if p.Updates == 0 {
+		round.Drop(id, orchestrator.DropDeadline)
+		s.cfg.Logf("%s: empty region, withdrawn for this round", id)
+		return cs.conn.SetReadDeadline(time.Time{})
+	}
+	ct, err := round.PartialContributor(id, p.TotalWeight, p.Updates)
+	if err != nil {
+		return err
+	}
+	for _, e := range p.Entries {
+		if err := ct.FoldPartial(e); err != nil {
+			ct.AbortReason(dropReasonFor(err))
+			return err
+		}
+	}
+	if err := ct.Commit(); err != nil {
+		return err
+	}
+	s.collectPrior(p.Prior)
 	return cs.conn.SetReadDeadline(time.Time{})
 }

@@ -66,7 +66,11 @@ func readUpdate(cs *connStream, codec fl.Codec) error {
 	if _, err := cs.r.ReadByte(); err != nil { // sample-count uvarint (< 128 in tests)
 		return err
 	}
-	return fl.DecodeEntries(codec, cs.r, func(model.Entry) error { return nil })
+	if err := fl.DecodeEntries(codec, cs.r, func(model.Entry) error { return nil }); err != nil {
+		return err
+	}
+	_, err = readPrior(cs.r) // plan-prior trailer (empty for plain codecs)
+	return err
 }
 
 // TestResilientClientReconnects kills the client's first connection

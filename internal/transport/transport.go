@@ -42,9 +42,12 @@ type MsgType uint8
 const (
 	MsgJoin        MsgType = iota + 1 // client → server: hello
 	MsgGlobalModel                    // server → client: streamed global state
-	MsgUpdate                         // client → server: sample count + streamed update
+	MsgUpdate                         // client → server: sample count + streamed update + plan-prior trailer
 	MsgShutdown                       // server → client: training complete
 	MsgRoundBound                     // server → client: next round's error bound (8-byte float64)
+	MsgJoinEdge                       // edge → server: hello from a regional edge aggregator
+	MsgPartialSum                     // edge → server: one region's folded partial sum (hier wire format)
+	MsgPlanPrior                      // server → client/edge: merged population plan prior (uvarint len + blob)
 )
 
 // connStream bundles the buffered halves of one connection. The
@@ -95,6 +98,41 @@ func (cs *connStream) readMsgType() (MsgType, error) {
 // MaxFrameSize bounds a frame payload (1 GiB) to fail fast on
 // corruption.
 const MaxFrameSize = 1 << 30
+
+// writePrior writes a length-prefixed plan-prior blob (possibly
+// empty) — MsgUpdate's trailer and MsgPlanPrior's body.
+func writePrior(w io.Writer, blob []byte) error {
+	var hdr [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(hdr[:], uint64(len(blob)))
+	if _, err := w.Write(hdr[:n]); err != nil {
+		return fmt.Errorf("transport: write prior length: %w", err)
+	}
+	if len(blob) > 0 {
+		if _, err := w.Write(blob); err != nil {
+			return fmt.Errorf("transport: write prior: %w", err)
+		}
+	}
+	return nil
+}
+
+// readPrior reads a writePrior blob (nil when empty).
+func readPrior(r *bufio.Reader) ([]byte, error) {
+	n, err := binary.ReadUvarint(r)
+	if err != nil {
+		return nil, fmt.Errorf("%w: prior length", ErrProtocol)
+	}
+	if n > MaxFrameSize {
+		return nil, fmt.Errorf("%w: prior size %d", ErrProtocol, n)
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	blob := make([]byte, n)
+	if _, err := io.ReadFull(r, blob); err != nil {
+		return nil, fmt.Errorf("transport: read prior: %w", err)
+	}
+	return blob, nil
+}
 
 // ErrProtocol reports a framing violation.
 var ErrProtocol = errors.New("transport: protocol error")
@@ -230,6 +268,12 @@ func (s *Server) Serve(ln net.Listener, initial *model.StateDict) (*model.StateD
 					errs[i] = err
 					return
 				}
+				// The lock-step server has no plan-prior plane; consume
+				// and discard the update's trailer.
+				if _, err := readPrior(cs.r); err != nil {
+					errs[i] = err
+					return
+				}
 				updates[i] = sd
 				counts[i] = int(samples)
 			}(i, cs)
@@ -315,6 +359,19 @@ func runClientSession(cs *connStream, codec fl.Codec, train TrainFunc, baseRound
 			if ba, ok := codec.(fl.BoundAware); ok {
 				ba.SetRoundBound(bound)
 			}
+		case MsgPlanPrior:
+			// The merged population plan prior rides ahead of the round's
+			// global model; adaptive codecs seed their cold tensors from
+			// it, everyone else skips the blob.
+			blob, err := readPrior(cs.r)
+			if err != nil {
+				return round, err
+			}
+			if pa, ok := codec.(fl.PriorAware); ok && len(blob) > 0 {
+				if err := pa.ApplyPriorBytes(blob); err != nil {
+					return round, fmt.Errorf("%w: plan prior: %v", ErrProtocol, err)
+				}
+			}
 		case MsgGlobalModel:
 			global, err := core.UnmarshalStateDictFrom(cs.r)
 			if err != nil {
@@ -333,8 +390,17 @@ func runClientSession(cs *connStream, codec fl.Codec, train TrainFunc, baseRound
 				if _, err := w.Write(hdr[:n]); err != nil {
 					return fmt.Errorf("transport: write sample count: %w", err)
 				}
-				_, err := codec.EncodeTo(w, update)
-				return err
+				if _, err := codec.EncodeTo(w, update); err != nil {
+					return err
+				}
+				// Trailing plan-prior blob: the client's locally probed
+				// plans, aggregated fleet-wide by the edge/coordinator
+				// tier. Zero-length for non-adaptive codecs.
+				var prior []byte
+				if pa, ok := codec.(fl.PriorAware); ok {
+					prior = pa.ExportPriorBytes()
+				}
+				return writePrior(w, prior)
 			})
 			if err != nil {
 				return round, err
