@@ -22,9 +22,16 @@ import (
 // on a fast local link, and each edge forwards one partial-sum frame
 // over the contended WAN to the coordinator, which folds partials the
 // way a flat round folds clients. Because partials carry unnormalized
-// float64 sums verbatim, the committed global models are byte-
-// identical to the flat simulation's under the same seed — the tier
-// changes fan-in and wire traffic, never the arithmetic.
+// float64 sums verbatim, deadline-free runs (RoundDeadline == 0)
+// commit global models byte-identical to the flat simulation's under
+// the same seed — the tier changes fan-in and wire traffic, never the
+// arithmetic. Under a RoundDeadline the drop policies intentionally
+// diverge: the flat loop guarantees one accepted update per round,
+// while each region here folds its own earliest arrival so no region
+// is starved — up to one late straggler per region may be kept that
+// the flat cut would drop. RoundMetrics.Participants likewise counts
+// the clients actually folded, where the flat path reports the
+// sampled count.
 type HierSimConfig struct {
 	OrchSimConfig
 
@@ -211,6 +218,10 @@ func RunHierSim(cfg HierSimConfig) (*SimResult, *HierStats, error) {
 			folded := 0
 			for i := range regional {
 				p := &regional[i]
+				// Per-region progress guarantee: each region always keeps
+				// its earliest arrival, so a tight deadline can admit one
+				// late straggler per region where the flat simulator keeps
+				// only the single globally earliest (see HierSimConfig).
 				if cfg.RoundDeadline > 0 && p.arrival > cfg.RoundDeadline && folded > 0 {
 					hs.ClientDrops++
 					m.Dropped++
@@ -275,6 +286,8 @@ func RunHierSim(cfg HierSimConfig) (*SimResult, *HierStats, error) {
 			hs.PeakCoreMemory = st.AggMemory
 		}
 		m.CommTime = roundSpan
+		// Folded clients, not the sampled population (the coordinator
+		// samples edges here, so the flat metric has no direct analog).
 		m.Participants = accepted
 		m.Dropped += st.Dropped
 		if n := time.Duration(accepted); n > 0 {

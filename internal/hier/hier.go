@@ -59,7 +59,8 @@ const (
 	flagChecksum = 1 << 0
 	flagPacked   = 1 << 1
 
-	// MaxPartialSize bounds a partial-sum body (1 GiB) to fail fast on
+	// MaxPartialSize bounds a partial-sum body (1 GiB) — both the wire
+	// bytes and the unpacked output of a packed frame — to fail fast on
 	// corruption.
 	MaxPartialSize = 1 << 30
 )
@@ -67,6 +68,10 @@ const (
 // crcTable is the CRC32C (Castagnoli) table, matching the checked
 // update frames of package core.
 var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// maxPartialSize is MaxPartialSize as a variable so tests can lower
+// the limit without gigabyte allocations.
+var maxPartialSize uint64 = MaxPartialSize
 
 // ErrCorruptPartial reports a partial-sum frame whose trailer or
 // structure failed verification. It wraps core.ErrCorrupt so the
@@ -191,7 +196,7 @@ func DecodePartialFrom(r Reader) (*orchestrator.Partial, error) {
 	if err != nil {
 		return nil, fmt.Errorf("hier: read partial length: %w", err)
 	}
-	if size > MaxPartialSize {
+	if size > maxPartialSize {
 		return nil, fmt.Errorf("%w: body size %d", ErrCorruptPartial, size)
 	}
 	body := make([]byte, size)
@@ -215,6 +220,11 @@ func DecodePartialFrom(r Reader) (*orchestrator.Partial, error) {
 		if body, err = c.Decompress(body); err != nil {
 			return nil, fmt.Errorf("%w: unpack: %v", ErrCorruptPartial, err)
 		}
+		// The size cap applies to the logical body: a packed frame whose
+		// self-described output blows past it is a bomb, not a partial.
+		if uint64(len(body)) > maxPartialSize {
+			return nil, fmt.Errorf("%w: unpacked size %d", ErrCorruptPartial, len(body))
+		}
 	}
 	return parseBody(body)
 }
@@ -237,7 +247,7 @@ func parseBody(body []byte) (*orchestrator.Partial, error) {
 		return nil, fmt.Errorf("%w: total weight %v", ErrCorruptPartial, p.TotalWeight)
 	}
 	nEntries, err := binary.ReadUvarint(br)
-	if err != nil || nEntries > MaxPartialSize/8 {
+	if err != nil || nEntries > maxPartialSize/8 {
 		return nil, fmt.Errorf("%w: entry count", ErrCorruptPartial)
 	}
 	p.Entries = make([]orchestrator.PartialEntry, 0, nEntries)
@@ -249,7 +259,7 @@ func parseBody(body []byte) (*orchestrator.Partial, error) {
 		p.Entries = append(p.Entries, e)
 	}
 	priorLen, err := binary.ReadUvarint(br)
-	if err != nil || priorLen > MaxPartialSize {
+	if err != nil || priorLen > maxPartialSize {
 		return nil, fmt.Errorf("%w: prior length", ErrCorruptPartial)
 	}
 	if priorLen > 0 {
@@ -281,7 +291,7 @@ func parseEntry(br *bytes.Reader) (orchestrator.PartialEntry, error) {
 	switch e.DType {
 	case model.Int64:
 		n, err := binary.ReadUvarint(br)
-		if err != nil || n > MaxPartialSize/8 {
+		if err != nil || n > maxPartialSize/8 {
 			return e, fmt.Errorf("%w: int entry length", ErrCorruptPartial)
 		}
 		e.Ints = make([]int64, n)
@@ -301,12 +311,12 @@ func parseEntry(br *bytes.Reader) (orchestrator.PartialEntry, error) {
 		elems := uint64(1)
 		for d := range e.Shape {
 			v, err := binary.ReadUvarint(br)
-			if err != nil || v == 0 || v > MaxPartialSize/8 {
+			if err != nil || v == 0 || v > maxPartialSize/8 {
 				return e, fmt.Errorf("%w: entry shape", ErrCorruptPartial)
 			}
 			e.Shape[d] = int(v)
 			elems *= v
-			if elems > MaxPartialSize/8 {
+			if elems > maxPartialSize/8 {
 				return e, fmt.Errorf("%w: entry too large", ErrCorruptPartial)
 			}
 		}

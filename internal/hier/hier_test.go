@@ -184,6 +184,32 @@ func TestPartialUnknownFlags(t *testing.T) {
 	}
 }
 
+// TestPackedBombRejected: a packed frame whose tiny compressed body
+// unpacks past the partial-size limit is a decompression bomb, not a
+// partial — it must be rejected before parsing, with the limit
+// applying to the logical body and not just the wire bytes.
+func TestPackedBombRejected(t *testing.T) {
+	defer func(old uint64) { maxPartialSize = old }(maxPartialSize)
+	maxPartialSize = 1 << 12
+
+	// 8192 zero sums: a ~64 KiB body that packs far below the lowered
+	// 4 KiB cap, so only the unpacked-size check can catch it.
+	p := &orchestrator.Partial{TotalWeight: 10, Updates: 1}
+	p.Entries = []orchestrator.PartialEntry{{
+		Name: "w", DType: model.Float32, Shape: []int{8192}, Sums: make([]float64, 8192),
+	}}
+	buf, err := EncodePartial(p, WireOptions{Lossless: lossless.NameZlib})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if uint64(len(buf)) > maxPartialSize {
+		t.Fatalf("packed frame %d B does not fit under the lowered cap; bomb not representative", len(buf))
+	}
+	if _, err := DecodePartialFrom(bytes.NewReader(buf)); !errors.Is(err, core.ErrCorrupt) {
+		t.Fatalf("oversized unpack error %v does not wrap core.ErrCorrupt", err)
+	}
+}
+
 // TestPackedSmaller: lossless packing should shrink the (highly
 // redundant) float64 sum frames — the point of paying for it on the
 // WAN hop.

@@ -494,6 +494,10 @@ func (e *Edge) collectMember(agg *orchestrator.Aggregator, id string, cs *connSt
 	}
 	pb, err := readPrior(cs.r)
 	if err != nil {
+		// The update is fully folded by now; losing the trailer must
+		// withdraw it, or the regional partial ships the client's sums
+		// without its weight.
+		ct.AbortReason(dropReasonFor(err))
 		return err
 	}
 	if err := ct.Commit(); err != nil {

@@ -307,6 +307,138 @@ func TestEdgeDeathMidRound(t *testing.T) {
 	}
 }
 
+// TestEdgeClientDiesBeforePriorTrailer kills a region client between
+// its complete update frame and the plan-prior trailer: the edge has
+// already folded the client's weighted entries when readPrior fails,
+// so collectMember must withdraw the contribution — otherwise the
+// regional partial ships the client's sums without its weight and the
+// poison composes exactly into the global model upstream.
+func TestEdgeClientDiesBeforePriorTrailer(t *testing.T) {
+	initial := nn.MobileNetV2Mini(48, 4, 7).StateDict()
+	upd := nn.MobileNetV2Mini(48, 4, 8).StateDict()
+	poison := nn.MobileNetV2Mini(48, 4, 9).StateDict()
+
+	var stats []orchestrator.RoundStats
+	srv, err := NewOrchestrated(OrchestratedConfig{
+		MinClients: 1, // the edge is the only upstream participant
+		Rounds:     1,
+		OnRound: func(round int, global *model.StateDict, st orchestrator.RoundStats) {
+			stats = append(stats, st)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	coreLn := tcpListener(t)
+
+	var wg sync.WaitGroup
+	edgeLn := tcpListener(t)
+	edge, err := NewEdge(EdgeConfig{
+		Upstream:   dialTCP(coreLn.Addr().String()),
+		MinClients: 2, // the healthy client and the dier
+		Checksum:   true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer edgeLn.Close()
+		if err := edge.Serve(edgeLn); err != nil {
+			t.Errorf("edge: %v", err)
+		}
+	}()
+	// Healthy region member.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		conn, err := net.Dial("tcp", edgeLn.Addr().String())
+		if err != nil {
+			t.Errorf("client dial: %v", err)
+			return
+		}
+		defer conn.Close()
+		if err := RunClient(conn, nil, func(int, *model.StateDict) (*model.StateDict, int, error) {
+			return upd, 10, nil
+		}); err != nil {
+			t.Errorf("client: %v", err)
+		}
+	}()
+	// The dier sends its FULL update frame — heavily weighted poison —
+	// then slams the connection before the prior trailer.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		conn, err := net.Dial("tcp", edgeLn.Addr().String())
+		if err != nil {
+			t.Errorf("dier dial: %v", err)
+			return
+		}
+		cs := newConnStream(conn)
+		if err := cs.writeMsg(MsgJoin, nil); err != nil {
+			t.Errorf("dier join: %v", err)
+			return
+		}
+		if tp, err := cs.readMsgType(); err != nil || tp != MsgGlobalModel {
+			t.Errorf("dier: expected global model, got %v (%v)", tp, err)
+			return
+		}
+		if _, err := core.UnmarshalStateDictFrom(cs.r); err != nil {
+			t.Errorf("dier: read global: %v", err)
+			return
+		}
+		buf, _, err := fl.PlainCodec{}.Encode(poison)
+		if err != nil {
+			t.Errorf("dier encode: %v", err)
+			return
+		}
+		_ = cs.writeMsg(MsgUpdate, func(w io.Writer) error {
+			if _, err := w.Write([]byte{100}); err != nil { // sample count uvarint
+				return err
+			}
+			_, err := w.Write(buf)
+			return err
+		})
+		_ = conn.Close()
+	}()
+
+	final, err := srv.Serve(coreLn, initial)
+	if err != nil {
+		t.Fatalf("server: %v", err)
+	}
+	wg.Wait()
+
+	if len(stats) != 1 {
+		t.Fatalf("committed %d rounds, want 1", len(stats))
+	}
+	st := stats[0]
+	if st.Committed != 1 {
+		t.Fatalf("stats %+v, want the one edge committed", st)
+	}
+	if st.Folded != 1 {
+		t.Fatalf("Folded = %d, want only the healthy client's update", st.Folded)
+	}
+	// The sole surviving update must come through exactly; any residue
+	// of the dier's 100-weighted poison frame would show.
+	for _, want := range upd.Entries() {
+		if want.DType != model.Float32 {
+			continue
+		}
+		got, ok := final.Get(want.Name)
+		if !ok {
+			t.Fatalf("final model missing %q", want.Name)
+		}
+		gd, wd := got.Tensor.Data(), want.Tensor.Data()
+		for j := range wd {
+			if gd[j] != wd[j] {
+				t.Fatalf("entry %q element %d: %v != %v (dier's folded update leaked into the partial?)",
+					want.Name, j, gd[j], wd[j])
+			}
+		}
+	}
+}
+
 // TestEdgeEmptyRegion: an edge whose region produced nothing ships an
 // Updates==0 partial; the coordinator withdraws it for the round but
 // keeps the connection — an idle region is not a dead aggregator.

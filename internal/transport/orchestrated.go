@@ -651,6 +651,9 @@ func (s *Orchestrated) collectUpdate(round *orchestrator.Round, id string, cs *c
 	// update path stays one uplink write per round.
 	prior, err := readPrior(cs.r)
 	if err != nil {
+		// The update is fully folded by now; losing the trailer must
+		// withdraw it, or the sums keep weight the total never sees.
+		ct.AbortReason(dropReasonFor(err))
 		return err
 	}
 	if err := ct.Commit(); err != nil {

@@ -117,6 +117,111 @@ func TestOrchestratedClientDiesMidStream(t *testing.T) {
 	}
 }
 
+// TestOrchestratedClientDiesAfterUpdateFrame kills a client in the
+// gap between its complete update frame and the plan-prior trailer:
+// its weighted entries are already folded when readPrior fails, so the
+// collection path must withdraw the contribution — leaking it would
+// leave the sums carrying weight the total never sees, and the commit
+// would divide poisoned sums by a too-small total.
+func TestOrchestratedClientDiesAfterUpdateFrame(t *testing.T) {
+	initial := nn.MobileNetV2Mini(48, 4, 7).StateDict()
+	upd := nn.MobileNetV2Mini(48, 4, 8).StateDict()
+	poison := nn.MobileNetV2Mini(48, 4, 9).StateDict()
+
+	var stats []orchestrator.RoundStats
+	srv, err := NewOrchestrated(OrchestratedConfig{
+		MinClients: 3,
+		Rounds:     1,
+		OnRound: func(round int, global *model.StateDict, st orchestrator.RoundStats) {
+			stats = append(stats, st)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln := newPipeListener(4)
+	defer ln.Close()
+
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			conn := ln.Dial()
+			defer conn.Close()
+			if err := RunClient(conn, nil, func(int, *model.StateDict) (*model.StateDict, int, error) {
+				return upd, 10, nil
+			}); err != nil {
+				t.Errorf("client: %v", err)
+			}
+		}()
+	}
+	// The dier sends its FULL update frame — heavily weighted poison —
+	// then slams the connection before the prior trailer.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		conn := ln.Dial()
+		cs := newConnStream(conn)
+		if err := cs.writeMsg(MsgJoin, nil); err != nil {
+			t.Errorf("dier join: %v", err)
+			return
+		}
+		if tp, err := cs.readMsgType(); err != nil || tp != MsgGlobalModel {
+			t.Errorf("dier: expected global model, got %v (%v)", tp, err)
+			return
+		}
+		if _, err := core.UnmarshalStateDictFrom(cs.r); err != nil {
+			t.Errorf("dier: read global: %v", err)
+			return
+		}
+		buf, _, err := fl.PlainCodec{}.Encode(poison)
+		if err != nil {
+			t.Errorf("dier encode: %v", err)
+			return
+		}
+		_ = cs.writeMsg(MsgUpdate, func(w io.Writer) error {
+			if _, err := w.Write([]byte{100}); err != nil { // sample count uvarint
+				return err
+			}
+			_, err := w.Write(buf)
+			return err
+		})
+		_ = conn.Close()
+	}()
+
+	final, err := srv.Serve(ln, initial)
+	if err != nil {
+		t.Fatalf("server: %v", err)
+	}
+	wg.Wait()
+
+	if len(stats) != 1 {
+		t.Fatalf("committed %d rounds, want 1", len(stats))
+	}
+	if st := stats[0]; st.Sampled != 3 || st.Committed != 2 || st.Dropped != 1 {
+		t.Fatalf("stats %+v, want sampled 3 committed 2 dropped 1", st)
+	}
+	// The survivors' identical updates average to exactly upd; any
+	// residue of the dier's 100-weighted poison frame would show.
+	for _, want := range upd.Entries() {
+		if want.DType != model.Float32 {
+			continue
+		}
+		got, ok := final.Get(want.Name)
+		if !ok {
+			t.Fatalf("final model missing %q", want.Name)
+		}
+		gd, wd := got.Tensor.Data(), want.Tensor.Data()
+		for j := range wd {
+			if gd[j] != wd[j] {
+				t.Fatalf("entry %q element %d: %v != %v (dier's folded update leaked into the sums?)",
+					want.Name, j, gd[j], wd[j])
+			}
+		}
+	}
+}
+
 // TestOrchestratedStragglerDeadline verifies the wall-clock straggler
 // cut: a client that stalls mid-upload past the round deadline is
 // dropped and the round commits with the on-time updates.
