@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench fmt vet fuzz parallel-bench scale-bench hier-bench hier-smoke adapt-bench families-bench chaos-bench
+.PHONY: all build test race bench fmt vet fuzz parallel-bench scale-bench hier-bench hier-smoke adapt-bench families-bench chaos-bench obs-bench obs-smoke
 
 all: build test
 
@@ -89,6 +89,18 @@ families-bench:
 # budget with zero corrupt frames folded into the global model).
 chaos-bench:
 	$(GO) run ./cmd/fedszbench -exp chaos -scale $(SCALE) -format json -o BENCH_chaos.json
+
+# Regenerate the committed telemetry-overhead datapoint (the
+# observability acceptance criterion: instrumented sz2 streaming
+# decode within 3% of obs.Disabled throughput, 0 extra allocs/op).
+obs-bench:
+	$(GO) run ./cmd/fedszbench -exp obs -scale $(SCALE) -format json -o BENCH_obs.json
+
+# Live observability smoke: real fedszserver + 3 clients over TCP
+# loopback with -metrics-addr on, one client frozen to produce a drop
+# series, /metrics + /rounds + /debug/vars scraped and asserted.
+obs-smoke:
+	bash scripts/obs_smoke.sh
 
 # Profile an experiment, e.g.: make profile EXP=throughput
 # then: go tool pprof cpu.pprof

@@ -43,6 +43,7 @@ func run() error {
 		out    = flag.String("o", "", "write output to a file instead of stdout")
 		cpu    = flag.String("cpuprofile", "", "write a CPU profile of the experiment run to this file")
 		mem    = flag.String("memprofile", "", "write an allocation profile taken after the run to this file")
+		mdump  = flag.Bool("metrics-dump", false, "after the run, print the process metrics registry (Prometheus text) to stderr")
 	)
 	flag.StringVar(exp, "experiment", *exp, "alias for -exp")
 	flag.Parse()
@@ -111,6 +112,11 @@ func run() error {
 	ids := bench.IDs()
 	if *exp != "all" {
 		ids = []string{*exp}
+	}
+	if *mdump {
+		// The dump goes to stderr so -o/-format table output stays
+		// machine-parseable.
+		defer fedsz.WriteMetrics(os.Stderr)
 	}
 	for _, id := range ids {
 		tab, err := bench.Run(id, opts)

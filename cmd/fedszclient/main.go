@@ -25,6 +25,7 @@ import (
 	"fedsz/internal/dataset"
 	"fedsz/internal/model"
 	"fedsz/internal/nn"
+	"fedsz/internal/obs"
 	"fedsz/internal/transport"
 )
 
@@ -49,23 +50,30 @@ func main() {
 
 func run() error {
 	var (
-		addr     = flag.String("addr", "localhost:9000", "server address")
-		shard    = flag.Int("shard", 0, "this client's shard index")
-		shards   = flag.Int("shards", 2, "total shard count")
-		bound    = flag.Float64("bound", 1e-2, "relative error bound (must match server)")
-		comp     = flag.String("compressor", "sz2", "lossy compressor (must match server)")
-		adaptive = flag.Bool("adaptive", false, "pick compressor/bound per tensor at runtime and follow server bound directives")
-		families = flag.String("families", "", "adaptive: comma-separated compressor families to adapt over (empty = all registered; see fedszcompress -list)")
-		uplink   = flag.Float64("uplink", 0, "adaptive: modeled uplink bandwidth in Mbps for Eqn. 1 scoring (0 = unknown)")
-		checksum = flag.Bool("checksum", false, "emit CRC32C-checked frames (must match server)")
-		retries  = flag.Int("retries", 5, "reconnect attempts after a connection failure (-1 = retry forever)")
-		backoff  = flag.Duration("backoff", 100*time.Millisecond, "base reconnect backoff (doubles per attempt, jittered, capped at 100x)")
-		seed     = flag.Int64("seed", 42, "seed (must match server)")
+		addr      = flag.String("addr", "localhost:9000", "server address")
+		shard     = flag.Int("shard", 0, "this client's shard index")
+		shards    = flag.Int("shards", 2, "total shard count")
+		bound     = flag.Float64("bound", 1e-2, "relative error bound (must match server)")
+		comp      = flag.String("compressor", "sz2", "lossy compressor (must match server)")
+		adaptive  = flag.Bool("adaptive", false, "pick compressor/bound per tensor at runtime and follow server bound directives")
+		families  = flag.String("families", "", "adaptive: comma-separated compressor families to adapt over (empty = all registered; see fedszcompress -list)")
+		uplink    = flag.Float64("uplink", 0, "adaptive: modeled uplink bandwidth in Mbps for Eqn. 1 scoring (0 = unknown)")
+		checksum  = flag.Bool("checksum", false, "emit CRC32C-checked frames (must match server)")
+		retries   = flag.Int("retries", 5, "reconnect attempts after a connection failure (-1 = retry forever)")
+		backoff   = flag.Duration("backoff", 100*time.Millisecond, "base reconnect backoff (doubles per attempt, jittered, capped at 100x)")
+		seed      = flag.Int64("seed", 42, "seed (must match server)")
+		logLevel  = flag.String("log-level", "info", "log level: debug|info|warn|error")
+		logFormat = flag.String("log-format", "text", "log format: text|json")
 	)
 	flag.Parse()
 	if *shard < 0 || *shard >= *shards {
 		return fmt.Errorf("shard %d out of range [0,%d)", *shard, *shards)
 	}
+	logger, err := obs.NewLogger(os.Stderr, *logLevel, *logFormat)
+	if err != nil {
+		return err
+	}
+	logger = logger.With("shard", *shard)
 
 	// Adaptive uplinks need no server-side coordination: the frames the
 	// policy shapes are self-describing, and a bound-scheduling server
@@ -100,8 +108,8 @@ func run() error {
 	}).Split(*shards)[*shard]
 	net_ := nn.MobileNetV2Mini(spec.Dim, spec.Classes, *seed)
 
-	fmt.Printf("shard %d/%d joining %s (%d local samples, %d retries)\n",
-		*shard, *shards, *addr, data.N, *retries)
+	logger.Info("joining federation",
+		"addr", *addr, "shards", *shards, "local_samples", data.N, "retries", *retries)
 
 	// The resilient session survives coordinator restarts and transient
 	// network faults: a dropped connection backs off exponentially
@@ -116,9 +124,7 @@ func run() error {
 		BaseBackoff: *backoff,
 		MaxBackoff:  100 * *backoff,
 		Seed:        *seed + int64(*shard),
-		Logf: func(format string, args ...interface{}) {
-			fmt.Printf(format+"\n", args...)
-		},
+		Logger:      logger,
 		Train: func(round int, global *model.StateDict) (*model.StateDict, int, error) {
 			if err := net_.LoadStateDict(global); err != nil {
 				return nil, 0, err
@@ -129,7 +135,7 @@ func run() error {
 				x, y := data.Batch(lo, lo+20)
 				loss = net_.TrainBatch(x, y, 0.01, 0.9)
 			}
-			fmt.Printf("round %d: local loss %.4f\n", round, loss)
+			logger.Info("round trained", "round", round, "loss", fmt.Sprintf("%.4f", loss))
 			return net_.StateDict(), data.N, nil
 		},
 	})

@@ -34,6 +34,7 @@ import (
 	"time"
 
 	"fedsz"
+	"fedsz/internal/obs"
 	"fedsz/internal/transport"
 )
 
@@ -56,9 +57,29 @@ func run() error {
 		lossless  = flag.String("lossless", "", "pack partial frames with this lossless codec for the WAN hop (see fedszcompress -list)")
 		bandwidth = flag.Float64("bandwidth", 0, "per-connection rate limit in Mbps, upstream included (0 = unlimited)")
 		shards    = flag.Int("shards", 0, "regional aggregator shard count (0 = auto)")
-		verbose   = flag.Bool("v", false, "log joins, drops and forwarded partials")
+		verbose   = flag.Bool("v", false, "shorthand for -log-level debug")
+		logLevel  = flag.String("log-level", "info", "log level: debug|info|warn|error")
+		logFormat = flag.String("log-format", "text", "log format: text|json")
+		metricsAt = flag.String("metrics-addr", "", "serve /metrics, /rounds, /debug/vars and /debug/pprof on this address (empty = off)")
 	)
 	flag.Parse()
+
+	if *verbose && *logLevel == "info" {
+		*logLevel = "debug"
+	}
+	logger, err := obs.NewLogger(os.Stderr, *logLevel, *logFormat)
+	if err != nil {
+		return err
+	}
+
+	ms, err := fedsz.ServeMetrics(*metricsAt)
+	if err != nil {
+		return fmt.Errorf("metrics listener: %w", err)
+	}
+	if ms != nil {
+		defer ms.Close()
+		logger.Info("metrics listening", "addr", ms.Addr())
+	}
 
 	codecOpts := []fedsz.Option{fedsz.WithCompressor(*comp), fedsz.WithRelBound(*bound)}
 	if *checksum {
@@ -69,11 +90,8 @@ func run() error {
 		return err
 	}
 
-	var logf func(string, ...interface{})
-	if *verbose {
-		logf = func(format string, args ...interface{}) {
-			fmt.Printf(format+"\n", args...)
-		}
+	logf := func(format string, args ...interface{}) {
+		logger.Debug(fmt.Sprintf(format, args...))
 	}
 	edge, err := transport.NewEdge(transport.EdgeConfig{
 		Upstream:      func() (net.Conn, error) { return net.Dial("tcp", *upstream) },
@@ -86,8 +104,8 @@ func run() error {
 		Lossless:      *lossless,
 		Logf:          logf,
 		OnPartial: func(round, updates, wireBytes int) {
-			fmt.Printf("round %d: forwarded partial sum of %d updates (%.1f KB upstream)\n",
-				round, updates, float64(wireBytes)/1e3)
+			logger.Info("forwarded partial sum",
+				"round", round, "updates", updates, "wire_kb", fmt.Sprintf("%.1f", float64(wireBytes)/1e3))
 		},
 	})
 	if err != nil {
@@ -99,7 +117,8 @@ func run() error {
 		return err
 	}
 	defer ln.Close()
-	fmt.Printf("edge serving region on %s, folding toward %s (min %d members, deadline %v)\n",
-		ln.Addr(), *upstream, *minCli, time.Duration(*deadline))
+	logger.Info("edge serving region",
+		"listen", ln.Addr().String(), "upstream", *upstream,
+		"min_members", *minCli, "deadline", time.Duration(*deadline).String())
 	return edge.Serve(ln)
 }

@@ -47,6 +47,7 @@ import (
 	"fedsz/internal/dataset"
 	"fedsz/internal/model"
 	"fedsz/internal/nn"
+	"fedsz/internal/obs"
 	"fedsz/internal/orchestrator"
 	"fedsz/internal/transport"
 )
@@ -90,9 +91,29 @@ func run() error {
 		ckptEvery = flag.Int("checkpoint-every", 1, "committed rounds between checkpoints")
 		restore   = flag.Bool("restore", false, "resume from -checkpoint instead of starting fresh (file must exist)")
 		seed      = flag.Int64("seed", 42, "seed (must match clients)")
-		verbose   = flag.Bool("v", false, "log joins, leaves and drops")
+		verbose   = flag.Bool("v", false, "shorthand for -log-level debug")
+		logLevel  = flag.String("log-level", "info", "log level: debug|info|warn|error")
+		logFormat = flag.String("log-format", "text", "log format: text|json")
+		metricsAt = flag.String("metrics-addr", "", "serve /metrics, /rounds, /debug/vars and /debug/pprof on this address (empty = off)")
 	)
 	flag.Parse()
+
+	if *verbose && *logLevel == "info" {
+		*logLevel = "debug"
+	}
+	logger, err := obs.NewLogger(os.Stderr, *logLevel, *logFormat)
+	if err != nil {
+		return err
+	}
+
+	ms, err := fedsz.ServeMetrics(*metricsAt)
+	if err != nil {
+		return fmt.Errorf("metrics listener: %w", err)
+	}
+	if ms != nil {
+		defer ms.Close()
+		logger.Info("metrics listening", "addr", ms.Addr())
+	}
 
 	codecOpts := []fedsz.Option{fedsz.WithCompressor(*comp), fedsz.WithRelBound(*bound)}
 	if *checksum {
@@ -129,11 +150,11 @@ func run() error {
 	evalNet := nn.MobileNetV2Mini(spec.Dim, spec.Classes, *seed)
 	x, y := full.Batch(200*(*minCli), full.N)
 
-	var logf func(string, ...interface{}) // nil = silent (transport default)
-	if *verbose {
-		logf = func(format string, args ...interface{}) {
-			fmt.Printf(format+"\n", args...)
-		}
+	// Transport's printf-style diagnostics (joins, leaves, rejected
+	// connections) land at debug level; structured drop events get
+	// their own warn-level record below.
+	logf := func(format string, args ...interface{}) {
+		logger.Debug(fmt.Sprintf(format, args...))
 	}
 	cfg := transport.OrchestratedConfig{
 		Codec:           codec,
@@ -147,18 +168,26 @@ func run() error {
 		CheckpointPath:  *ckpt,
 		CheckpointEvery: *ckptEvery,
 		Logf:            logf,
+		OnDrop: func(id string, reason orchestrator.DropReason) {
+			logger.Warn("client dropped", "client", id, "reason", reason.String())
+		},
 		OnRound: func(round int, global *model.StateDict, st orchestrator.RoundStats) {
 			if err := evalNet.LoadStateDict(global); err != nil {
-				fmt.Printf("round %d: eval error: %v\n", round, err)
+				logger.Error("round eval failed", "round", round, "err", err)
 				return
 			}
-			line := fmt.Sprintf("round %d: test accuracy %.3f (%d/%d updates, %d dropped, agg %.1f KB)",
-				round, evalNet.Accuracy(x, y), st.Committed, st.Sampled, st.Dropped,
-				float64(st.AggMemory)/1e3)
-			if policy != nil {
-				line += fmt.Sprintf(" next bound %.2e", policy.NextBound())
+			attrs := []any{
+				"round", round,
+				"accuracy", fmt.Sprintf("%.3f", evalNet.Accuracy(x, y)),
+				"committed", st.Committed,
+				"sampled", st.Sampled,
+				"dropped", st.Dropped,
+				"agg_kb", fmt.Sprintf("%.1f", float64(st.AggMemory)/1e3),
 			}
-			fmt.Println(line)
+			if policy != nil {
+				attrs = append(attrs, "next_bound", fmt.Sprintf("%.2e", policy.NextBound()))
+			}
+			logger.Info("round committed", attrs...)
 		},
 	}
 	if policy != nil {
@@ -173,8 +202,8 @@ func run() error {
 			return fmt.Errorf("restore: %w", err)
 		}
 		cfg.Resume = ck
-		fmt.Printf("resuming from %s: %d/%d rounds already committed, model version %d\n",
-			*ckpt, ck.Commits, *rounds, ck.Version)
+		logger.Info("resuming from checkpoint",
+			"path", *ckpt, "commits", ck.Commits, "rounds", *rounds, "version", ck.Version)
 	}
 	srv, err := transport.NewOrchestrated(cfg)
 	if err != nil {
@@ -190,7 +219,7 @@ func run() error {
 	go func() {
 		sig := <-sigc
 		signal.Stop(sigc)
-		fmt.Printf("caught %v: draining round and shutting down (repeat to force)\n", sig)
+		logger.Info("draining round and shutting down (repeat signal to force)", "signal", sig.String())
 		srv.Shutdown()
 	}()
 
@@ -199,14 +228,15 @@ func run() error {
 		return err
 	}
 	defer ln.Close()
-	fmt.Printf("listening on %s (min %d clients, %d rounds, %s @ %.0e, deadline %v)\n",
-		ln.Addr(), *minCli, *rounds, *comp, *bound, time.Duration(*deadline))
+	logger.Info("listening",
+		"addr", ln.Addr().String(), "min_clients", *minCli, "rounds", *rounds,
+		"compressor", *comp, "bound", fmt.Sprintf("%.0e", *bound), "deadline", time.Duration(*deadline).String())
 
 	initial := nn.MobileNetV2Mini(spec.Dim, spec.Classes, *seed).StateDict()
 	final, err := srv.Serve(ln, initial)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("training complete: %d entries in final model\n", final.Len())
+	logger.Info("training complete", "model_entries", final.Len())
 	return nil
 }

@@ -299,6 +299,7 @@ func (p *Policy) SelectTensor(name string, data []float32) core.Selection {
 	}
 	pl.age++
 	p.selected[pl.lossy]++
+	obsSelected.With(pl.lossy).Inc()
 	p.boundSeen = bound
 	sel := core.Selection{Lossy: pl.lossy, Setting: pl.setting, Bound: lossy.RelBound(bound * pl.factor)}
 	p.mu.Unlock()
@@ -315,6 +316,7 @@ func (p *Policy) enqueueProbeLocked(name string, data []float32, bound float64) 
 		fullElems: len(data),
 		bound:     bound,
 	})
+	obsProbeQueue.Add(1)
 	if p.workers < probeWorkers {
 		p.workers++
 		go p.probeWorker()
@@ -335,8 +337,13 @@ func (p *Policy) probeWorker() {
 
 		p.mu.Lock()
 		p.inflight--
+		if old := p.plans[job.name]; old != nil && old.lossy != pl.lossy {
+			obsPlanSwitches.With(pl.lossy).Inc()
+		}
 		p.plans[job.name] = pl
 		p.probes += pl.probes
+		obsProbes.Add(pl.probes)
+		obsProbeQueue.Add(-1)
 	}
 	p.workers--
 	if len(p.queue) == 0 && p.inflight == 0 {

@@ -1,0 +1,20 @@
+package adapt
+
+import (
+	"fedsz/internal/obs"
+)
+
+// Adaptive-control-plane metrics. SelectTensor sits on the encode
+// path, so its instruments are plain counters/gauges resolved once.
+var (
+	obsProbeQueue = obs.Default.Gauge("fedsz_adapt_probe_queue",
+		"Background probe jobs queued or in flight.")
+	obsProbes = obs.Default.Counter("fedsz_adapt_probes_total",
+		"Candidate (family, setting, bound) probes executed.")
+	obsPlanSwitches = obs.Default.CounterVec("fedsz_adapt_plan_switches_total",
+		"Probed plans that moved a tensor to a different family, by new family.", "family")
+	obsSelected = obs.Default.CounterVec("fedsz_adapt_selected_total",
+		"Per-tensor selections served, by family.", "family")
+	obsRoundBound = obs.Default.FloatGauge("fedsz_adapt_round_bound",
+		"Error bound currently scheduled for the next round.")
+)

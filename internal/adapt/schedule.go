@@ -58,14 +58,15 @@ func (s *Scheduler) Observe(norm float64) {
 func (s *Scheduler) Bound() float64 {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.override > 0 {
-		return s.override
+	b := s.base
+	switch {
+	case s.override > 0:
+		b = s.override
+	case s.norm0 > 0 && s.ema.Count() > 0:
+		b = math.Min(s.max, math.Max(s.min, s.base*s.ema.Value()/s.norm0))
 	}
-	if s.norm0 <= 0 || s.ema.Count() == 0 {
-		return s.base
-	}
-	b := s.base * s.ema.Value() / s.norm0
-	return math.Min(s.max, math.Max(s.min, b))
+	obsRoundBound.Set(b)
+	return b
 }
 
 // SetBound installs a server-directed bound override (≤ 0 clears it,

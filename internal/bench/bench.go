@@ -133,6 +133,7 @@ func experiments() map[string]Runner {
 		"adapt":      Adapt,
 		"chaos":      Chaos,
 		"families":   Families,
+		"obs":        Obs,
 		"parallel":   Parallel,
 		"scale":      Scale,
 		"stream":     Stream,

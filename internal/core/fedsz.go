@@ -283,6 +283,7 @@ func (p *Pipeline) Compress(sd *model.StateDict) ([]byte, Stats, error) {
 
 	st.CompressedBytes = int64(len(sw.buf))
 	st.CompressTime = time.Since(start)
+	obsFramesEncoded.Inc()
 	return sw.buf, st, nil
 }
 

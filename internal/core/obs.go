@@ -1,0 +1,75 @@
+package core
+
+import (
+	"sync"
+
+	"fedsz/internal/obs"
+)
+
+// Codec-layer metrics. Per-family instruments are resolved through a
+// plain RWMutex map rather than the vec's variadic With so the
+// streaming decode path stays allocation-free: one read-locked map
+// lookup per frame, then plain atomic adds per section.
+var (
+	obsCompressNs = obs.Default.CounterVec("fedsz_core_compress_ns_total",
+		"Nanoseconds spent in lossy tensor compression, by family.", "family")
+	obsCompressIn = obs.Default.CounterVec("fedsz_core_compress_in_bytes_total",
+		"Uncompressed tensor bytes entering lossy compression, by family.", "family")
+	obsCompressOut = obs.Default.CounterVec("fedsz_core_compress_out_bytes_total",
+		"Compressed payload bytes produced by lossy compression, by family.", "family")
+	obsDecompressNs = obs.Default.CounterVec("fedsz_core_decompress_ns_total",
+		"Nanoseconds spent in lossy tensor decompression, by family.", "family")
+	obsDecompressIn = obs.Default.CounterVec("fedsz_core_decompress_in_bytes_total",
+		"Compressed payload bytes entering lossy decompression, by family.", "family")
+	obsDecompressOut = obs.Default.CounterVec("fedsz_core_decompress_out_bytes_total",
+		"Reconstructed tensor bytes produced by lossy decompression, by family.", "family")
+	obsRatio = obs.Default.HistogramVec("fedsz_core_ratio",
+		"Per-tensor compression ratio (uncompressed/compressed), by family and direction.",
+		obs.RatioBuckets, "family", "dir")
+	obsSections = obs.Default.CounterVec("fedsz_core_sections_total",
+		"Tensor sections processed, by family and direction.", "family", "dir")
+	obsChecksumFailures = obs.Default.Counter("fedsz_core_checksum_failures_total",
+		"CRC32C verification failures while decoding checked frames.")
+	obsFramesEncoded = obs.Default.Counter("fedsz_core_frames_encoded_total",
+		"FedSZ frames fully encoded.")
+	obsFramesDecoded = obs.Default.Counter("fedsz_core_frames_decoded_total",
+		"FedSZ frames fully decoded.")
+)
+
+// famMetrics is one compressor family's pre-resolved instrument set.
+type famMetrics struct {
+	encNs, encIn, encOut *obs.Counter
+	decNs, decIn, decOut *obs.Counter
+	encRatio, decRatio   *obs.Histogram
+	encSections          *obs.Counter
+	decSections          *obs.Counter
+}
+
+var famMetricsMu sync.RWMutex
+var famMetricsByName = make(map[string]*famMetrics)
+
+// metricsForFamily resolves the instrument set for one family name.
+// The hit path is a read-locked map lookup with zero allocations —
+// callers on the decode path invoke it once per frame and then touch
+// only the returned atomics per section.
+func metricsForFamily(name string) *famMetrics {
+	famMetricsMu.RLock()
+	fm, ok := famMetricsByName[name]
+	famMetricsMu.RUnlock()
+	if ok {
+		return fm
+	}
+	famMetricsMu.Lock()
+	defer famMetricsMu.Unlock()
+	if fm, ok := famMetricsByName[name]; ok {
+		return fm
+	}
+	fm = &famMetrics{
+		encNs: obsCompressNs.With(name), encIn: obsCompressIn.With(name), encOut: obsCompressOut.With(name),
+		decNs: obsDecompressNs.With(name), decIn: obsDecompressIn.With(name), decOut: obsDecompressOut.With(name),
+		encRatio: obsRatio.With(name, "encode"), decRatio: obsRatio.With(name, "decode"),
+		encSections: obsSections.With(name, "encode"), decSections: obsSections.With(name, "decode"),
+	}
+	famMetricsByName[name] = fm
+	return fm
+}

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"time"
+
 	"fedsz/internal/lossless"
 	"fedsz/internal/lossy"
 	"fedsz/internal/model"
@@ -112,9 +114,22 @@ func (p *Pipeline) feedbackCompress(name string, data []float32, c lossy.Compres
 	if fb != nil {
 		data = fb.Adjust(name, data)
 	}
+	famName := wrapAs
+	if famName == "" {
+		famName = p.cfg.Lossy
+	}
+	fm := metricsForFamily(famName)
+	encStart := time.Now()
 	comp, err := c.Compress(data, bound)
 	if err != nil {
 		return nil, err
+	}
+	fm.encNs.Add(time.Since(encStart).Nanoseconds())
+	fm.encIn.Add(int64(len(data)) * 4)
+	fm.encOut.Add(int64(len(comp)))
+	fm.encSections.Inc()
+	if len(comp) > 0 {
+		fm.encRatio.Observe(float64(len(data)) * 4 / float64(len(comp)))
 	}
 	if fb != nil {
 		// Measure what the receiver will reconstruct. The extra decode

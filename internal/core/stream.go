@@ -323,6 +323,7 @@ func (p *Pipeline) CompressTo(w io.Writer, sd *model.StateDict) (Stats, error) {
 	}
 	st.CompressedBytes = cw.n
 	st.CompressTime = time.Since(start)
+	obsFramesEncoded.Inc()
 	return st, nil
 }
 
@@ -675,6 +676,7 @@ func decodeFrame(src frameSource, parallelism int, emit func(model.Entry) error)
 	// unknown-codec lookup failure.
 	if checked {
 		if err := src.verifyCRC("header"); err != nil {
+			obsChecksumFailures.Inc()
 			return nil, err
 		}
 	}
@@ -687,6 +689,9 @@ func decodeFrame(src frameSource, parallelism int, emit func(model.Entry) error)
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
 	}
+	// One read-locked lookup per frame; the per-section cost below is
+	// plain atomic adds, so the streaming fold path stays alloc-free.
+	fm := metricsForFamily(lossyName)
 
 	type lossyTensor struct {
 		name  string
@@ -745,15 +750,24 @@ func decodeFrame(src frameSource, parallelism int, emit func(model.Entry) error)
 		// decoder, so in emit mode nothing corrupt is ever folded.
 		if checked {
 			if err := src.verifyCRC(fmt.Sprintf("tensor %q", name)); err != nil {
+				obsChecksumFailures.Inc()
 				return bail(err)
 			}
 		}
 		lt := &lossyTensor{name: name, shape: shape}
 		lossyTensors = append(lossyTensors, lt)
 		pool.run(func() error {
+			decStart := time.Now()
 			data, err := lc.Decompress(payload)
 			if err != nil {
 				return fmt.Errorf("%w: tensor %q: %v", ErrCorrupt, lt.name, err)
+			}
+			fm.decNs.Add(time.Since(decStart).Nanoseconds())
+			fm.decIn.Add(int64(len(payload)))
+			fm.decOut.Add(int64(len(data)) * 4)
+			fm.decSections.Inc()
+			if len(payload) > 0 {
+				fm.decRatio.Observe(float64(len(data)) * 4 / float64(len(payload)))
 			}
 			t, err := tensor.FromData(data, lt.shape...)
 			if err != nil {
@@ -780,6 +794,7 @@ func decodeFrame(src frameSource, parallelism int, emit func(model.Entry) error)
 	}
 	if checked {
 		if err := src.verifyCRC("metadata"); err != nil {
+			obsChecksumFailures.Inc()
 			return bail(err)
 		}
 	}
@@ -822,6 +837,7 @@ func decodeFrame(src frameSource, parallelism int, emit func(model.Entry) error)
 		if nLossy != len(lossyTensors) || nMeta != meta.Len() {
 			return nil, fmt.Errorf("%w: section/tag mismatch", ErrCorrupt)
 		}
+		obsFramesDecoded.Inc()
 		return nil, nil
 	}
 
@@ -852,6 +868,7 @@ func decodeFrame(src frameSource, parallelism int, emit func(model.Entry) error)
 	if li != len(lossyTensors) || mi != len(metaEntries) {
 		return nil, fmt.Errorf("%w: section/tag mismatch", ErrCorrupt)
 	}
+	obsFramesDecoded.Inc()
 	return out, nil
 }
 

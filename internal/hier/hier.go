@@ -43,6 +43,7 @@ package hier
 import (
 	"bytes"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"hash/crc32"
 	"io"
@@ -127,6 +128,9 @@ func EncodePartial(p *orchestrator.Partial, opts WireOptions) ([]byte, error) {
 	if flags&flagChecksum != 0 {
 		out = binary.BigEndian.AppendUint32(out, crc32.Checksum(body, crcTable))
 	}
+	obsPartialsEnc.Inc()
+	obsPartialBytesEnc.Add(int64(len(out)))
+	obsPartialUpdatesEnc.Add(int64(p.Updates))
 	return out, nil
 }
 
@@ -173,6 +177,19 @@ func appendBody(dst []byte, p *orchestrator.Partial) []byte {
 // CRC32C trailer (when present) before parsing — a damaged region
 // frame is rejected wholesale, nothing of it reaches an aggregator.
 func DecodePartialFrom(r Reader) (*orchestrator.Partial, error) {
+	p, err := decodePartialFrom(r)
+	if err != nil {
+		if errors.Is(err, ErrCorruptPartial) {
+			obsPartialCorrupt.Inc()
+		}
+		return nil, err
+	}
+	obsPartialsDec.Inc()
+	obsPartialUpdatesDec.Add(int64(p.Updates))
+	return p, nil
+}
+
+func decodePartialFrom(r Reader) (*orchestrator.Partial, error) {
 	flags, err := r.ReadByte()
 	if err != nil {
 		return nil, fmt.Errorf("hier: read partial flags: %w", err)
@@ -199,6 +216,14 @@ func DecodePartialFrom(r Reader) (*orchestrator.Partial, error) {
 	if size > maxPartialSize {
 		return nil, fmt.Errorf("%w: body size %d", ErrCorruptPartial, size)
 	}
+	wire := int64(1) + int64(uvarintLen(size)) + int64(size)
+	if llName != "" {
+		wire += int64(uvarintLen(uint64(len(llName)))) + int64(len(llName))
+	}
+	if flags&flagChecksum != 0 {
+		wire += 4
+	}
+	obsPartialBytesDec.Add(wire)
 	body := make([]byte, size)
 	if _, err := io.ReadFull(r, body); err != nil {
 		return nil, fmt.Errorf("hier: read partial body: %w", err)

@@ -1,0 +1,139 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// SpanClient is one participant's outcome inside a round span.
+type SpanClient struct {
+	ID string `json:"id"`
+	// Outcome is "committed" or the drop reason that removed the
+	// client ("leave", "deadline", "corrupt", "disconnect", ...).
+	Outcome string `json:"outcome"`
+	// BytesUp / BytesDown are the conn-level bytes read from and
+	// written to this participant during the round.
+	BytesUp   int64 `json:"bytes_up"`
+	BytesDown int64 `json:"bytes_down"`
+}
+
+// RoundSpan is one structured record of a federation round, captured
+// by the orchestrated server (tier "coordinator") and by each edge
+// for its regional rounds (tier "edge"). Phases are sequential wall
+// times except DecodeFoldNs, which is the cumulative time spent in
+// the decode→fold pipeline summed across concurrent participant
+// connections (it overlaps GatherNs and can exceed it).
+type RoundSpan struct {
+	Tier    string    `json:"tier"`
+	Round   int       `json:"round"`
+	Version int       `json:"version,omitempty"`
+	Start   time.Time `json:"start"`
+
+	TotalNs      int64 `json:"total_ns"`
+	BroadcastNs  int64 `json:"broadcast_ns"`
+	GatherNs     int64 `json:"gather_ns"`
+	DecodeFoldNs int64 `json:"decode_fold_ns"`
+	CommitNs     int64 `json:"commit_ns"`
+
+	BytesUp   int64 `json:"bytes_up"`
+	BytesDown int64 `json:"bytes_down"`
+
+	Sampled   int `json:"sampled"`
+	Committed int `json:"committed"`
+	Dropped   int `json:"dropped"`
+
+	// Bound is the error bound broadcast for this round (0 when the
+	// server runs without a bound schedule).
+	Bound float64 `json:"bound,omitempty"`
+
+	// Plans maps tensor name -> "family@bound", the population-winning
+	// adaptive plan merged from client priors (adaptive runs only).
+	Plans map[string]string `json:"plans,omitempty"`
+
+	Clients []SpanClient `json:"clients,omitempty"`
+}
+
+// RoundTrace is a fixed-capacity ring buffer of round spans.
+// The zero value is unusable; use NewRoundTrace. A nil *RoundTrace
+// drops spans silently.
+type RoundTrace struct {
+	mu    sync.Mutex
+	buf   []RoundSpan
+	next  int
+	total int64
+}
+
+// DefaultTraceCap is the capacity of the package-level trace.
+const DefaultTraceCap = 128
+
+// DefaultTrace receives spans from every tier in the process and
+// backs the /rounds endpoint.
+var DefaultTrace = NewRoundTrace(DefaultTraceCap)
+
+// NewRoundTrace returns a trace retaining the last cap spans.
+func NewRoundTrace(cap int) *RoundTrace {
+	if cap < 1 {
+		cap = 1
+	}
+	return &RoundTrace{buf: make([]RoundSpan, 0, cap)}
+}
+
+// Add appends a span, evicting the oldest when full.
+func (t *RoundTrace) Add(s RoundSpan) {
+	if t == nil || off.Load() {
+		return
+	}
+	t.mu.Lock()
+	if len(t.buf) < cap(t.buf) {
+		t.buf = append(t.buf, s)
+	} else {
+		t.buf[t.next] = s
+	}
+	t.next = (t.next + 1) % cap(t.buf)
+	t.total++
+	t.mu.Unlock()
+}
+
+// Len returns the number of retained spans.
+func (t *RoundTrace) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.buf)
+}
+
+// Total returns the number of spans ever added.
+func (t *RoundTrace) Total() int64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.total
+}
+
+// Recent returns up to n spans, newest last. n <= 0 returns all
+// retained spans.
+func (t *RoundTrace) Recent(n int) []RoundSpan {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	m := len(t.buf)
+	if n <= 0 || n > m {
+		n = m
+	}
+	out := make([]RoundSpan, 0, n)
+	// Oldest retained span sits at t.next once the ring has wrapped.
+	start := 0
+	if m == cap(t.buf) {
+		start = t.next
+	}
+	for i := m - n; i < m; i++ {
+		out = append(out, t.buf[(start+i)%m])
+	}
+	return out
+}

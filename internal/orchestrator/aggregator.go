@@ -346,6 +346,8 @@ func (c *Contributor) Fold(e model.Entry) error {
 		sum[j] += w * float64(v)
 	}
 	shard.mu.Unlock()
+	obsFolds.Inc()
+	obsFoldElements.Add(int64(len(sum)))
 
 	c.mu.Lock()
 	c.folded = append(c.folded, foldedEntry{idx: idx, t: e.Tensor})
@@ -433,6 +435,7 @@ func (c *Contributor) AbortReason(reason DropReason) {
 	c.a.mu.Lock()
 	c.a.inflight--
 	c.a.mu.Unlock()
+	obsWithdrawals.Inc()
 	if c.onAbort != nil {
 		c.onAbort(reason)
 	}

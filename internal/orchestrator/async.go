@@ -68,6 +68,7 @@ func (c *Coordinator) AsyncContributor(id string, weight float64, trainedVersion
 		return nil, nil, fmt.Errorf("orchestrator: client %q not joined", id)
 	}
 	staleness := c.version - trainedVersion
+	obsAsyncStaleness.Observe(float64(staleness))
 	if !c.cfg.NoStalenessDamping {
 		weight *= StalenessWeight(staleness)
 	}
@@ -102,6 +103,7 @@ func (c *Coordinator) AsyncContributor(id string, weight float64, trainedVersion
 		}
 		c.async.open--
 		c.async.buffered++
+		obsAsyncDepth.Set(int64(c.async.buffered))
 		result.Version = c.version
 		err := c.maybeAsyncCommitLocked(&result)
 		c.mu.Unlock()
@@ -240,6 +242,8 @@ func (c *Coordinator) asyncCommitLocked(result *AsyncCommit) error {
 		agg:   NewAggregator(mixed, c.cfg.Shards),
 		epoch: buf.epoch + 1,
 	}
+	obsAsyncCommits.Inc()
+	obsAsyncDepth.Set(0)
 	return nil
 }
 

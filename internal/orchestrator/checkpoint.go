@@ -9,6 +9,7 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"time"
 
 	"fedsz/internal/core"
 	"fedsz/internal/model"
@@ -215,7 +216,15 @@ func UnmarshalCheckpoint(raw []byte) (*Checkpoint, error) {
 // write to a temp file in the same directory, fsync, rename. A crash
 // at any point leaves either the previous snapshot or the new one,
 // never a torn file.
-func SaveCheckpoint(path string, ck *Checkpoint) error {
+func SaveCheckpoint(path string, ck *Checkpoint) (err error) {
+	start := time.Now()
+	defer func() {
+		if err != nil {
+			obsCkptFailures.With("save").Inc()
+			return
+		}
+		obsCkptSaveSeconds.Observe(time.Since(start).Seconds())
+	}()
 	raw, err := MarshalCheckpoint(ck)
 	if err != nil {
 		return err
@@ -246,11 +255,19 @@ func SaveCheckpoint(path string, ck *Checkpoint) error {
 // LoadCheckpoint reads and verifies a snapshot written by
 // SaveCheckpoint.
 func LoadCheckpoint(path string) (*Checkpoint, error) {
+	start := time.Now()
 	raw, err := os.ReadFile(path)
 	if err != nil {
+		obsCkptFailures.With("restore").Inc()
 		return nil, fmt.Errorf("orchestrator: read checkpoint: %w", err)
 	}
-	return UnmarshalCheckpoint(raw)
+	ck, err := UnmarshalCheckpoint(raw)
+	if err != nil {
+		obsCkptFailures.With("restore").Inc()
+		return nil, err
+	}
+	obsCkptLoadSeconds.Observe(time.Since(start).Seconds())
+	return ck, nil
 }
 
 func appendCkString(out []byte, s string) []byte {

@@ -81,6 +81,9 @@ const (
 	// DropDisconnect is a mid-round transport death: the connection
 	// failed while an update was expected or in flight.
 	DropDisconnect
+
+	// dropReasonCount bounds the enum for per-reason metric tables.
+	dropReasonCount
 )
 
 func (r DropReason) String() string {
@@ -274,6 +277,7 @@ func (c *Coordinator) Leave(id string) {
 // notifyDrop delivers a withdrawal to the OnDrop hook. Callers must
 // not hold coordinator or round locks.
 func (c *Coordinator) notifyDrop(id string, reason DropReason) {
+	dropCounter(reason).Inc()
 	if c.cfg.OnDrop != nil {
 		c.cfg.OnDrop(id, reason)
 	}
@@ -343,6 +347,7 @@ func (c *Coordinator) StartRound() (*Round, error) {
 		deadline: c.cfg.RoundDeadline,
 		target:   target,
 		agg:      NewAggregator(c.global, c.cfg.Shards),
+		openedAt: time.Now(),
 		state:    make(map[string]int, len(participants)),
 	}
 	r.participants = participants

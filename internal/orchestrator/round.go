@@ -27,6 +27,7 @@ type Round struct {
 	deadline time.Duration
 	target   int
 	agg      *Aggregator
+	openedAt time.Time
 
 	mu           sync.Mutex
 	participants []string
@@ -186,12 +187,18 @@ func (r *Round) Commit() (*model.StateDict, RoundStats, error) {
 	r.closed = true
 	r.mu.Unlock()
 
+	commitStart := time.Now()
 	agg, err := r.agg.Finalize()
 	if err != nil {
 		r.coord.cancelRound(r)
 		return nil, RoundStats{}, err
 	}
 	_, stats := r.coord.commitRound(r, agg)
+	obsCommitSeconds.Observe(time.Since(commitStart).Seconds())
+	if !r.openedAt.IsZero() {
+		obsRoundSeconds.Observe(time.Since(r.openedAt).Seconds())
+	}
+	obsRounds.Inc()
 	return agg, stats, nil
 }
 

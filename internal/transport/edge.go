@@ -16,6 +16,7 @@ import (
 	"fedsz/internal/hier"
 	"fedsz/internal/model"
 	"fedsz/internal/netsim"
+	"fedsz/internal/obs"
 	"fedsz/internal/orchestrator"
 )
 
@@ -322,6 +323,8 @@ func (e *Edge) runRegionalRound(up *connStream, round int, global *model.StateDi
 	if round == 0 {
 		e.waitForRegion(e.cfg.MinClients, e.cfg.RoundDeadline, nil)
 	}
+	spanStart := time.Now()
+	span := newRoundSpanState()
 	if ra, ok := e.cfg.Codec.(fl.ReferenceAware); ok {
 		ra.SetReference(global)
 	}
@@ -343,6 +346,10 @@ func (e *Edge) runRegionalRound(up *connStream, round int, global *model.StateDi
 		members[id] = cs
 	}
 	e.mu.Unlock()
+	obsEdgeMembers.Set(int64(len(members)))
+	for id, cs := range members {
+		span.track(id, cs)
+	}
 
 	// Regional broadcast: relay the population prior and round bound,
 	// then the global model, to every member concurrently.
@@ -376,6 +383,7 @@ func (e *Edge) runRegionalRound(up *connStream, round int, global *model.StateDi
 				})
 			}
 			if err != nil {
+				span.outcome(id, dropReasonFor(err).String())
 				e.dropMember(id, err)
 				return
 			}
@@ -386,10 +394,12 @@ func (e *Edge) runRegionalRound(up *connStream, round int, global *model.StateDi
 		}(id, cs)
 	}
 	bwg.Wait()
+	broadcastNs := time.Since(spanStart).Nanoseconds()
 
 	// Regional collect: the deadline clock starts after the broadcast,
 	// mirroring the coordinator. A failed member aborts its own
 	// contribution (withdrawing partial folds) and is dropped.
+	gatherStart := time.Now()
 	deadline := time.Time{}
 	if d := e.cfg.RoundDeadline; d > 0 {
 		deadline = time.Now().Add(d)
@@ -400,18 +410,21 @@ func (e *Edge) runRegionalRound(up *connStream, round int, global *model.StateDi
 		wg.Add(1)
 		go func(id string, cs *connStream) {
 			defer wg.Done()
-			if err := e.collectMember(agg, id, cs, deadline, collectPrior); err != nil {
+			if err := e.collectMember(agg, id, cs, deadline, collectPrior, span); err != nil {
+				span.outcome(id, dropReasonFor(err).String())
 				e.dropMember(id, err)
 			}
 		}(id, cs)
 	}
 	wg.Wait()
+	gatherNs := time.Since(gatherStart).Nanoseconds()
 
 	// Fold-and-forward: snapshot the regional sum, attach the region's
 	// merged plan prior, and ship one partial frame upstream. The sums
 	// travel as raw float64 bits (optionally lossless-packed) — the
 	// partial is never lossy re-encoded, so a 2-tier federation commits
 	// byte-identical FedAvg results to a flat one.
+	commitStart := time.Now()
 	p := agg.Partial()
 	p.Prior = adapt.MergePriorBlobs(priors...)
 	frame, err := hier.EncodePartial(p, hier.WireOptions{
@@ -428,6 +441,34 @@ func (e *Edge) runRegionalRound(up *connStream, round int, global *model.StateDi
 	if err != nil {
 		return err
 	}
+	obsEdgeRounds.Inc()
+	if p.Updates == 0 {
+		obsEdgeEmptyRounds.Inc()
+	}
+	clients, bytesUp, bytesDown := span.finish()
+	committed := 0
+	for _, c := range clients {
+		if c.Outcome == "committed" {
+			committed++
+		}
+	}
+	obs.DefaultTrace.Add(obs.RoundSpan{
+		Tier:         "edge",
+		Round:        round,
+		Start:        spanStart,
+		TotalNs:      time.Since(spanStart).Nanoseconds(),
+		BroadcastNs:  broadcastNs,
+		GatherNs:     gatherNs,
+		DecodeFoldNs: span.decodeFoldNs.Load(),
+		CommitNs:     time.Since(commitStart).Nanoseconds(),
+		BytesUp:      bytesUp,
+		BytesDown:    bytesDown,
+		Sampled:      len(members),
+		Committed:    committed,
+		Dropped:      len(members) - committed,
+		Bound:        bound,
+		Clients:      clients,
+	})
 	if e.cfg.OnPartial != nil {
 		e.cfg.OnPartial(round, p.Updates, len(frame))
 	}
@@ -439,7 +480,7 @@ func (e *Edge) runRegionalRound(up *connStream, round int, global *model.StateDi
 // collectMember reads one region member's reply into the regional
 // aggregator: clients stream a MsgUpdate through the codec, nested
 // edges hand over their own MsgPartialSum, which folds raw.
-func (e *Edge) collectMember(agg *orchestrator.Aggregator, id string, cs *connStream, deadline time.Time, collectPrior func([]byte)) error {
+func (e *Edge) collectMember(agg *orchestrator.Aggregator, id string, cs *connStream, deadline time.Time, collectPrior func([]byte), span *roundSpanState) error {
 	if err := cs.conn.SetReadDeadline(deadline); err != nil {
 		return fmt.Errorf("transport: set deadline: %w", err)
 	}
@@ -454,23 +495,30 @@ func (e *Edge) collectMember(agg *orchestrator.Aggregator, id string, cs *connSt
 		if t != MsgPartialSum {
 			return fmt.Errorf("%w: expected partial sum, got %v", ErrProtocol, t)
 		}
+		decodeStart := time.Now()
 		p, err := hier.DecodePartialFrom(cs.r)
 		if err != nil {
+			span.decodeFoldNs.Add(time.Since(decodeStart).Nanoseconds())
 			return err
 		}
 		if p.Updates == 0 {
+			span.decodeFoldNs.Add(time.Since(decodeStart).Nanoseconds())
+			span.outcome(id, "empty_region")
 			return cs.conn.SetReadDeadline(time.Time{})
 		}
 		ct, err := agg.PartialContributor(p.TotalWeight, p.Updates)
 		if err != nil {
+			span.decodeFoldNs.Add(time.Since(decodeStart).Nanoseconds())
 			return err
 		}
 		for _, en := range p.Entries {
 			if err := ct.FoldPartial(en); err != nil {
+				span.decodeFoldNs.Add(time.Since(decodeStart).Nanoseconds())
 				ct.AbortReason(dropReasonFor(err))
 				return err
 			}
 		}
+		span.decodeFoldNs.Add(time.Since(decodeStart).Nanoseconds())
 		if err := ct.Commit(); err != nil {
 			return err
 		}
@@ -488,7 +536,10 @@ func (e *Edge) collectMember(agg *orchestrator.Aggregator, id string, cs *connSt
 	if err != nil {
 		return err
 	}
-	if err := fl.DecodeEntries(e.cfg.Codec, cs.r, ct.Fold); err != nil {
+	decodeStart := time.Now()
+	err = fl.DecodeEntries(e.cfg.Codec, cs.r, ct.Fold)
+	span.decodeFoldNs.Add(time.Since(decodeStart).Nanoseconds())
+	if err != nil {
 		ct.AbortReason(dropReasonFor(err))
 		return err
 	}

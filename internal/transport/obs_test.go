@@ -1,0 +1,186 @@
+package transport
+
+import (
+	"net"
+	"sync"
+	"testing"
+
+	"fedsz/internal/core"
+	"fedsz/internal/fl"
+	"fedsz/internal/lossy"
+	"fedsz/internal/model"
+	"fedsz/internal/nn"
+	"fedsz/internal/obs"
+)
+
+// TestRoundSpanIntegrityOverTCP runs a real TCP federation and checks
+// the round spans the coordinator records: one span per committed
+// round, sequential phases that fit inside the round's wall time,
+// per-client outcomes, and byte totals consistent with the
+// transport-level byte counters.
+func TestRoundSpanIntegrityOverTCP(t *testing.T) {
+	codec, err := fl.NewFedSZCodec(core.Config{Bound: lossy.RelBound(1e-3)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const rounds = 3
+	const clients = 2
+	srv, err := NewOrchestrated(OrchestratedConfig{
+		Codec:      codec,
+		MinClients: clients,
+		Rounds:     rounds,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	initial := nn.MobileNetV2Mini(48, 4, 7).StateDict()
+
+	spansBefore := obs.DefaultTrace.Total()
+	rx0 := obs.Default.Value("fedsz_transport_bytes_total", "rx")
+	tx0 := obs.Default.Value("fedsz_transport_bytes_total", "tx")
+
+	var wg sync.WaitGroup
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			conn, err := net.Dial("tcp", ln.Addr().String())
+			if err != nil {
+				t.Errorf("client %d dial: %v", i, err)
+				return
+			}
+			defer conn.Close()
+			if err := RunClient(conn, codec, func(round int, global *model.StateDict) (*model.StateDict, int, error) {
+				return global, 10 + i, nil
+			}); err != nil {
+				t.Errorf("client %d: %v", i, err)
+			}
+		}(i)
+	}
+	if _, err := srv.Serve(ln, initial); err != nil {
+		t.Fatalf("server: %v", err)
+	}
+	wg.Wait()
+
+	added := int(obs.DefaultTrace.Total() - spansBefore)
+	if added != rounds {
+		t.Fatalf("trace grew by %d spans, want %d", added, rounds)
+	}
+	spans := obs.DefaultTrace.Recent(added)
+	var sumUp, sumDown int64
+	for i, sp := range spans {
+		if sp.Tier != "coordinator" {
+			t.Errorf("span %d tier %q, want coordinator", i, sp.Tier)
+		}
+		if sp.TotalNs <= 0 {
+			t.Errorf("span %d: non-positive total %d", i, sp.TotalNs)
+		}
+		// Broadcast, gather and commit are sequential wall phases; they
+		// must fit inside the round's wall time. DecodeFoldNs overlaps
+		// gather (it is cumulative across connections), so it is only
+		// required to be positive for a round that folded updates.
+		if seq := sp.BroadcastNs + sp.GatherNs + sp.CommitNs; seq > sp.TotalNs {
+			t.Errorf("span %d: phases sum to %dns > total %dns", i, seq, sp.TotalNs)
+		}
+		if sp.DecodeFoldNs <= 0 {
+			t.Errorf("span %d: decode+fold %dns, want > 0", i, sp.DecodeFoldNs)
+		}
+		if sp.Sampled != clients || sp.Committed != clients || sp.Dropped != 0 {
+			t.Errorf("span %d: sampled/committed/dropped = %d/%d/%d, want %d/%d/0",
+				i, sp.Sampled, sp.Committed, sp.Dropped, clients, clients)
+		}
+		if len(sp.Clients) != clients {
+			t.Fatalf("span %d: %d client records, want %d", i, len(sp.Clients), clients)
+		}
+		var cu, cd int64
+		for _, c := range sp.Clients {
+			if c.Outcome != "committed" {
+				t.Errorf("span %d client %s outcome %q, want committed", i, c.ID, c.Outcome)
+			}
+			if c.BytesUp <= 0 || c.BytesDown <= 0 {
+				t.Errorf("span %d client %s bytes up/down = %d/%d, want both > 0", i, c.ID, c.BytesUp, c.BytesDown)
+			}
+			cu += c.BytesUp
+			cd += c.BytesDown
+		}
+		if cu != sp.BytesUp || cd != sp.BytesDown {
+			t.Errorf("span %d: client bytes %d/%d != span bytes %d/%d", i, cu, cd, sp.BytesUp, sp.BytesDown)
+		}
+		sumUp += sp.BytesUp
+		sumDown += sp.BytesDown
+	}
+
+	// The global byte counters include join and shutdown traffic the
+	// spans do not, so they bound the span totals from above.
+	rxDelta := int64(obs.Default.Value("fedsz_transport_bytes_total", "rx") - rx0)
+	txDelta := int64(obs.Default.Value("fedsz_transport_bytes_total", "tx") - tx0)
+	if sumUp <= 0 || sumDown <= 0 {
+		t.Fatalf("span byte totals up/down = %d/%d, want both > 0", sumUp, sumDown)
+	}
+	if rxDelta < sumUp {
+		t.Errorf("transport rx counter grew %d < span bytes-up total %d", rxDelta, sumUp)
+	}
+	if txDelta < sumDown {
+		t.Errorf("transport tx counter grew %d < span bytes-down total %d", txDelta, sumDown)
+	}
+}
+
+// TestTransportFrameCounters: the per-(type, dir) frame counters must
+// advance with protocol traffic, using the MsgType label names.
+func TestTransportFrameCounters(t *testing.T) {
+	join0 := obs.Default.Value("fedsz_transport_frames_total", "join", "rx")
+	upd0 := obs.Default.Value("fedsz_transport_frames_total", "update", "rx")
+	bcast0 := obs.Default.Value("fedsz_transport_frames_total", "global_model", "tx")
+	updBytes0 := obs.Default.Value("fedsz_transport_msg_tx_bytes_total", "update")
+
+	codec, err := fl.NewFedSZCodec(core.Config{Bound: lossy.RelBound(1e-3)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := NewOrchestrated(OrchestratedConfig{Codec: codec, MinClients: 1, Rounds: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	initial := nn.MobileNetV2Mini(48, 4, 7).StateDict()
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		conn, err := net.Dial("tcp", ln.Addr().String())
+		if err != nil {
+			t.Errorf("dial: %v", err)
+			return
+		}
+		defer conn.Close()
+		_ = RunClient(conn, codec, func(round int, global *model.StateDict) (*model.StateDict, int, error) {
+			return global, 1, nil
+		})
+	}()
+	if _, err := srv.Serve(ln, initial); err != nil {
+		t.Fatalf("server: %v", err)
+	}
+	wg.Wait()
+
+	if got := obs.Default.Value("fedsz_transport_frames_total", "join", "rx"); got != join0+1 {
+		t.Errorf("join rx frames %v, want %v", got, join0+1)
+	}
+	if got := obs.Default.Value("fedsz_transport_frames_total", "update", "rx"); got != upd0+2 {
+		t.Errorf("update rx frames %v, want %v", got, upd0+2)
+	}
+	if got := obs.Default.Value("fedsz_transport_frames_total", "global_model", "tx"); got != bcast0+2 {
+		t.Errorf("global_model tx frames %v, want %v", got, bcast0+2)
+	}
+	if got := obs.Default.Value("fedsz_transport_msg_tx_bytes_total", "update"); got <= updBytes0 {
+		t.Errorf("update tx bytes did not advance: %v -> %v", updBytes0, got)
+	}
+}

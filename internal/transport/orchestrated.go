@@ -7,7 +7,9 @@ import (
 	"io"
 	"math"
 	"net"
+	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"fedsz/internal/adapt"
@@ -16,6 +18,7 @@ import (
 	"fedsz/internal/hier"
 	"fedsz/internal/model"
 	"fedsz/internal/netsim"
+	"fedsz/internal/obs"
 	"fedsz/internal/orchestrator"
 )
 
@@ -466,6 +469,92 @@ func dropReasonFor(err error) orchestrator.DropReason {
 	return orchestrator.DropDisconnect
 }
 
+// roundSpanState accumulates one round's trace while the round runs:
+// per-participant byte baselines and outcomes, plus the cumulative
+// decode→fold time summed across the round's concurrent collectors.
+type roundSpanState struct {
+	decodeFoldNs atomic.Int64
+
+	mu      sync.Mutex
+	clients map[string]*spanEntry
+}
+
+type spanEntry struct {
+	cs       *connStream
+	rx0, tx0 int64
+	outcome  string
+}
+
+func newRoundSpanState() *roundSpanState {
+	return &roundSpanState{clients: make(map[string]*spanEntry)}
+}
+
+// track snapshots a participant's conn-level byte counters at round
+// start; cs may be nil for a participant whose connection vanished.
+func (st *roundSpanState) track(id string, cs *connStream) {
+	e := &spanEntry{cs: cs}
+	if cs != nil {
+		e.rx0 = cs.bytesRead()
+		e.tx0 = cs.bytesWritten()
+	}
+	st.mu.Lock()
+	st.clients[id] = e
+	st.mu.Unlock()
+}
+
+// outcome records why a participant left the round; the first writer
+// wins (a drop's true cause precedes cleanup-path noise).
+func (st *roundSpanState) outcome(id, o string) {
+	st.mu.Lock()
+	if e := st.clients[id]; e != nil && e.outcome == "" {
+		e.outcome = o
+	}
+	st.mu.Unlock()
+}
+
+// finish renders the per-client records, newest byte counters minus
+// the round-start baselines. Participants with no recorded outcome
+// were never dropped, so they committed.
+func (st *roundSpanState) finish() (clients []obs.SpanClient, up, down int64) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	clients = make([]obs.SpanClient, 0, len(st.clients))
+	for id, e := range st.clients {
+		c := obs.SpanClient{ID: id, Outcome: e.outcome}
+		if c.Outcome == "" {
+			c.Outcome = "committed"
+		}
+		if e.cs != nil {
+			c.BytesUp = e.cs.bytesRead() - e.rx0
+			c.BytesDown = e.cs.bytesWritten() - e.tx0
+		}
+		up += c.BytesUp
+		down += c.BytesDown
+		clients = append(clients, c)
+	}
+	sort.Slice(clients, func(i, j int) bool { return clients[i].ID < clients[j].ID })
+	return clients, up, down
+}
+
+// plansFromPrior renders the merged population prior as tensor →
+// "family@bound" for round spans (bound = round bound × the plan's
+// factor; the bare factor when no round bound is scheduled).
+func plansFromPrior(blob []byte, roundBound float64) map[string]string {
+	pr, err := adapt.DecodePrior(blob)
+	if err != nil || pr == nil || len(pr.Tensors) == 0 {
+		return nil
+	}
+	plans := make(map[string]string, len(pr.Tensors))
+	for name, pl := range pr.Tensors {
+		if roundBound > 0 {
+			plans[name] = fmt.Sprintf("%s@%.3g", pl.Lossy, roundBound*pl.Factor)
+		} else {
+			plans[name] = fmt.Sprintf("%s@x%.3g", pl.Lossy, pl.Factor)
+		}
+	}
+	return plans
+}
+
 // runRound executes one orchestrated round: broadcast to the sampled
 // participants, fold their streamed updates concurrently, cut
 // stragglers at the deadline, commit whatever arrived. Per-connection
@@ -475,6 +564,8 @@ func (s *Orchestrated) runRound(coord *orchestrator.Coordinator) (*model.StateDi
 	if err != nil {
 		return nil, orchestrator.RoundStats{}, err
 	}
+	spanStart := time.Now()
+	span := newRoundSpanState()
 	_, global := coord.Global()
 	if ra, ok := s.cfg.Codec.(fl.ReferenceAware); ok {
 		ra.SetReference(global)
@@ -500,7 +591,9 @@ func (s *Orchestrated) runRound(coord *orchestrator.Coordinator) (*model.StateDi
 		s.mu.Lock()
 		cs, ok := s.conns[id]
 		s.mu.Unlock()
+		span.track(id, cs)
 		if !ok {
+			span.outcome(id, orchestrator.DropDisconnect.String())
 			round.Drop(id, orchestrator.DropDisconnect)
 			continue
 		}
@@ -533,7 +626,9 @@ func (s *Orchestrated) runRound(coord *orchestrator.Coordinator) (*model.StateDi
 				})
 			}
 			if err != nil {
-				s.dropClient(coord, round, id, err, dropReasonFor(err))
+				reason := dropReasonFor(err)
+				span.outcome(id, reason.String())
+				s.dropClient(coord, round, id, err, reason)
 				return
 			}
 			_ = cs.conn.SetWriteDeadline(time.Time{})
@@ -543,6 +638,7 @@ func (s *Orchestrated) runRound(coord *orchestrator.Coordinator) (*model.StateDi
 		}(id, cs)
 	}
 	bwg.Wait()
+	broadcastNs := time.Since(spanStart).Nanoseconds()
 
 	// Collect updates concurrently. The read deadline is the straggler
 	// cut: when it fires, the blocked read fails, the contribution
@@ -553,6 +649,7 @@ func (s *Orchestrated) runRound(coord *orchestrator.Coordinator) (*model.StateDi
 	// The deadline clock starts after the broadcast loop: the serial
 	// (possibly rate-limited) broadcast must not eat into the clients'
 	// response window.
+	gatherStart := time.Now()
 	deadline := time.Time{}
 	if d := round.Deadline(); d > 0 {
 		deadline = time.Now().Add(d)
@@ -563,21 +660,58 @@ func (s *Orchestrated) runRound(coord *orchestrator.Coordinator) (*model.StateDi
 		cs := s.conns[id]
 		s.mu.Unlock()
 		if cs == nil {
+			span.outcome(id, orchestrator.DropDisconnect.String())
 			round.Drop(id, orchestrator.DropDisconnect)
 			continue
 		}
 		wg.Add(1)
 		go func(id string, cs *connStream) {
 			defer wg.Done()
-			if err := s.collectUpdate(round, id, cs, deadline); err != nil {
-				s.dropClient(coord, round, id, err, dropReasonFor(err))
+			if err := s.collectUpdate(round, id, cs, deadline, span); err != nil {
+				reason := dropReasonFor(err)
+				span.outcome(id, reason.String())
+				s.dropClient(coord, round, id, err, reason)
 			}
 		}(id, cs)
 	}
 	wg.Wait()
+	gatherNs := time.Since(gatherStart).Nanoseconds()
 
 	s.mergeRoundPriors()
-	return round.Commit()
+	commitStart := time.Now()
+	global, stats, err := round.Commit()
+	if err != nil && err != orchestrator.ErrNoUpdates {
+		return global, stats, err
+	}
+
+	// Record the round's span. Committed/ErrNoUpdates rounds both
+	// trace — a round that lost every participant is exactly the one
+	// worth inspecting later.
+	clients, up, down := span.finish()
+	s.priorMu.Lock()
+	priorNow := s.priorBlob
+	s.priorMu.Unlock()
+	sp := obs.RoundSpan{
+		Tier:         "coordinator",
+		Round:        stats.Round,
+		Version:      stats.Version,
+		Start:        spanStart,
+		TotalNs:      time.Since(spanStart).Nanoseconds(),
+		BroadcastNs:  broadcastNs,
+		GatherNs:     gatherNs,
+		DecodeFoldNs: span.decodeFoldNs.Load(),
+		CommitNs:     time.Since(commitStart).Nanoseconds(),
+		BytesUp:      up,
+		BytesDown:    down,
+		Sampled:      stats.Sampled,
+		Committed:    stats.Committed,
+		Dropped:      stats.Dropped,
+		Bound:        roundBound,
+		Plans:        plansFromPrior(priorNow, roundBound),
+		Clients:      clients,
+	}
+	obs.DefaultTrace.Add(sp)
+	return global, stats, err
 }
 
 // mergeRoundPriors folds the plan-prior blobs collected this round
@@ -611,7 +745,7 @@ func (s *Orchestrated) collectPrior(blob []byte) {
 // the round's aggregator. Direct clients stream a MsgUpdate (decoded
 // tensor-by-tensor); edge aggregators send one MsgPartialSum carrying
 // their whole region's fold.
-func (s *Orchestrated) collectUpdate(round *orchestrator.Round, id string, cs *connStream, deadline time.Time) error {
+func (s *Orchestrated) collectUpdate(round *orchestrator.Round, id string, cs *connStream, deadline time.Time, span *roundSpanState) error {
 	if err := cs.conn.SetReadDeadline(deadline); err != nil {
 		return fmt.Errorf("transport: set deadline: %w", err)
 	}
@@ -626,7 +760,7 @@ func (s *Orchestrated) collectUpdate(round *orchestrator.Round, id string, cs *c
 		if t != MsgPartialSum {
 			return fmt.Errorf("%w: expected partial sum, got %v", ErrProtocol, t)
 		}
-		return s.collectPartial(round, id, cs)
+		return s.collectPartial(round, id, cs, span)
 	}
 	if t != MsgUpdate {
 		return fmt.Errorf("%w: expected update, got %v", ErrProtocol, t)
@@ -639,7 +773,10 @@ func (s *Orchestrated) collectUpdate(round *orchestrator.Round, id string, cs *c
 	if err != nil {
 		return err
 	}
-	if err := fl.DecodeEntries(s.cfg.Codec, cs.r, ct.Fold); err != nil {
+	decodeStart := time.Now()
+	err = fl.DecodeEntries(s.cfg.Codec, cs.r, ct.Fold)
+	span.decodeFoldNs.Add(time.Since(decodeStart).Nanoseconds())
+	if err != nil {
 		// Withdraw any folds the aggregate already took (verified
 		// sections of a frame whose later section was damaged), tagged
 		// with why: a checksum failure quarantines the client as
@@ -669,26 +806,33 @@ func (s *Orchestrated) collectUpdate(round *orchestrator.Round, id string, cs *c
 // touches the aggregator, so a corrupt region withdraws cleanly; an
 // empty region (Updates == 0) is a round-level miss that keeps the
 // edge's connection alive.
-func (s *Orchestrated) collectPartial(round *orchestrator.Round, id string, cs *connStream) error {
+func (s *Orchestrated) collectPartial(round *orchestrator.Round, id string, cs *connStream, span *roundSpanState) error {
+	decodeStart := time.Now()
 	p, err := hier.DecodePartialFrom(cs.r)
 	if err != nil {
+		span.decodeFoldNs.Add(time.Since(decodeStart).Nanoseconds())
 		return err
 	}
 	if p.Updates == 0 {
+		span.decodeFoldNs.Add(time.Since(decodeStart).Nanoseconds())
+		span.outcome(id, "empty_region")
 		round.Drop(id, orchestrator.DropDeadline)
 		s.cfg.Logf("%s: empty region, withdrawn for this round", id)
 		return cs.conn.SetReadDeadline(time.Time{})
 	}
 	ct, err := round.PartialContributor(id, p.TotalWeight, p.Updates)
 	if err != nil {
+		span.decodeFoldNs.Add(time.Since(decodeStart).Nanoseconds())
 		return err
 	}
 	for _, e := range p.Entries {
 		if err := ct.FoldPartial(e); err != nil {
+			span.decodeFoldNs.Add(time.Since(decodeStart).Nanoseconds())
 			ct.AbortReason(dropReasonFor(err))
 			return err
 		}
 	}
+	span.decodeFoldNs.Add(time.Since(decodeStart).Nanoseconds())
 	if err := ct.Commit(); err != nil {
 		return err
 	}

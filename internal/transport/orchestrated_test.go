@@ -305,9 +305,20 @@ func TestOrchestratedDynamicJoin(t *testing.T) {
 	var mu sync.Mutex
 	var sampled []int
 	release := make(chan struct{})
+	// joined closes once the server has registered the second client
+	// ("%s joined" fires after coord.Join); the first client holds its
+	// round-2 update until then, so round 3's sample deterministically
+	// sees both however fast the rounds run.
+	joined := make(chan struct{})
+	var joins atomic.Int64
 	srv, err := NewOrchestrated(OrchestratedConfig{
 		MinClients: 1,
 		Rounds:     6,
+		Logf: func(format string, args ...interface{}) {
+			if format == "%s joined" && joins.Add(1) == 2 {
+				close(joined)
+			}
+		},
 		OnRound: func(round int, global *model.StateDict, st orchestrator.RoundStats) {
 			mu.Lock()
 			sampled = append(sampled, st.Committed)
@@ -331,6 +342,7 @@ func TestOrchestratedDynamicJoin(t *testing.T) {
 		_ = RunClient(conn, nil, func(round int, global *model.StateDict) (*model.StateDict, int, error) {
 			if rounds0.Add(1) == 2 {
 				close(release) // let the second client join after round 1
+				<-joined       // and don't finish round 2 until it has
 			}
 			return global, 10, nil
 		})

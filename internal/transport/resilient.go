@@ -3,6 +3,7 @@ package transport
 import (
 	"errors"
 	"fmt"
+	"log/slog"
 	"math/rand"
 	"net"
 	"time"
@@ -46,6 +47,11 @@ type ClientConfig struct {
 	Seed int64
 	// Logf, if non-nil, receives retry/reconnect diagnostics.
 	Logf func(format string, args ...interface{})
+	// Logger, if non-nil, receives the same events structured: one
+	// record per retry (with attempt number, cause and delay), per
+	// successful reconnect and per give-up. Logf and Logger are
+	// independent — either, both or neither may be set.
+	Logger *slog.Logger
 	// Sleep is the delay function (nil = time.Sleep); tests inject a
 	// recorder to run the schedule on a virtual clock.
 	Sleep func(d time.Duration)
@@ -84,10 +90,19 @@ func RunResilientClient(cfg ClientConfig) error {
 
 	attempts := 0 // consecutive failures since the last completed round
 	total := 0    // cumulative rounds across sessions
+	sessions := 0 // connections that got as far as a session
 	var lastErr error
 	for {
 		conn, err := cfg.Dial()
 		if err == nil {
+			sessions++
+			obsClientSessions.Inc()
+			if sessions > 1 {
+				obsClientReconnects.Inc()
+				if cfg.Logger != nil {
+					cfg.Logger.Info("reconnected", "session", sessions, "rounds_so_far", total)
+				}
+			}
 			var rounds int
 			rounds, err = runClientSession(newConnStream(conn), cfg.Codec, cfg.Train, total, cfg.WriteTimeout)
 			_ = conn.Close()
@@ -105,10 +120,21 @@ func RunResilientClient(cfg ClientConfig) error {
 		attempts++
 		lastErr = err
 		if cfg.MaxRetries >= 0 && attempts > cfg.MaxRetries {
+			obsClientGiveups.Inc()
+			if cfg.Logger != nil {
+				cfg.Logger.Error("client giving up",
+					"attempts", attempts, "rounds_completed", total, "err", lastErr)
+			}
 			return fmt.Errorf("transport: client gave up after %d consecutive failed attempts: %w", attempts, lastErr)
 		}
 		d := backoffDelay(cfg.BaseBackoff, cfg.MaxBackoff, attempts, rng)
+		obsClientRetries.Inc()
+		obsClientBackoffNs.Add(d.Nanoseconds())
 		cfg.Logf("connection attempt failed (%v); retry %d in %v", err, attempts, d)
+		if cfg.Logger != nil {
+			cfg.Logger.Warn("retrying after failure",
+				"attempt", attempts, "backoff", d, "err", err)
+		}
 		cfg.Sleep(d)
 	}
 }

@@ -57,21 +57,32 @@ const (
 // is flushed once per message.
 type connStream struct {
 	conn net.Conn
+	cc   *countingConn // the byte-counting layer under the buffers
 	r    *bufio.Reader
 	w    *bufio.Writer
 }
 
 func newConnStream(conn net.Conn) *connStream {
+	cc := &countingConn{Conn: conn}
 	return &connStream{
 		conn: conn,
-		r:    bufio.NewReaderSize(conn, 64<<10),
-		w:    bufio.NewWriterSize(conn, 64<<10),
+		cc:   cc,
+		r:    bufio.NewReaderSize(cc, 64<<10),
+		w:    bufio.NewWriterSize(cc, 64<<10),
 	}
 }
 
+// bytesRead and bytesWritten report the socket-level byte totals for
+// this connection (round spans use the deltas across a round).
+func (cs *connStream) bytesRead() int64    { return cs.cc.rx.Load() }
+func (cs *connStream) bytesWritten() int64 { return cs.cc.tx.Load() }
+
 // writeMsg writes the type byte, streams the body (nil for bodyless
-// messages) and flushes.
+// messages) and flushes. Each connection has a single writer and the
+// buffer drains exactly once per message, so the pre/post tx delta
+// attributes this message's socket bytes to its type.
 func (cs *connStream) writeMsg(t MsgType, body func(w io.Writer) error) error {
+	txBefore := cs.cc.tx.Load()
 	if err := cs.w.WriteByte(byte(t)); err != nil {
 		return fmt.Errorf("transport: write message type: %w", err)
 	}
@@ -83,6 +94,8 @@ func (cs *connStream) writeMsg(t MsgType, body func(w io.Writer) error) error {
 	if err := cs.w.Flush(); err != nil {
 		return fmt.Errorf("transport: flush message: %w", err)
 	}
+	frameCounter(t, false).Inc()
+	msgTxCounter(t).Add(cs.cc.tx.Load() - txBefore)
 	return nil
 }
 
@@ -92,6 +105,7 @@ func (cs *connStream) readMsgType() (MsgType, error) {
 	if err != nil {
 		return 0, fmt.Errorf("transport: read message type: %w", err)
 	}
+	frameCounter(MsgType(b), true).Inc()
 	return MsgType(b), nil
 }
 
