@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench fmt vet fuzz parallel-bench scale-bench hier-bench hier-smoke adapt-bench families-bench chaos-bench obs-bench obs-smoke
+.PHONY: all build test race bench fmt vet fuzz parallel-bench scale-bench hier-bench hier-smoke adapt-bench families-bench chaos-bench obs-bench obs-smoke trace-smoke
 
 all: build test
 
@@ -101,6 +101,13 @@ obs-bench:
 # series, /metrics + /rounds + /debug/vars scraped and asserted.
 obs-smoke:
 	bash scripts/obs_smoke.sh
+
+# Live tracing smoke: a 2-edge / 4-client federation over TCP loopback,
+# /readyz-gated, asserting /rounds/tree grafts both regions, computes a
+# critical path fitting the round wall time within 10%, and that
+# fedsztop renders a headless snapshot from the same endpoint.
+trace-smoke:
+	bash scripts/trace_smoke.sh
 
 # Profile an experiment, e.g.: make profile EXP=throughput
 # then: go tool pprof cpu.pprof

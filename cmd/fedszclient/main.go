@@ -64,6 +64,8 @@ func run() error {
 		seed      = flag.Int64("seed", 42, "seed (must match server)")
 		logLevel  = flag.String("log-level", "info", "log level: debug|info|warn|error")
 		logFormat = flag.String("log-format", "text", "log format: text|json")
+		metricsAt = flag.String("metrics-addr", "", "serve /metrics (codec + retry/backoff series), /debug/vars and /debug/pprof on this address (empty = off)")
+		traceN    = flag.Int("trace-rounds", 0, "round spans to retain (0 = default 128; clients record no spans of their own, but the limit applies if a library embeds one)")
 	)
 	flag.Parse()
 	if *shard < 0 || *shard >= *shards {
@@ -74,6 +76,18 @@ func run() error {
 		return err
 	}
 	logger = logger.With("shard", *shard)
+
+	// The resilient client's retry/backoff/session counters and the
+	// codec's compression series are recorded regardless; -metrics-addr
+	// makes them scrapable (fedsztop included).
+	ms, err := fedsz.ServeObs(fedsz.ObsConfig{Addr: *metricsAt, TraceRounds: *traceN})
+	if err != nil {
+		return fmt.Errorf("metrics listener: %w", err)
+	}
+	if ms != nil {
+		defer ms.Close()
+		logger.Info("metrics listening", "addr", ms.Addr())
+	}
 
 	// Adaptive uplinks need no server-side coordination: the frames the
 	// policy shapes are self-describing, and a bound-scheduling server

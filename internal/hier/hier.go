@@ -30,6 +30,14 @@
 //	           Float32: uvarint ndim + uvarint dims…, raw u64 sums
 //	           Int64:   uvarint n, u64 values
 //	uvarint prior length + plan-prior blob
+//	[optional] uvarint span length + span-summary blob (package obs)
+//
+// The span-summary tail is the cross-tier tracing hook: encoders that
+// trace append it after the prior, decoders that predate it stop at
+// the prior and ignore the tail (parseBody never required the body to
+// be exhausted), and new decoders treat a body that ends at the prior
+// as "no span" — so mixed-version tiers interoperate in both
+// directions.
 //
 // The trailer is verified BEFORE any fold (the frame is materialized
 // at the upstream hop — partial frames arrive once per region, not
@@ -170,6 +178,13 @@ func appendBody(dst []byte, p *orchestrator.Partial) []byte {
 	}
 	dst = binary.AppendUvarint(dst, uint64(len(p.Prior)))
 	dst = append(dst, p.Prior...)
+	if len(p.Span) > 0 {
+		// Optional tail: pre-tracing decoders stop at the prior and
+		// never see it; omitting it entirely (rather than writing a zero
+		// length) keeps untraced frames byte-identical to old encoders.
+		dst = binary.AppendUvarint(dst, uint64(len(p.Span)))
+		dst = append(dst, p.Span...)
+	}
 	return dst
 }
 
@@ -291,6 +306,24 @@ func parseBody(body []byte) (*orchestrator.Partial, error) {
 		p.Prior = make([]byte, priorLen)
 		if _, err := io.ReadFull(br, p.Prior); err != nil {
 			return nil, fmt.Errorf("%w: prior blob", ErrCorruptPartial)
+		}
+	}
+	// Optional span-summary tail: a body that ends here came from a
+	// pre-tracing encoder — that's "no span", not corruption.
+	spanLen, err := binary.ReadUvarint(br)
+	if err != nil {
+		if errors.Is(err, io.EOF) {
+			return p, nil
+		}
+		return nil, fmt.Errorf("%w: span length", ErrCorruptPartial)
+	}
+	if spanLen > maxPartialSize {
+		return nil, fmt.Errorf("%w: span length %d", ErrCorruptPartial, spanLen)
+	}
+	if spanLen > 0 {
+		p.Span = make([]byte, spanLen)
+		if _, err := io.ReadFull(br, p.Span); err != nil {
+			return nil, fmt.Errorf("%w: span blob", ErrCorruptPartial)
 		}
 	}
 	return p, nil

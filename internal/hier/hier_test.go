@@ -239,3 +239,58 @@ func TestPackedSmaller(t *testing.T) {
 	}
 	partialsEqual(t, p, got)
 }
+
+// TestPartialSpanTail: the optional span-summary tail rides after the
+// prior, round-trips byte-exact, and its absence decodes as nil — the
+// two directions of mixed-version tolerance.
+func TestPartialSpanTail(t *testing.T) {
+	p := samplePartial(rand.New(rand.NewSource(9)))
+	p.Span = []byte{0xde, 0xad, 0xbe, 0xef, 0x01}
+	for _, opts := range []WireOptions{{}, {Checksum: true}} {
+		buf, err := EncodePartial(p, opts)
+		if err != nil {
+			t.Fatalf("%+v: encode: %v", opts, err)
+		}
+		got, err := DecodePartialFrom(bytes.NewReader(buf))
+		if err != nil {
+			t.Fatalf("%+v: decode: %v", opts, err)
+		}
+		partialsEqual(t, p, got)
+		if !bytes.Equal(got.Span, p.Span) {
+			t.Fatalf("%+v: span tail %x != %x", opts, got.Span, p.Span)
+		}
+	}
+}
+
+// TestPartialWithoutSpanTailDecodes: a frame from a pre-tracing
+// encoder (body ends at the prior) must decode with Span == nil, and
+// an untraced partial must encode without any tail bytes at all —
+// byte-identical to the old wire format.
+func TestPartialWithoutSpanTailDecodes(t *testing.T) {
+	p := samplePartial(rand.New(rand.NewSource(11)))
+	withNil := appendBody(nil, p)
+	p.Span = []byte{}
+	withEmpty := appendBody(nil, p)
+	if !bytes.Equal(withNil, withEmpty) {
+		t.Fatal("empty span changed the encoding")
+	}
+	got, err := parseBody(withNil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Span != nil {
+		t.Fatalf("span = %x, want nil", got.Span)
+	}
+}
+
+// TestPartialSpanTailTruncated: a tail whose declared length overruns
+// the body is corruption, not tolerance.
+func TestPartialSpanTailTruncated(t *testing.T) {
+	p := samplePartial(rand.New(rand.NewSource(13)))
+	p.Span = []byte{1, 2, 3, 4, 5, 6, 7, 8}
+	body := appendBody(nil, p)
+	body = body[:len(body)-4] // cut into the span blob
+	if _, err := parseBody(body); !errors.Is(err, ErrCorruptPartial) {
+		t.Fatalf("truncated span tail: err = %v, want ErrCorruptPartial", err)
+	}
+}

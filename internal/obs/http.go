@@ -108,10 +108,14 @@ var expvarOnce sync.Once
 //
 //	/metrics      Prometheus text exposition of reg
 //	/rounds       recent round spans from trace as JSON (?n= limit)
+//	/rounds/tree  assembled federation round trees with critical path
+//	/healthz      liveness (200 once the listener serves)
+//	/readyz       readiness (200 once the first round span is gathered)
 //	/debug/vars   expvar bridge (fedsz_metrics + stdlib memstats)
 //	/debug/pprof  live profiling endpoints
 //
-// nil reg/trace default to Default/DefaultTrace.
+// nil reg/trace default to Default/DefaultTrace; round trees are
+// assembled by DefaultAssembler.
 func Handler(reg *Registry, trace *RoundTrace) http.Handler {
 	if reg == nil {
 		reg = Default
@@ -148,6 +152,37 @@ func Handler(reg *Registry, trace *RoundTrace) http.Handler {
 		enc.SetIndent("", "  ")
 		enc.Encode(spans)
 	})
+	mux.HandleFunc("/rounds/tree", func(w http.ResponseWriter, req *http.Request) {
+		n := 0
+		if q := req.URL.Query().Get("n"); q != "" {
+			v, err := strconv.Atoi(q)
+			if err != nil {
+				http.Error(w, "bad n: "+err.Error(), http.StatusBadRequest)
+				return
+			}
+			n = v
+		}
+		trees := DefaultAssembler.Trees(trace, n)
+		if trees == nil {
+			trees = []Tree{}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(trees)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, req *http.Request) {
+		io.WriteString(w, "ok\n")
+	})
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, req *http.Request) {
+		// Ready means the process has gathered at least one federation
+		// round — the smoke scripts poll this instead of sleeping.
+		if trace.Total() < 1 {
+			http.Error(w, "no rounds yet", http.StatusServiceUnavailable)
+			return
+		}
+		io.WriteString(w, "ok\n")
+	})
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -159,7 +194,7 @@ func Handler(reg *Registry, trace *RoundTrace) http.Handler {
 			http.NotFound(w, req)
 			return
 		}
-		io.WriteString(w, "fedsz observability: /metrics /rounds /debug/vars /debug/pprof/\n")
+		io.WriteString(w, "fedsz observability: /metrics /rounds /rounds/tree /healthz /readyz /debug/vars /debug/pprof/\n")
 	})
 	return mux
 }
@@ -172,6 +207,10 @@ type Config struct {
 	Registry *Registry
 	// Trace to expose on /rounds; nil means DefaultTrace.
 	Trace *RoundTrace
+	// TraceRounds resizes the trace's span retention before serving
+	// (0 keeps the trace's current capacity, DefaultTraceCap for the
+	// package-level trace). Binaries expose it as -trace-rounds.
+	TraceRounds int
 }
 
 // Server is a running observability listener.
@@ -192,6 +231,14 @@ func (s *Server) Close() error { return s.srv.Close() }
 func Serve(cfg Config) (*Server, error) {
 	if cfg.Addr == "" {
 		return nil, nil
+	}
+	if cfg.TraceRounds > 0 {
+		trace := cfg.Trace
+		if trace == nil {
+			trace = DefaultTrace
+		}
+		trace.Resize(cfg.TraceRounds)
+		DefaultAssembler.Resize(cfg.TraceRounds)
 	}
 	ln, err := net.Listen("tcp", cfg.Addr)
 	if err != nil {

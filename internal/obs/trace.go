@@ -1,8 +1,25 @@
 package obs
 
 import (
+	"fmt"
+	"math/rand"
 	"sync"
 	"time"
+)
+
+// NewTraceID returns a fresh 64-bit trace identifier as 16 lowercase
+// hex digits. IDs only need to be unique within the trace retention
+// window of one federation, so a process-seeded PRNG is plenty.
+func NewTraceID() string {
+	traceRandMu.Lock()
+	id := traceRandSrc.Uint64()
+	traceRandMu.Unlock()
+	return fmt.Sprintf("%016x", id)
+}
+
+var (
+	traceRandMu  sync.Mutex
+	traceRandSrc = rand.New(rand.NewSource(time.Now().UnixNano()))
 )
 
 // SpanClient is one participant's outcome inside a round span.
@@ -15,6 +32,11 @@ type SpanClient struct {
 	// written to this participant during the round.
 	BytesUp   int64 `json:"bytes_up"`
 	BytesDown int64 `json:"bytes_down"`
+	// TimeNs is when this participant settled (committed or dropped),
+	// measured from the start of the round's gather phase. The maximum
+	// over participants is what gated the round — the critical-path
+	// assembler descends into it.
+	TimeNs int64 `json:"time_ns,omitempty"`
 }
 
 // RoundSpan is one structured record of a federation round, captured
@@ -28,6 +50,13 @@ type RoundSpan struct {
 	Round   int       `json:"round"`
 	Version int       `json:"version,omitempty"`
 	Start   time.Time `json:"start"`
+
+	// TraceID correlates this span with the same federation round on
+	// every other tier: the coordinator stamps one per round and
+	// broadcasts it down the tree, edges tag their regional spans with
+	// it, and the assembler joins spans across tiers on it. Empty on
+	// rounds recorded before tracing (or by a pre-tracing coordinator).
+	TraceID string `json:"trace_id,omitempty"`
 
 	TotalNs      int64 `json:"total_ns"`
 	BroadcastNs  int64 `json:"broadcast_ns"`
@@ -94,6 +123,38 @@ func (t *RoundTrace) Add(s RoundSpan) {
 	t.mu.Unlock()
 }
 
+// Resize changes the trace's retention capacity in place, keeping the
+// newest min(n, Len) spans. Binaries expose it as -trace-rounds; a
+// long soak can retain hours of rounds, a memory-tight edge can shrink
+// to a handful. No-op when the capacity already matches.
+func (t *RoundTrace) Resize(n int) {
+	if t == nil {
+		return
+	}
+	if n < 1 {
+		n = 1
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if n == cap(t.buf) {
+		return
+	}
+	keep := t.recentLocked(n)
+	t.buf = make([]RoundSpan, len(keep), n)
+	copy(t.buf, keep)
+	t.next = len(t.buf) % n
+}
+
+// Cap returns the trace's retention capacity.
+func (t *RoundTrace) Cap() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return cap(t.buf)
+}
+
 // Len returns the number of retained spans.
 func (t *RoundTrace) Len() int {
 	if t == nil {
@@ -122,6 +183,11 @@ func (t *RoundTrace) Recent(n int) []RoundSpan {
 	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	return t.recentLocked(n)
+}
+
+// recentLocked is Recent with t.mu held.
+func (t *RoundTrace) recentLocked(n int) []RoundSpan {
 	m := len(t.buf)
 	if n <= 0 || n > m {
 		n = m

@@ -28,6 +28,11 @@ type Partial struct {
 	// aggregated from its clients (see package adapt); nil when the
 	// region runs no adaptive policies.
 	Prior []byte
+	// Span is an opaque span-summary trailer (see package obs) the
+	// region attaches so its round timings join the federation trace;
+	// nil from pre-tracing regions. It rides the wire after the prior,
+	// where old decoders ignore it, and never touches the fold path.
+	Span []byte
 }
 
 // PartialEntry is one entry's partially folded state.

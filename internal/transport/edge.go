@@ -47,6 +47,13 @@ type EdgeConfig struct {
 	// Lossless names an optional lossless codec for packing the
 	// partial frame's float64 sums ("" = raw).
 	Lossless string
+	// NoSpanTrailer suppresses the span-summary trailer on upstream
+	// partial frames, making this edge behave like a pre-tracing build:
+	// its region still folds and forwards normally, but its subtree is
+	// absent from the upstream round tree. Mixed-version tests use it;
+	// it is also the escape hatch if a trailer ever bothers an old
+	// upstream.
+	NoSpanTrailer bool
 	// OnPartial observes each regional round's outcome: how many
 	// client-level updates the region folded and the partial frame's
 	// wire size.
@@ -152,6 +159,7 @@ func (e *Edge) Serve(ln net.Listener) error {
 
 	var prior []byte // population plan prior to relay region-wide
 	var bound float64
+	var traceID string // round trace context to tag spans and relay
 	round := 0
 	for {
 		t, err := up.readMsgType()
@@ -165,6 +173,10 @@ func (e *Edge) Serve(ln net.Listener) error {
 		case MsgShutdown:
 			e.cfg.Logf("edge: upstream shutdown after %d rounds", round)
 			return nil
+		case MsgRoundTrace:
+			if traceID, _, err = readRoundTrace(up.r); err != nil {
+				return err
+			}
 		case MsgPlanPrior:
 			if prior, err = readPrior(up.r); err != nil {
 				return err
@@ -183,11 +195,11 @@ func (e *Edge) Serve(ln net.Listener) error {
 			if err != nil {
 				return err
 			}
-			if err := e.runRegionalRound(up, round, global, bound, prior); err != nil {
+			if err := e.runRegionalRound(up, round, global, bound, prior, traceID); err != nil {
 				return err
 			}
 			round++
-			bound, prior = 0, nil
+			bound, prior, traceID = 0, nil, ""
 		default:
 			return fmt.Errorf("%w: edge: unexpected upstream message %v", ErrProtocol, t)
 		}
@@ -319,7 +331,7 @@ func (e *Edge) waitForRegion(need int, budget time.Duration, acceptDone <-chan e
 // upstream. Per-member failures drop that member and never abort the
 // round; an empty region ships an Updates==0 partial so the upstream
 // can withdraw the region for the round without killing the edge.
-func (e *Edge) runRegionalRound(up *connStream, round int, global *model.StateDict, bound float64, prior []byte) error {
+func (e *Edge) runRegionalRound(up *connStream, round int, global *model.StateDict, bound float64, prior []byte, traceID string) error {
 	if round == 0 {
 		e.waitForRegion(e.cfg.MinClients, e.cfg.RoundDeadline, nil)
 	}
@@ -364,7 +376,14 @@ func (e *Edge) runRegionalRound(up *connStream, round int, global *model.StateDi
 				_ = cs.conn.SetWriteDeadline(time.Now().Add(d))
 			}
 			var err error
-			if len(prior) > 0 {
+			if traceID != "" {
+				// Relay the round's trace context region-wide so nested
+				// edges tag their spans too; leaf clients drain it.
+				err = cs.writeMsg(MsgRoundTrace, func(w io.Writer) error {
+					return writeRoundTrace(w, traceID, round)
+				})
+			}
+			if err == nil && len(prior) > 0 {
 				err = cs.writeMsg(MsgPlanPrior, func(w io.Writer) error {
 					return writePrior(w, prior)
 				})
@@ -399,7 +418,7 @@ func (e *Edge) runRegionalRound(up *connStream, round int, global *model.StateDi
 	// Regional collect: the deadline clock starts after the broadcast,
 	// mirroring the coordinator. A failed member aborts its own
 	// contribution (withdrawing partial folds) and is dropped.
-	gatherStart := time.Now()
+	gatherStart := span.startGather()
 	deadline := time.Time{}
 	if d := e.cfg.RoundDeadline; d > 0 {
 		deadline = time.Now().Add(d)
@@ -413,7 +432,9 @@ func (e *Edge) runRegionalRound(up *connStream, round int, global *model.StateDi
 			if err := e.collectMember(agg, id, cs, deadline, collectPrior, span); err != nil {
 				span.outcome(id, dropReasonFor(err).String())
 				e.dropMember(id, err)
+				return
 			}
+			span.settle(id)
 		}(id, cs)
 	}
 	wg.Wait()
@@ -427,6 +448,42 @@ func (e *Edge) runRegionalRound(up *connStream, round int, global *model.StateDi
 	commitStart := time.Now()
 	p := agg.Partial()
 	p.Prior = adapt.MergePriorBlobs(priors...)
+
+	// The member conns are quiescent now, so the per-client records are
+	// final before the upload — the summary that rides the partial
+	// carries the same data the local span will, with pre-upload phase
+	// totals (the parent tier attributes the upload itself as forward
+	// time on the wire).
+	clients, bytesUp, bytesDown := span.finish()
+	committed := 0
+	for _, c := range clients {
+		if c.Outcome == "committed" {
+			committed++
+		}
+	}
+	sp := obs.RoundSpan{
+		Tier:         "edge",
+		Round:        round,
+		TraceID:      traceID,
+		Start:        spanStart,
+		TotalNs:      time.Since(spanStart).Nanoseconds(),
+		BroadcastNs:  broadcastNs,
+		GatherNs:     gatherNs,
+		DecodeFoldNs: span.decodeFoldNs.Load(),
+		CommitNs:     time.Since(commitStart).Nanoseconds(),
+		BytesUp:      bytesUp,
+		BytesDown:    bytesDown,
+		Sampled:      len(members),
+		Committed:    committed,
+		Dropped:      len(members) - committed,
+		Bound:        bound,
+		Clients:      clients,
+	}
+	if traceID != "" && !e.cfg.NoSpanTrailer {
+		// One trailer per region per round, encoded once — the only
+		// tracing bytes this edge adds to the upstream hop.
+		p.Span = obs.EncodeSpanSummary(&obs.SpanSummary{Span: sp, Children: span.childSummaries()})
+	}
 	frame, err := hier.EncodePartial(p, hier.WireOptions{
 		Checksum: e.cfg.Checksum,
 		Lossless: e.cfg.Lossless,
@@ -445,30 +502,11 @@ func (e *Edge) runRegionalRound(up *connStream, round int, global *model.StateDi
 	if p.Updates == 0 {
 		obsEdgeEmptyRounds.Inc()
 	}
-	clients, bytesUp, bytesDown := span.finish()
-	committed := 0
-	for _, c := range clients {
-		if c.Outcome == "committed" {
-			committed++
-		}
-	}
-	obs.DefaultTrace.Add(obs.RoundSpan{
-		Tier:         "edge",
-		Round:        round,
-		Start:        spanStart,
-		TotalNs:      time.Since(spanStart).Nanoseconds(),
-		BroadcastNs:  broadcastNs,
-		GatherNs:     gatherNs,
-		DecodeFoldNs: span.decodeFoldNs.Load(),
-		CommitNs:     time.Since(commitStart).Nanoseconds(),
-		BytesUp:      bytesUp,
-		BytesDown:    bytesDown,
-		Sampled:      len(members),
-		Committed:    committed,
-		Dropped:      len(members) - committed,
-		Bound:        bound,
-		Clients:      clients,
-	})
+	// The local trace keeps the post-upload totals: this tier's view of
+	// the round includes shipping its partial.
+	sp.TotalNs = time.Since(spanStart).Nanoseconds()
+	sp.CommitNs = time.Since(commitStart).Nanoseconds()
+	obs.DefaultTrace.Add(sp)
 	if e.cfg.OnPartial != nil {
 		e.cfg.OnPartial(round, p.Updates, len(frame))
 	}
@@ -500,6 +538,13 @@ func (e *Edge) collectMember(agg *orchestrator.Aggregator, id string, cs *connSt
 		if err != nil {
 			span.decodeFoldNs.Add(time.Since(decodeStart).Nanoseconds())
 			return err
+		}
+		// A nested edge's span summary folds into this tier's own
+		// trailer, so arbitrarily deep regions reach the coordinator.
+		if len(p.Span) > 0 {
+			if sum, err := obs.DecodeSpanSummary(p.Span); err == nil {
+				span.attachChild(id, sum)
+			}
 		}
 		if p.Updates == 0 {
 			span.decodeFoldNs.Add(time.Since(decodeStart).Nanoseconds())

@@ -232,7 +232,7 @@ func TestEdgeDeathMidRound(t *testing.T) {
 			t.Errorf("dier join: %v", err)
 			return
 		}
-		if tp, err := cs.readMsgType(); err != nil || tp != MsgGlobalModel {
+		if tp, err := readMsgSkippingTrace(cs); err != nil || tp != MsgGlobalModel {
 			t.Errorf("dier: expected global model, got %v (%v)", tp, err)
 			return
 		}
@@ -380,7 +380,7 @@ func TestEdgeClientDiesBeforePriorTrailer(t *testing.T) {
 			t.Errorf("dier join: %v", err)
 			return
 		}
-		if tp, err := cs.readMsgType(); err != nil || tp != MsgGlobalModel {
+		if tp, err := readMsgSkippingTrace(cs); err != nil || tp != MsgGlobalModel {
 			t.Errorf("dier: expected global model, got %v (%v)", tp, err)
 			return
 		}
@@ -495,7 +495,7 @@ func TestEdgeEmptyRegion(t *testing.T) {
 			return
 		}
 		for {
-			tp, err := cs.readMsgType()
+			tp, err := readMsgSkippingTrace(cs)
 			if err != nil {
 				t.Errorf("idle edge read: %v", err)
 				return

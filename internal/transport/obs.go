@@ -71,6 +71,8 @@ func (t MsgType) String() string {
 		return "partial_sum"
 	case MsgPlanPrior:
 		return "plan_prior"
+	case MsgRoundTrace:
+		return "round_trace"
 	default:
 		return "unknown"
 	}
@@ -79,13 +81,13 @@ func (t MsgType) String() string {
 // Frame counters are pre-resolved per (type, dir) at init so the
 // per-message cost is one atomic increment, no map lookups.
 var (
-	framesRx [MsgPlanPrior + 1]*obs.Counter
-	framesTx [MsgPlanPrior + 1]*obs.Counter
-	msgTxVec [MsgPlanPrior + 1]*obs.Counter
+	framesRx [MsgRoundTrace + 1]*obs.Counter
+	framesTx [MsgRoundTrace + 1]*obs.Counter
+	msgTxVec [MsgRoundTrace + 1]*obs.Counter
 )
 
 func init() {
-	for t := MsgType(0); t <= MsgPlanPrior; t++ {
+	for t := MsgType(0); t <= MsgRoundTrace; t++ {
 		name := t.String()
 		framesRx[t] = obsFrames.With(name, "rx")
 		framesTx[t] = obsFrames.With(name, "tx")

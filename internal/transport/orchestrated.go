@@ -470,19 +470,23 @@ func dropReasonFor(err error) orchestrator.DropReason {
 }
 
 // roundSpanState accumulates one round's trace while the round runs:
-// per-participant byte baselines and outcomes, plus the cumulative
-// decode→fold time summed across the round's concurrent collectors.
+// per-participant byte baselines, outcomes and settle times, the
+// cumulative decode→fold time summed across the round's concurrent
+// collectors, and any span summaries shipped up by region edges.
 type roundSpanState struct {
 	decodeFoldNs atomic.Int64
 
-	mu      sync.Mutex
-	clients map[string]*spanEntry
+	mu          sync.Mutex
+	gatherStart time.Time
+	clients     map[string]*spanEntry
+	children    []obs.ChildSummary
 }
 
 type spanEntry struct {
 	cs       *connStream
 	rx0, tx0 int64
 	outcome  string
+	settleNs int64
 }
 
 func newRoundSpanState() *roundSpanState {
@@ -502,14 +506,56 @@ func (st *roundSpanState) track(id string, cs *connStream) {
 	st.mu.Unlock()
 }
 
-// outcome records why a participant left the round; the first writer
-// wins (a drop's true cause precedes cleanup-path noise).
-func (st *roundSpanState) outcome(id, o string) {
+// startGather marks the start of the gather phase; participant settle
+// times are measured from this instant, which it returns.
+func (st *roundSpanState) startGather() time.Time {
 	st.mu.Lock()
-	if e := st.clients[id]; e != nil && e.outcome == "" {
-		e.outcome = o
+	st.gatherStart = time.Now()
+	t := st.gatherStart
+	st.mu.Unlock()
+	return t
+}
+
+// settle records when a participant's contribution finished
+// (committed or dropped), measured from gather start; the first
+// writer wins and pre-gather events record nothing.
+func (st *roundSpanState) settle(id string) {
+	st.mu.Lock()
+	if e := st.clients[id]; e != nil && e.settleNs == 0 && !st.gatherStart.IsZero() {
+		e.settleNs = time.Since(st.gatherStart).Nanoseconds()
 	}
 	st.mu.Unlock()
+}
+
+// outcome records why a participant left the round; the first writer
+// wins (a drop's true cause precedes cleanup-path noise). Leaving the
+// round settles the participant.
+func (st *roundSpanState) outcome(id, o string) {
+	st.mu.Lock()
+	if e := st.clients[id]; e != nil {
+		if e.outcome == "" {
+			e.outcome = o
+		}
+		if e.settleNs == 0 && !st.gatherStart.IsZero() {
+			e.settleNs = time.Since(st.gatherStart).Nanoseconds()
+		}
+	}
+	st.mu.Unlock()
+}
+
+// attachChild stashes one region's decoded span summary for the
+// round's trace tree.
+func (st *roundSpanState) attachChild(id string, sum *obs.SpanSummary) {
+	st.mu.Lock()
+	st.children = append(st.children, obs.ChildSummary{ID: id, Sum: sum})
+	st.mu.Unlock()
+}
+
+// childSummaries returns the summaries attached this round.
+func (st *roundSpanState) childSummaries() []obs.ChildSummary {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.children
 }
 
 // finish renders the per-client records, newest byte counters minus
@@ -520,7 +566,7 @@ func (st *roundSpanState) finish() (clients []obs.SpanClient, up, down int64) {
 	defer st.mu.Unlock()
 	clients = make([]obs.SpanClient, 0, len(st.clients))
 	for id, e := range st.clients {
-		c := obs.SpanClient{ID: id, Outcome: e.outcome}
+		c := obs.SpanClient{ID: id, Outcome: e.outcome, TimeNs: e.settleNs}
 		if c.Outcome == "" {
 			c.Outcome = "committed"
 		}
@@ -566,6 +612,10 @@ func (s *Orchestrated) runRound(coord *orchestrator.Coordinator) (*model.StateDi
 	}
 	spanStart := time.Now()
 	span := newRoundSpanState()
+	// One trace ID per federation round: broadcast to every tier ahead
+	// of the round payload, so edge spans (and their trailers) join
+	// this round's tree.
+	traceID := obs.NewTraceID()
 	_, global := coord.Global()
 	if ra, ok := s.cfg.Codec.(fl.ReferenceAware); ok {
 		ra.SetReference(global)
@@ -603,8 +653,12 @@ func (s *Orchestrated) runRound(coord *orchestrator.Coordinator) (*model.StateDi
 			if d := round.Deadline(); d > 0 {
 				_ = cs.conn.SetWriteDeadline(time.Now().Add(d))
 			}
-			var err error
-			if len(priorBlob) > 0 {
+			// The trace context leads the round on every connection:
+			// edges tag their regional spans with it, clients drain it.
+			err := cs.writeMsg(MsgRoundTrace, func(w io.Writer) error {
+				return writeRoundTrace(w, traceID, round.Number())
+			})
+			if err == nil && len(priorBlob) > 0 {
 				// The merged population plan prior precedes the bound:
 				// edges relay it region-wide, adaptive clients seed their
 				// cold tensors from it, static clients skip the blob.
@@ -649,7 +703,7 @@ func (s *Orchestrated) runRound(coord *orchestrator.Coordinator) (*model.StateDi
 	// The deadline clock starts after the broadcast loop: the serial
 	// (possibly rate-limited) broadcast must not eat into the clients'
 	// response window.
-	gatherStart := time.Now()
+	gatherStart := span.startGather()
 	deadline := time.Time{}
 	if d := round.Deadline(); d > 0 {
 		deadline = time.Now().Add(d)
@@ -671,7 +725,9 @@ func (s *Orchestrated) runRound(coord *orchestrator.Coordinator) (*model.StateDi
 				reason := dropReasonFor(err)
 				span.outcome(id, reason.String())
 				s.dropClient(coord, round, id, err, reason)
+				return
 			}
+			span.settle(id)
 		}(id, cs)
 	}
 	wg.Wait()
@@ -691,10 +747,16 @@ func (s *Orchestrated) runRound(coord *orchestrator.Coordinator) (*model.StateDi
 	s.priorMu.Lock()
 	priorNow := s.priorBlob
 	s.priorMu.Unlock()
+	// Edge span summaries collected this round join the assembler so
+	// /rounds/tree can graft each region's subtree onto this span.
+	for _, ch := range span.childSummaries() {
+		obs.DefaultAssembler.Attach(traceID, ch.ID, ch.Sum)
+	}
 	sp := obs.RoundSpan{
 		Tier:         "coordinator",
 		Round:        stats.Round,
 		Version:      stats.Version,
+		TraceID:      traceID,
 		Start:        spanStart,
 		TotalNs:      time.Since(spanStart).Nanoseconds(),
 		BroadcastNs:  broadcastNs,
@@ -812,6 +874,14 @@ func (s *Orchestrated) collectPartial(round *orchestrator.Round, id string, cs *
 	if err != nil {
 		span.decodeFoldNs.Add(time.Since(decodeStart).Nanoseconds())
 		return err
+	}
+	// The span-summary trailer is observability, never control flow: an
+	// undecodable one (newer edge, damaged blob — the frame itself
+	// already passed its checksum) degrades to "no subtree".
+	if len(p.Span) > 0 {
+		if sum, err := obs.DecodeSpanSummary(p.Span); err == nil {
+			span.attachChild(id, sum)
+		}
 	}
 	if p.Updates == 0 {
 		span.decodeFoldNs.Add(time.Since(decodeStart).Nanoseconds())

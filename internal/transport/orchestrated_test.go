@@ -67,7 +67,7 @@ func TestOrchestratedClientDiesMidStream(t *testing.T) {
 			t.Errorf("dying client join: %v", err)
 			return
 		}
-		if tp, err := cs.readMsgType(); err != nil || tp != MsgGlobalModel {
+		if tp, err := readMsgSkippingTrace(cs); err != nil || tp != MsgGlobalModel {
 			t.Errorf("dying client: expected global model, got %v (%v)", tp, err)
 			return
 		}
@@ -167,7 +167,7 @@ func TestOrchestratedClientDiesAfterUpdateFrame(t *testing.T) {
 			t.Errorf("dier join: %v", err)
 			return
 		}
-		if tp, err := cs.readMsgType(); err != nil || tp != MsgGlobalModel {
+		if tp, err := readMsgSkippingTrace(cs); err != nil || tp != MsgGlobalModel {
 			t.Errorf("dier: expected global model, got %v (%v)", tp, err)
 			return
 		}
@@ -265,7 +265,7 @@ func TestOrchestratedStragglerDeadline(t *testing.T) {
 		if err := cs.writeMsg(MsgJoin, nil); err != nil {
 			return
 		}
-		if _, err := cs.readMsgType(); err != nil {
+		if _, err := readMsgSkippingTrace(cs); err != nil {
 			return
 		}
 		if _, err := core.UnmarshalStateDictFrom(cs.r); err != nil {

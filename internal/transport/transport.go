@@ -48,6 +48,7 @@ const (
 	MsgJoinEdge                       // edge → server: hello from a regional edge aggregator
 	MsgPartialSum                     // edge → server: one region's folded partial sum (hier wire format)
 	MsgPlanPrior                      // server → client/edge: merged population plan prior (uvarint len + blob)
+	MsgRoundTrace                     // server → client/edge: round trace context (uvarint len + trace ID, uvarint round)
 )
 
 // connStream bundles the buffered halves of one connection. The
@@ -127,6 +128,43 @@ func writePrior(w io.Writer, blob []byte) error {
 		}
 	}
 	return nil
+}
+
+// writeRoundTrace writes a MsgRoundTrace body: length-prefixed trace
+// ID plus the round number. The coordinator stamps one per round and
+// broadcasts it ahead of the bound/prior/model so every tier tags its
+// spans with the same ID; peers that don't trace drain and ignore it.
+func writeRoundTrace(w io.Writer, traceID string, round int) error {
+	var hdr [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(hdr[:], uint64(len(traceID)))
+	if _, err := w.Write(hdr[:n]); err != nil {
+		return fmt.Errorf("transport: write trace id length: %w", err)
+	}
+	if _, err := io.WriteString(w, traceID); err != nil {
+		return fmt.Errorf("transport: write trace id: %w", err)
+	}
+	n = binary.PutUvarint(hdr[:], uint64(round))
+	if _, err := w.Write(hdr[:n]); err != nil {
+		return fmt.Errorf("transport: write trace round: %w", err)
+	}
+	return nil
+}
+
+// readRoundTrace reads a writeRoundTrace body.
+func readRoundTrace(r *bufio.Reader) (traceID string, round int, err error) {
+	n, err := binary.ReadUvarint(r)
+	if err != nil || n > 256 {
+		return "", 0, fmt.Errorf("%w: trace id length", ErrProtocol)
+	}
+	id := make([]byte, n)
+	if _, err := io.ReadFull(r, id); err != nil {
+		return "", 0, fmt.Errorf("transport: read trace id: %w", err)
+	}
+	rd, err := binary.ReadUvarint(r)
+	if err != nil {
+		return "", 0, fmt.Errorf("%w: trace round", ErrProtocol)
+	}
+	return string(id), int(rd), nil
 }
 
 // readPrior reads a writePrior blob (nil when empty).
@@ -372,6 +410,13 @@ func runClientSession(cs *connStream, codec fl.Codec, train TrainFunc, baseRound
 			}
 			if ba, ok := codec.(fl.BoundAware); ok {
 				ba.SetRoundBound(bound)
+			}
+		case MsgRoundTrace:
+			// Round trace context: edges tag their regional spans with it;
+			// leaf clients have no spans of their own, so they just drain
+			// the body and move on.
+			if _, _, err := readRoundTrace(cs.r); err != nil {
+				return round, err
 			}
 		case MsgPlanPrior:
 			// The merged population plan prior rides ahead of the round's

@@ -29,6 +29,17 @@ type (
 	ObsConfig = obs.Config
 	// ObsServer is a running observability listener.
 	ObsServer = obs.Server
+	// Tree is one assembled federation round: the local tier's span as
+	// the root, every region whose span summary arrived grafted under
+	// its participant record, and the computed critical path.
+	Tree = obs.Tree
+	// TreeNode is one tier's view of the round inside a Tree.
+	TreeNode = obs.TreeNode
+	// PathSegment is one hop of a round's critical path.
+	PathSegment = obs.PathSegment
+	// SpanSummary is the compact cross-tier span form an edge ships
+	// upstream so its regional round joins the federation trace.
+	SpanSummary = obs.SpanSummary
 )
 
 // Metrics snapshots every instrument in the process-wide registry.
@@ -39,12 +50,20 @@ func Metrics() []MetricPoint { return obs.Default.Snapshot() }
 func WriteMetrics(w io.Writer) { obs.Default.WritePrometheus(w) }
 
 // RoundTrace returns up to n recent round spans, newest last
-// (n <= 0 returns all retained spans; the trace keeps the last 128).
+// (n <= 0 returns all retained spans; the trace keeps the last 128
+// unless resized via ObsConfig.TraceRounds).
 func RoundTrace(n int) []RoundSpan { return obs.DefaultTrace.Recent(n) }
 
+// RoundTree assembles up to n recent federation rounds into trees,
+// newest last: each coordinator span joined with the edge span
+// summaries that arrived for its trace ID, plus the computed critical
+// path (what /rounds/tree serves).
+func RoundTree(n int) []Tree { return obs.DefaultAssembler.Trees(obs.DefaultTrace, n) }
+
 // MetricsHandler returns the introspection mux: /metrics
-// (Prometheus text), /rounds (spans as JSON), /debug/vars (expvar)
-// and /debug/pprof/*. Mount it on any server.
+// (Prometheus text), /rounds (spans as JSON), /rounds/tree (assembled
+// round trees), /healthz, /readyz, /debug/vars (expvar) and
+// /debug/pprof/*. Mount it on any server.
 func MetricsHandler() http.Handler { return obs.Handler(nil, nil) }
 
 // ServeMetrics starts the introspection listener on addr and returns

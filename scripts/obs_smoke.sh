@@ -39,9 +39,18 @@ c1=$!
 victim=$!
 disown -a # keep bash from reporting the cleanup kills
 
-# Let the federation get going, then freeze the third client mid-round:
-# the 2s straggler deadline cuts it, producing a real drop series.
-sleep 3
+# Wait for the first gathered round via the readiness probe (no blind
+# sleeps), then freeze the third client mid-round: the 2s straggler
+# deadline cuts it, producing a real drop series.
+ready_deadline=$((SECONDS + 60))
+until curl -sf "http://$maddr/readyz" >/dev/null; do
+  if [ "$SECONDS" -ge "$ready_deadline" ]; then
+    echo "obs smoke: FAIL — /readyz never flipped" >&2
+    tail -n 30 "$tmp/server.log" >&2 || true
+    exit 1
+  fi
+  sleep 0.5
+done
 kill -STOP "$victim" 2>/dev/null || true
 
 need=(

@@ -1,0 +1,115 @@
+#!/usr/bin/env bash
+# Trace smoke: run a real 2-edge federation over TCP loopback with the
+# coordinator's observability listener on, wait for readiness via
+# /readyz, then assert the /rounds/tree endpoint assembles the
+# federation-wide round tree — both regions grafted as subtrees, a
+# non-empty critical path, and the path's total duration within 10% of
+# the measured round wall time. Finally exercises the fedsztop
+# dashboard headlessly (-once).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+tmp="$(mktemp -d)"
+pids=()
+cleanup() {
+  kill -9 "${pids[@]}" 2>/dev/null || true
+  rm -rf "$tmp"
+}
+trap cleanup EXIT
+
+go build -o "$tmp/fedszserver" ./cmd/fedszserver
+go build -o "$tmp/fedszedge" ./cmd/fedszedge
+go build -o "$tmp/fedszclient" ./cmd/fedszclient
+go build -o "$tmp/fedsztop" ./cmd/fedsztop
+
+addr=127.0.0.1:19490
+maddr=127.0.0.1:19491
+e0=127.0.0.1:19492
+e1=127.0.0.1:19493
+
+# A large round budget keeps the federation (and the coordinator's
+# observability listener) alive for the whole assertion loop.
+"$tmp/fedszserver" -addr "$addr" -metrics-addr "$maddr" \
+  -min-clients 2 -rounds 1000 -checksum -log-format json \
+  >"$tmp/server.log" 2>&1 &
+pids+=($!)
+
+# Edges dial upstream once at startup (no retry), so wait for the
+# coordinator's listener before launching them.
+deadline=$((SECONDS + 30))
+until grep -q '"msg":"listening"' "$tmp/server.log" 2>/dev/null; do
+  if [ "$SECONDS" -ge "$deadline" ]; then
+    echo "trace smoke: FAIL — coordinator never started listening" >&2
+    cat "$tmp/server.log" >&2 || true
+    exit 1
+  fi
+  sleep 0.2
+done
+
+"$tmp/fedszedge" -listen "$e0" -upstream "$addr" -min-clients 2 -checksum \
+  >"$tmp/e0.log" 2>&1 &
+pids+=($!)
+"$tmp/fedszedge" -listen "$e1" -upstream "$addr" -min-clients 2 -checksum \
+  >"$tmp/e1.log" 2>&1 &
+pids+=($!)
+for i in 0 1 2 3; do
+  edge=$e0
+  [ $((i % 2)) = 1 ] && edge=$e1
+  "$tmp/fedszclient" -addr "$edge" -shard "$i" -shards 4 -checksum \
+    >"$tmp/c$i.log" 2>&1 &
+  pids+=($!)
+done
+disown -a # keep bash from reporting the cleanup kills
+
+# Readiness probe instead of blind sleeps: /readyz flips to 200 once
+# the coordinator gathers its first round.
+deadline=$((SECONDS + 90))
+until curl -sf "http://$maddr/readyz" >/dev/null; do
+  if [ "$SECONDS" -ge "$deadline" ]; then
+    echo "trace smoke: FAIL — coordinator never became ready" >&2
+    tail -n 30 "$tmp/server.log" "$tmp/e0.log" "$tmp/e1.log" >&2 || true
+    exit 1
+  fi
+  sleep 1
+done
+echo "trace smoke: /readyz OK"
+
+# The newest assembled round must show ≥2 grafted regions and a
+# non-empty critical path whose total fits the round's wall time
+# within 10%. Loopback rounds are a few ms, so an occasional
+# scheduler stall can break the fit on one round — retry across
+# rounds until one fits.
+regions=0 wall="" crit=""
+deadline=$((SECONDS + 90))
+while :; do
+  if curl -sf "http://$maddr/rounds/tree?n=1" -o "$tmp/tree.json"; then
+    regions=$(grep -oE '"id": "edge-[0-9]+"' "$tmp/tree.json" | sort -u | wc -l)
+    wall=$(grep -oE '"wall_ns": [0-9]+' "$tmp/tree.json" | head -1 | awk '{print $2}')
+    crit=$(grep -oE '"critical_ns": [0-9]+' "$tmp/tree.json" | head -1 | awk '{print $2}')
+    path_segs=$(grep -c '"phase":' "$tmp/tree.json" || true)
+    if [ "$regions" -ge 2 ] && [ "$path_segs" -ge 1 ] &&
+      [ -n "$wall" ] && [ -n "$crit" ] && [ "$wall" -gt 0 ] &&
+      [ $((crit * 10)) -ge $((wall * 9)) ] && [ $((crit * 10)) -le $((wall * 11)) ]; then
+      break
+    fi
+  fi
+  if [ "$SECONDS" -ge "$deadline" ]; then
+    echo "trace smoke: FAIL — /rounds/tree never satisfied (regions=$regions wall=${wall:-?} critical=${crit:-?})" >&2
+    cat "$tmp/tree.json" 2>/dev/null >&2 || true
+    echo "--- server log tail ---" >&2
+    tail -n 30 "$tmp/server.log" >&2 || true
+    exit 1
+  fi
+  sleep 1
+done
+echo "trace smoke: /rounds/tree OK (regions=$regions critical=${crit}ns wall=${wall}ns)"
+
+# The dashboard renders one headless snapshot from the same endpoint.
+"$tmp/fedsztop" -addrs "$maddr" -once >"$tmp/top.txt"
+if ! grep -q "round" "$tmp/top.txt" || ! grep -q "critical" "$tmp/top.txt"; then
+  echo "trace smoke: FAIL — fedsztop -once rendered no round/critical lines" >&2
+  cat "$tmp/top.txt" >&2
+  exit 1
+fi
+echo "trace smoke: fedsztop OK"
+echo "trace smoke: PASS"
